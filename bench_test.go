@@ -1,0 +1,184 @@
+package pask
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment on the simulated stack and reports
+// the headline quantity the paper plots as a custom benchmark metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation and prints paper-comparable numbers.
+
+import (
+	"testing"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+)
+
+// fastModels is a representative subset used by the heavier sweeps to keep
+// -bench runtimes moderate; run paskbench for the full twelve-model tables.
+var fastModels = []string{"alex", "vgg", "res", "eff", "vit"}
+
+func BenchmarkFig1aColdHotSlowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig1a(fastModels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Average["MI100"], "cold/hot-MI100")
+		b.ReportMetric(res.Average["A100"], "cold/hot-A100")
+		b.ReportMetric(res.Average["6900XT"], "cold/hot-6900XT")
+	}
+}
+
+func BenchmarkFig1bBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig1b(fastModels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Avg["code loading"], "loading-%")
+		b.ReportMetric(100*res.Avg["GPU execution"], "exec-%")
+	}
+}
+
+func BenchmarkFig4SolutionLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6aSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, res, err := experiments.Fig6(experiments.AllModelAbbrs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgSpeedup[core.SchemeNNV12], "NNV12-x")
+		b.ReportMetric(res.AvgSpeedup[core.SchemePaSK], "PaSK-x")
+		b.ReportMetric(res.AvgSpeedup[core.SchemeIdeal], "Ideal-x")
+	}
+}
+
+func BenchmarkFig6bUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, res, err := experiments.Fig6(fastModels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.AvgUtil[core.SchemePaSK], "PaSK-util-%")
+		b.ReportMetric(100*res.AvgUtil[core.SchemeIdeal], "Ideal-util-%")
+	}
+}
+
+func BenchmarkTable2BatchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Table2(fastModels, []int{1, 16, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup[1][core.SchemePaSK], "PaSK-b1-x")
+		b.ReportMetric(res.Speedup[128][core.SchemePaSK], "PaSK-b128-x")
+	}
+}
+
+func BenchmarkFig7PaSKBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig7(fastModels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Avg["solution loading"], "loading-%")
+		b.ReportMetric(100*res.Avg["PASK overhead"], "overhead-%")
+	}
+}
+
+func BenchmarkFig8Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig8(fastModels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sumI, sumR float64
+		for _, m := range fastModels {
+			sumI += res.Normalized[m][core.SchemePaSKI]
+			sumR += res.Normalized[m][core.SchemePaSKR]
+		}
+		b.ReportMetric(sumI/float64(len(fastModels)), "PaSK-I-norm")
+		b.ReportMetric(sumR/float64(len(fastModels)), "PaSK-R-norm")
+	}
+}
+
+func BenchmarkFig9CacheStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, res, err := experiments.Fig9(experiments.ConvModelAbbrs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.AvgHitRate, "hit-%")
+		b.ReportMetric(res.AvgCatLookups, "cat-lookups")
+		b.ReportMetric(res.AvgNaive, "naive-lookups")
+	}
+}
+
+func BenchmarkExtBlasScope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtBlasScope(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtPrecisionPreference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtPrecision([]string{"alex", "res"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtBackgroundLoading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtBackground([]string{"vgg", "res"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartPerScheme measures one ResNet34 cold start per scheme —
+// the microbenchmark form of Fig 6a.
+func BenchmarkColdStartPerScheme(b *testing.B) {
+	sys, err := NewSystem(Config{Model: "res"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		b.Run(string(scheme), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				rep, err := sys.RunScheme(scheme)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.Seconds() * 1000
+			}
+			b.ReportMetric(total/float64(b.N), "virtual-ms/coldstart")
+		})
+	}
+}
+
+// BenchmarkExtCrossModelReuse measures the multi-tenant corollary: a second
+// model's cold start inside a process whose cache was warmed by another.
+func BenchmarkExtCrossModelReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrossModelReuse("res", "vgg", device.MI100())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FreshMs/res.SharedMs, "warm-process-x")
+	}
+}

@@ -1,0 +1,114 @@
+// Command modelzoo inspects the twelve Table-I models: structural summary,
+// lowering statistics (instructions, distinct primitive problems, code
+// objects per plan), and ONNX-JSON export.
+//
+// Usage:
+//
+//	modelzoo                       # summary table
+//	modelzoo -model res -plan      # per-instruction lowering of one model
+//	modelzoo -model res -export f  # write the graph as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pask/internal/device"
+	"pask/internal/graphx"
+	"pask/internal/metrics"
+	"pask/internal/miopen"
+	"pask/internal/onnx/zoo"
+)
+
+func main() {
+	model := flag.String("model", "", "zoo model abbreviation (empty: all)")
+	batch := flag.Int("batch", 1, "batch size")
+	plan := flag.Bool("plan", false, "print the lowered instruction plan")
+	export := flag.String("export", "", "write the ONNX-JSON graph to this file")
+	flag.Parse()
+
+	if *model == "" {
+		summary(*batch)
+		return
+	}
+	spec, err := zoo.ByAbbr(*model)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := spec.Build(*batch)
+	if err != nil {
+		fatal(err)
+	}
+	if *export != "" {
+		data, err := g.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *export, len(data))
+		return
+	}
+	reg := miopen.NewRegistry(miopen.NewCtx(device.MI100()))
+	m, err := graphx.Compile(g, miopen.NewPerfDB(reg), graphx.CompileOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s): %d graph ops -> %d instructions, %d primitive (%d distinct problems), %.1f MB parameters\n",
+		spec.Name, spec.Type, g.NumOps(), m.NumInstructions(), m.PrimitiveCount(),
+		m.DistinctPrimitiveProblems(), float64(m.ParamBytes)/1e6)
+	if !*plan {
+		return
+	}
+	fmt.Println()
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		switch in.Kind {
+		case graphx.KindPrimitive:
+			fmt.Printf("%3d  %-10s %-22s %s[%s]\n", i, in.Kind, in.Name, in.SolutionID, in.Binding)
+		case graphx.KindGemm:
+			fmt.Printf("%3d  %-10s %-22s %s\n", i, in.Kind, in.Name, in.Gemm.Key())
+		case graphx.KindTransform:
+			fmt.Printf("%3d  %-10s %-22s %s\n", i, in.Kind, in.Name, in.XformPath)
+		default:
+			fmt.Printf("%3d  %-10s %-22s builtin_%s\n", i, in.Kind, in.Name, in.Builtin)
+		}
+	}
+}
+
+func summary(batch int) {
+	reg := miopen.NewRegistry(miopen.NewCtx(device.MI100()))
+	headers := []string{"abbr", "model", "type", "ops", "instrs", "primitive", "distinct", "objects", "params"}
+	var rows [][]string
+	for _, spec := range zoo.Models() {
+		g, err := spec.Build(batch)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := graphx.Compile(g, miopen.NewPerfDB(reg), graphx.CompileOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		objs, err := m.DistinctObjects(reg)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, []string{
+			spec.Abbr, spec.Name, spec.Type,
+			fmt.Sprintf("%d", g.NumOps()),
+			fmt.Sprintf("%d", m.NumInstructions()),
+			fmt.Sprintf("%d", m.PrimitiveCount()),
+			fmt.Sprintf("%d", m.DistinctPrimitiveProblems()),
+			fmt.Sprintf("%d", len(objs)),
+			fmt.Sprintf("%.0fMB", float64(m.ParamBytes)/1e6),
+		})
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelzoo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command paskbench regenerates every table and figure of the paper's
+// evaluation on the simulated stack.
+//
+// Usage:
+//
+//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background]
+//	          [-models alex,vgg,...] [-batches 1,4,16,64,128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pask/internal/device"
+	"strconv"
+	"strings"
+
+	"pask/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel)")
+	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
+	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	formatCSV = *format == "csv"
+
+	models := experiments.AllModelAbbrs()
+	if *modelsFlag != "" {
+		models = strings.Split(*modelsFlag, ",")
+	}
+	var batches []int
+	for _, b := range strings.Split(*batchesFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(b))
+		if err != nil {
+			fatal(fmt.Errorf("bad batch %q: %w", b, err))
+		}
+		batches = append(batches, v)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	run("fig1a", func() error {
+		tbl, _, err := experiments.Fig1a(models)
+		return show(tbl, err)
+	})
+	run("fig1b", func() error {
+		tbl, _, err := experiments.Fig1b(models)
+		return show(tbl, err)
+	})
+	run("fig4", func() error {
+		tbl, err := experiments.Fig4()
+		return show(tbl, err)
+	})
+	run("fig6", func() error {
+		ta, tb, _, err := experiments.Fig6(models)
+		if err != nil {
+			return err
+		}
+		if err := show(ta, nil); err != nil {
+			return err
+		}
+		return show(tb, nil)
+	})
+	run("table2", func() error {
+		tbl, _, err := experiments.Table2(models, batches)
+		return show(tbl, err)
+	})
+	run("fig7", func() error {
+		tbl, _, err := experiments.Fig7(models)
+		return show(tbl, err)
+	})
+	run("fig8", func() error {
+		tbl, _, err := experiments.Fig8(models)
+		return show(tbl, err)
+	})
+	run("fig9", func() error {
+		ta, tb, _, err := experiments.Fig9(convOnly(models))
+		if err != nil {
+			return err
+		}
+		if err := show(ta, nil); err != nil {
+			return err
+		}
+		return show(tb, nil)
+	})
+	run("ext-blas", func() error {
+		tbl, err := experiments.ExtBlasScope()
+		return show(tbl, err)
+	})
+	run("ext-precision", func() error {
+		tbl, err := experiments.ExtPrecision(convOnly(models))
+		return show(tbl, err)
+	})
+	run("ext-background", func() error {
+		tbl, err := experiments.ExtBackground(convOnly(models))
+		return show(tbl, err)
+	})
+	run("ablations", func() error {
+		tbl, _, err := experiments.Ablations(convOnly(models))
+		return show(tbl, err)
+	})
+	run("ext-crossmodel", func() error {
+		pairs := [][2]string{{"res", "vgg"}, {"alex", "res"}, {"reg", "eff"}}
+		tbl := &experiments.Table{ID: "Ext-CrossModel",
+			Title:   "Cross-model kernel reuse: model B cold start in a process warmed by model A (MI100)",
+			Headers: []string{"A -> B", "fresh process", "warm process", "reuse hits"}}
+		for _, pr := range pairs {
+			res, err := experiments.CrossModelReuse(pr[0], pr[1], device.MI100())
+			if err != nil {
+				return err
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				pr[0] + " -> " + pr[1],
+				fmt.Sprintf("%.1fms", res.FreshMs),
+				fmt.Sprintf("%.1fms", res.SharedMs),
+				fmt.Sprintf("%d", res.Hits)})
+		}
+		tbl.Notes = append(tbl.Notes,
+			"benefit is bounded by problem-configuration overlap between the models; foreign specialists at the cache head can add lookups")
+		return show(tbl, nil)
+	})
+}
+
+// convOnly filters the selection to the convolution-dominated models (the
+// cache-statistics experiments omit transformers, as the paper does).
+func convOnly(models []string) []string {
+	conv := map[string]bool{}
+	for _, m := range experiments.ConvModelAbbrs() {
+		conv[m] = true
+	}
+	var out []string
+	for _, m := range models {
+		if conv[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+var formatCSV bool
+
+func show(tbl *experiments.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	if formatCSV {
+		fmt.Printf("# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		return nil
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paskbench:", err)
+	os.Exit(1)
+}

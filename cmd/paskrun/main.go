@@ -1,0 +1,149 @@
+// Command paskrun executes one model under one scheme on a simulated device
+// and prints the run's report, phase breakdown and an ASCII timeline showing
+// how PASK overlaps parsing, loading and execution.
+//
+// Usage:
+//
+//	paskrun -model res -scheme PaSK [-device MI100] [-batch 1] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/metrics"
+	"pask/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "res", "zoo model abbreviation")
+	schemeName := flag.String("scheme", "PaSK", "scheme: Baseline, NNV12, Ideal, PaSK, PaSK-I, PaSK-R")
+	devName := flag.String("device", "MI100", "device profile: MI100, A100, 6900XT")
+	batch := flag.Int("batch", 1, "inference batch size")
+	width := flag.Int("width", 100, "timeline width in characters")
+	blasScope := flag.Bool("blas-scope", false, "enable the BLAS-scope extension")
+	flag.Parse()
+
+	prof, ok := device.ProfileByName(*devName)
+	if !ok {
+		fatal(fmt.Errorf("unknown device %q", *devName))
+	}
+	ms, err := experiments.PrepareModel(*model, *batch, prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	scheme := core.Scheme(*schemeName)
+	found := false
+	for _, s := range core.Schemes() {
+		if s == scheme {
+			found = true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown scheme %q (one of %v)", *schemeName, core.Schemes()))
+	}
+
+	// Run with a retained process so the tracer's spans are available.
+	pr := ms.NewProcess()
+	var spans []metrics.Span
+	var window [2]time.Duration
+	rep, res, err := runWithSpans(ms, pr, scheme, core.Options{BlasScope: *blasScope}, &spans, &window)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s x %s on %s (batch %d)\n\n", *model, scheme, prof.Name, *batch)
+	fmt.Printf("cold start      %10.2fms\n", float64(rep.Total)/1e6)
+	fmt.Printf("GPU utilization %9.1f%%\n", 100*rep.Utilization())
+	fmt.Printf("code objects    %10d loaded (%0.1f MB)\n", rep.Loads, float64(rep.LoadedBytes)/1e6)
+	if res != nil {
+		fmt.Printf("reuse           %10d queries, %d hits (%.0f%%), %d loads skipped, milestone %d\n",
+			res.Cache.Queries, res.Cache.Hits, 100*hitRate(res), res.SkippedLoads, res.Milestone)
+	}
+
+	fmt.Printf("\nbreakdown:\n")
+	type kv struct {
+		c metrics.Category
+		v float64
+	}
+	var items []kv
+	for c, v := range rep.Breakdown {
+		items = append(items, kv{c, float64(v)})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+	for _, it := range items {
+		fmt.Printf("  %-9s %8.2fms  %5.1f%%\n", it.c, it.v/1e6, 100*it.v/float64(rep.Total))
+	}
+
+	fmt.Printf("\ntimeline:\n%s", metrics.Timeline(spans, window[0], window[1], *width))
+}
+
+func hitRate(res *core.Result) float64 {
+	if res.Cache.Queries == 0 {
+		return 0
+	}
+	return float64(res.Cache.Hits) / float64(res.Cache.Queries)
+}
+
+func runWithSpans(ms *experiments.ModelSetup, pr *experiments.Process, scheme core.Scheme, opts core.Options, spans *[]metrics.Span, window *[2]time.Duration) (*metrics.Report, *core.Result, error) {
+	rep := &metrics.Report{}
+	var res *core.Result
+	var runErr error
+	pr.Env.Spawn("main", func(p *sim.Proc) {
+		defer pr.GPU.CloseAll()
+		pr.Runner.RT.InitContext(p)
+		if runErr = pr.Runner.Lib.LoadResidents(p); runErr != nil {
+			return
+		}
+		model := ms.Model
+		if scheme == core.SchemeNNV12 {
+			model = ms.Uniform
+		}
+		if scheme == core.SchemeIdeal {
+			if runErr = pr.Runner.PreloadAll(p, model); runErr != nil {
+				return
+			}
+		}
+		busy0 := pr.GPU.BusyTime()
+		loads0 := pr.RT.Stats()
+		t0 := p.Now()
+		switch scheme {
+		case core.SchemeBaseline:
+			runErr = pr.Runner.RunBaseline(p, model)
+		case core.SchemeIdeal, core.SchemeNNV12, core.SchemePaSKI:
+			_, runErr = core.RunInterleaved(p, pr.Runner, model, core.NewCategoricalCache(), false, opts)
+		case core.SchemePaSKR:
+			c := core.NewNaiveCache()
+			core.SeedResidents(c, pr.Runner.Lib)
+			res, runErr = core.RunSequentialReuse(p, pr.Runner, model, c)
+		default:
+			c := core.NewCategoricalCache()
+			core.SeedResidents(c, pr.Runner.Lib)
+			res, runErr = core.RunInterleaved(p, pr.Runner, model, c, true, opts)
+		}
+		t1 := p.Now()
+		rep.Total = t1 - t0
+		rep.GPUBusy = pr.GPU.BusyTime() - busy0
+		rep.Loads = pr.RT.Stats().ModuleLoads - loads0.ModuleLoads
+		rep.LoadedBytes = pr.RT.Stats().BytesLoaded - loads0.BytesLoaded
+		rep.Breakdown = metrics.Breakdown(pr.Tracer.Spans(), t0, t1, metrics.DefaultPriority())
+		*spans = pr.Tracer.Spans()
+		window[0], window[1] = t0, t1
+	})
+	if err := pr.Env.Run(); err != nil {
+		return nil, nil, err
+	}
+	return rep, res, runErr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paskrun:", err)
+	os.Exit(1)
+}

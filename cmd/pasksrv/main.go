@@ -1,0 +1,23 @@
+// Command pasksrv serves the simulated PASK stack over HTTP: a what-if
+// service for cold-start planning.
+//
+//	pasksrv -addr :8080
+//	curl 'localhost:8080/coldstart?model=res&scheme=PaSK&compare=1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"pask/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	fmt.Printf("pasksrv listening on %s\n", *addr)
+	fmt.Println("endpoints: /models /devices /schemes /coldstart?model=&scheme=&device=&batch=&compare=1")
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New()))
+}

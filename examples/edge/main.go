@@ -1,0 +1,57 @@
+// Edge: resource-constrained devices suspend inference services and evict
+// their loaded kernels under memory pressure (paper §I), so every wake-up
+// pays the cold path again. The example serves a request trace where the
+// instance is evicted every few requests and also models spot preemption,
+// where the whole process is replaced.
+//
+// Run with:
+//
+//	go run ./examples/edge [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/serving"
+)
+
+func main() {
+	model := "alex"
+	if len(os.Args) > 1 {
+		model = os.Args[1]
+	}
+	// The consumer-grade profile matches the edge setting.
+	ms, err := experiments.PrepareModel(model, 1, device.RX6900XT())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := serving.PoissonTrace(12, 400*time.Millisecond, 7)
+
+	fmt.Printf("== edge suspend/evict: %s on 6900XT, evicted every 3 requests ==\n", model)
+	for _, scheme := range []core.Scheme{core.SchemeBaseline, core.SchemePaSK} {
+		stats, err := serving.ServeTrace(ms, serving.Policy{Scheme: scheme}, trace, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s cold starts=%d  mean=%7.2fms  p99=%7.2fms\n",
+			scheme, stats.ColdStarts, ms2(stats.Mean()), ms2(stats.Percentile(0.99)))
+	}
+
+	fmt.Printf("\n== spot preemption: migrated every 4 requests ==\n")
+	for _, scheme := range []core.Scheme{core.SchemeBaseline, core.SchemePaSK} {
+		stats, migrations, err := serving.SpotPreemption(ms, serving.Policy{Scheme: scheme}, trace, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s migrations=%d  cold starts=%d  mean=%7.2fms  p99=%7.2fms\n",
+			scheme, migrations, stats.ColdStarts, ms2(stats.Mean()), ms2(stats.Percentile(0.99)))
+	}
+}
+
+func ms2(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

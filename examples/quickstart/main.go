@@ -1,0 +1,61 @@
+// Quickstart: compile one model for a simulated GPU and compare a cold start
+// under every evaluated scheme (paper §IV), printing the paper's headline
+// quantities — end-to-end time, speedup over the reactive baseline, GPU
+// utilization, code objects loaded, and PASK's reuse statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart [model] [device]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pask"
+)
+
+func main() {
+	model, devName := "res", "MI100"
+	if len(os.Args) > 1 {
+		model = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		devName = os.Args[2]
+	}
+
+	sys, err := pask.NewSystem(pask.Config{Model: model, Device: devName})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s on %s: %d instructions, %d distinct primitive problems\n\n",
+		model, devName, sys.Instructions(), sys.PrimitiveLayers())
+
+	base, err := sys.RunScheme(pask.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-9s %10s %9s %6s %6s %8s %8s\n",
+		"scheme", "cold start", "speedup", "util", "loads", "queries", "hits")
+	for _, scheme := range pask.Schemes() {
+		rep, err := sys.RunScheme(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %9.1fms %8.2fx %5.1f%% %6d %8d %8d\n",
+			scheme, rep.Seconds()*1000,
+			base.Seconds()/rep.Seconds(),
+			100*rep.Utilization(), rep.Loads, rep.ReuseQueries, rep.ReuseHits)
+	}
+
+	cold, hot, err := sys.ColdHot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst inference (cold, incl. process start): %.1fms\n", cold.Seconds()*1000)
+	fmt.Printf("steady-state iteration (hot):                %.2fms\n", hot.Seconds()*1000)
+	fmt.Printf("cold start slowdown:                         %.1fx (paper Fig 1a)\n",
+		cold.Seconds()/hot.Seconds())
+}

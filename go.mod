@@ -1,0 +1,3 @@
+module pask
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package blas implements the GEMM library of the simulated stack — the
+// hipBLAS stand-in that serves matrix multiplication for transformer models.
+// It follows the same find-and-run discipline as the primitive library
+// (paper Fig 3) but is a *separate* library with its own code objects, which
+// is why PASK's default deployment cannot reuse kernels for GEMM-dominated
+// models (paper §VI "Library supporting"). The SelectHook lets the §VI
+// extension bring BLAS under PASK's management.
+package blas
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/hip"
+	"pask/internal/kernels"
+	"pask/internal/sim"
+	"pask/internal/tensor"
+)
+
+// Problem describes one (possibly batched) GEMM: C[M,N] = A[M,K] * B[K,N].
+type Problem struct {
+	M, N, K        int
+	Batch          int
+	TransA, TransB bool
+	DType          tensor.DType
+}
+
+// Valid reports whether dimensions are positive.
+func (p *Problem) Valid() bool {
+	return p.M > 0 && p.N > 0 && p.K > 0 && p.Batch > 0
+}
+
+// Key returns the canonical identity used by the find cache.
+func (p *Problem) Key() string {
+	return fmt.Sprintf("gemm-m%dn%dk%d-b%d-t%v%v-%v", p.M, p.N, p.K, p.Batch, p.TransA, p.TransB, p.DType)
+}
+
+// Workload returns the arithmetic and traffic of the full batched GEMM.
+func (p *Problem) Workload() kernels.Workload {
+	w := kernels.GemmWorkload(p.M, p.N, p.K, p.DType)
+	return kernels.Workload{Flops: w.Flops * int64(p.Batch), Bytes: w.Bytes * int64(p.Batch)}
+}
+
+// Kernel is one GEMM implementation tier.
+type Kernel struct {
+	ID      string
+	Spec    int // specialization level, higher = faster + narrower
+	effFn   func(p *Problem) float64
+	appliFn func(dev device.Profile, p *Problem) bool
+	bindFn  func(p *Problem) string
+	size    int
+}
+
+// Binding returns the compile-time binding for p ("" when binding-free).
+func (k *Kernel) Binding(p *Problem) string {
+	if k.bindFn == nil {
+		return ""
+	}
+	return k.bindFn(p)
+}
+
+// Applicable reports whether the kernel can run p on dev.
+func (k *Kernel) Applicable(dev device.Profile, p *Problem) bool {
+	return p.Valid() && k.appliFn(dev, p)
+}
+
+// Instance is a kernel at a concrete binding — the loadable unit.
+type Instance struct {
+	Kern    *Kernel
+	Binding string
+}
+
+// Path returns the code-object store path.
+func (i Instance) Path() string {
+	if i.Binding == "" {
+		return "blas_" + i.Kern.ID + ".pko"
+	}
+	return "blas_" + i.Kern.ID + "_" + i.Binding + ".pko"
+}
+
+// Symbol returns the launchable kernel symbol.
+func (i Instance) Symbol() string {
+	if i.Binding == "" {
+		return i.Kern.ID + "_main"
+	}
+	return i.Kern.ID + "_" + i.Binding + "_main"
+}
+
+// Applicable reports whether this instance serves p (family constraints plus
+// binding identity).
+func (i Instance) Applicable(dev device.Profile, p *Problem) bool {
+	return i.Kern.Applicable(dev, p) && i.Kern.Binding(p) == i.Binding
+}
+
+// ObjectSpec returns the kernels compiled into the instance's code object.
+func (i Instance) ObjectSpec() []codeobj.KernelSpec {
+	return []codeobj.KernelSpec{{
+		Name:     i.Symbol(),
+		Pattern:  "BLAS",
+		CodeSize: i.Kern.size,
+		Meta:     map[string]string{"kernel": i.Kern.ID, "binding": i.Binding},
+	}}
+}
+
+// gemmOccupancy models device fill from the output tile count.
+func gemmOccupancy(p *Problem) float64 {
+	items := int64(p.Batch) * int64(p.M) * int64(p.N)
+	o := 0.05 + float64(items)/150000
+	if o > 1 {
+		return 1
+	}
+	return o
+}
+
+func mnBucket(v int) int {
+	b := 32
+	for b*2 <= v && b < 1024 {
+		b *= 2
+	}
+	return b
+}
+
+// Kernels returns the library's GEMM ladder.
+func Kernels() []*Kernel {
+	return []*Kernel{
+		{
+			ID: "GemmNaive", Spec: 1,
+			effFn:   func(p *Problem) float64 { return 0.08 },
+			appliFn: func(dev device.Profile, p *Problem) bool { return true },
+			size:    240 << 10,
+		},
+		{
+			ID: "GemmTiled", Spec: 2,
+			effFn: func(p *Problem) float64 { return 0.30 },
+			appliFn: func(dev device.Profile, p *Problem) bool {
+				return p.M >= 16 && p.N >= 16 && p.K >= 16 && !p.TransA
+			},
+			bindFn: func(p *Problem) string { return fmt.Sprintf("n%d_%s", mnBucket(p.N), p.DType) },
+			size:   420 << 10,
+		},
+		{
+			ID: "GemmXdlopsTiled", Spec: 3,
+			effFn: func(p *Problem) float64 { return 0.62 },
+			appliFn: func(dev device.Profile, p *Problem) bool {
+				arch := dev.Arch
+				hasMatrix := (len(arch) >= 4 && arch[:4] == "gfx9") || (len(arch) >= 3 && arch[:3] == "sm_")
+				return hasMatrix && !p.TransA && !p.TransB && // matrix pipes need packed operands
+					p.M%16 == 0 && p.N%16 == 0 && p.K%16 == 0 &&
+					(p.DType == tensor.F32 || p.DType == tensor.F16)
+			},
+			bindFn: func(p *Problem) string {
+				return fmt.Sprintf("m%dn%d_%s", mnBucket(p.M), mnBucket(p.N), p.DType)
+			},
+			size: 760 << 10,
+		},
+	}
+}
+
+// Ranked is an applicable instance with its time estimate.
+type Ranked struct {
+	Inst Instance
+	Est  time.Duration
+}
+
+// SelectHook lets a middleware substitute the chosen instance before the
+// library loads it (the PASK-for-BLAS extension). It returns the instance to
+// run, which must be applicable to p.
+type SelectHook func(proc *sim.Proc, p *Problem, chosen Instance) Instance
+
+// CoreObjectPath is the shared kernel library every GEMM depends on — the
+// stand-in for the vendor BLAS's bulk kernel archive whose first-touch load
+// dominates transformer cold starts.
+const CoreObjectPath = "blas_core.pko"
+
+const coreObjectKernels = 24
+
+// Library is the per-process GEMM library handle.
+type Library struct {
+	RT   *hip.Runtime
+	Hook SelectHook
+
+	kernels []*Kernel
+	find    map[string][]Ranked
+	runs    int
+}
+
+// NewLibrary binds the GEMM ladder to a process runtime.
+func NewLibrary(rt *hip.Runtime) *Library {
+	return &Library{RT: rt, kernels: Kernels(), find: make(map[string][]Ranked)}
+}
+
+// Find returns the applicable instances for p ranked fastest-first,
+// memoized per problem key.
+func (l *Library) Find(p *Problem) []Ranked {
+	if r, ok := l.find[p.Key()]; ok {
+		return r
+	}
+	var out []Ranked
+	occ := gemmOccupancy(p)
+	for _, k := range l.kernels {
+		if !k.Applicable(l.RT.GPU.Profile, p) {
+			continue
+		}
+		eff := k.effFn(p) * occ
+		if eff < 0.01 {
+			eff = 0.01
+		}
+		inst := Instance{Kern: k, Binding: k.Binding(p)}
+		out = append(out, Ranked{Inst: inst, Est: l.RT.GPU.Profile.KernelTime(p.Workload(), eff)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Est != out[j].Est {
+			return out[i].Est < out[j].Est
+		}
+		return out[i].Inst.Path() < out[j].Inst.Path()
+	})
+	l.find[p.Key()] = out
+	return out
+}
+
+// Runs returns the number of Run invocations.
+func (l *Library) Runs() int { return l.runs }
+
+// Materialize builds the code objects of every instance that could serve the
+// given problems into the store (offline compilation), plus the shared core
+// kernel archive.
+func (l *Library) Materialize(store *codeobj.Store, problems []Problem) error {
+	if len(problems) > 0 && !store.Has(CoreObjectPath) {
+		specs := make([]codeobj.KernelSpec, coreObjectKernels)
+		for i := range specs {
+			specs[i] = codeobj.KernelSpec{
+				Name:     fmt.Sprintf("blas_core_k%d", i),
+				Pattern:  "BLAS",
+				CodeSize: 256 << 10, // 24 x 256 KiB: a 6 MiB kernel archive
+			}
+		}
+		if err := store.PutBuilt(CoreObjectPath, l.RT.GPU.Profile.Arch, specs); err != nil {
+			return fmt.Errorf("blas: materialize core: %w", err)
+		}
+	}
+	for i := range problems {
+		for _, r := range l.Find(&problems[i]) {
+			path := r.Inst.Path()
+			if store.Has(path) {
+				continue
+			}
+			if err := store.PutBuilt(path, l.RT.GPU.Profile.Arch, r.Inst.ObjectSpec()); err != nil {
+				return fmt.Errorf("blas: materialize %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes p on the stream: find the best instance, let the hook
+// substitute it, lazily load its code object (the reactive cold-start path),
+// and launch. Returns the completion signal.
+func (l *Library) Run(proc *sim.Proc, stream *device.Stream, p *Problem) (*sim.Signal, error) {
+	ranked := l.Find(p)
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("blas: no kernel for %s", p.Key())
+	}
+	chosen := ranked[0].Inst
+	if l.Hook != nil {
+		chosen = l.Hook(proc, p, chosen)
+	}
+	return l.RunInstance(proc, stream, p, chosen)
+}
+
+// EnsureCore loads the shared kernel archive if absent — charged on the
+// first GEMM of a cold process (or proactively by the PASK extension).
+func (l *Library) EnsureCore(proc *sim.Proc) error {
+	_, err := l.RT.ModuleLoad(proc, CoreObjectPath)
+	return err
+}
+
+// RunInstance executes p with a specific kernel instance (used directly by
+// the PASK-for-BLAS extension), lazily loading the shared archive and the
+// instance's own code object.
+func (l *Library) RunInstance(proc *sim.Proc, stream *device.Stream, p *Problem, inst Instance) (*sim.Signal, error) {
+	if !inst.Applicable(l.RT.GPU.Profile, p) {
+		return nil, fmt.Errorf("blas: instance %s not applicable to %s", inst.Path(), p.Key())
+	}
+	if err := l.EnsureCore(proc); err != nil {
+		return nil, err
+	}
+	fn, err := l.RT.GetFunction(proc, inst.Path(), inst.Symbol())
+	if err != nil {
+		return nil, err
+	}
+	eff := inst.Kern.effFn(p) * gemmOccupancy(p)
+	if eff < 0.01 {
+		eff = 0.01
+	}
+	l.runs++
+	return stream.LaunchWorkload(proc, fn.Name(), p.Workload(), eff), nil
+}
+
+// RunFunctional computes C = op(A)*op(B) on host buffers for tests.
+func RunFunctional(p *Problem, a, b, c []float32) error {
+	if !p.Valid() {
+		return fmt.Errorf("blas: invalid problem %s", p.Key())
+	}
+	return kernels.Gemm(p.TransA, p.TransB, p.M, p.N, p.K, 1, a, b, 0, c)
+}

@@ -1,0 +1,237 @@
+package blas
+
+import (
+	"testing"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/hip"
+	"pask/internal/sim"
+	"pask/internal/tensor"
+)
+
+func newTestLib(t *testing.T) (*sim.Env, *Library) {
+	t.Helper()
+	env := sim.NewEnv()
+	gpu := device.NewGPU(env, device.MI100())
+	rt := hip.NewRuntime(env, gpu, device.DefaultHost(), codeobj.NewStore())
+	return env, NewLibrary(rt)
+}
+
+func attnProblem() Problem {
+	return Problem{M: 197, N: 768, K: 768, Batch: 1, DType: tensor.F32}
+}
+
+func TestProblemKeyAndWorkload(t *testing.T) {
+	p := Problem{M: 64, N: 64, K: 64, Batch: 2, DType: tensor.F16}
+	q := p
+	q.TransB = true
+	if p.Key() == q.Key() {
+		t.Fatal("transpose must be in key")
+	}
+	w := p.Workload()
+	if w.Flops != 2*2*64*64*64 {
+		t.Fatalf("flops = %d", w.Flops)
+	}
+	bad := Problem{}
+	if bad.Valid() {
+		t.Fatal("zero problem must be invalid")
+	}
+}
+
+func TestFindRanking(t *testing.T) {
+	_, lib := newTestLib(t)
+	// Aligned problem: Xdlops fastest.
+	p := Problem{M: 256, N: 768, K: 768, Batch: 1, DType: tensor.F32}
+	ranked := lib.Find(&p)
+	if len(ranked) != 3 {
+		t.Fatalf("got %d kernels", len(ranked))
+	}
+	if ranked[0].Inst.Kern.ID != "GemmXdlopsTiled" {
+		t.Fatalf("best = %s", ranked[0].Inst.Kern.ID)
+	}
+	// Misaligned K: Xdlops out.
+	p2 := Problem{M: 197, N: 768, K: 763, Batch: 1, DType: tensor.F32}
+	for _, r := range lib.Find(&p2) {
+		if r.Inst.Kern.ID == "GemmXdlopsTiled" {
+			t.Fatal("Xdlops must reject misaligned K")
+		}
+	}
+	// Naive is always available.
+	p3 := Problem{M: 1, N: 3, K: 5, Batch: 1, TransA: true, DType: tensor.I8}
+	ranked = lib.Find(&p3)
+	if len(ranked) != 1 || ranked[0].Inst.Kern.ID != "GemmNaive" {
+		t.Fatalf("fallback ranking = %+v", ranked)
+	}
+}
+
+func TestNoMatrixPipesOnNavi(t *testing.T) {
+	env := sim.NewEnv()
+	gpu := device.NewGPU(env, device.RX6900XT())
+	rt := hip.NewRuntime(env, gpu, device.DefaultHost(), codeobj.NewStore())
+	lib := NewLibrary(rt)
+	p := Problem{M: 256, N: 256, K: 256, Batch: 1, DType: tensor.F32}
+	for _, r := range lib.Find(&p) {
+		if r.Inst.Kern.ID == "GemmXdlopsTiled" {
+			t.Fatal("Xdlops must be rejected on gfx1030")
+		}
+	}
+}
+
+func TestInstancePathsAndBindings(t *testing.T) {
+	p := Problem{M: 256, N: 768, K: 768, Batch: 1, DType: tensor.F16}
+	for _, k := range Kernels() {
+		inst := Instance{Kern: k, Binding: k.Binding(&p)}
+		if k.ID == "GemmNaive" && inst.Path() != "blas_GemmNaive.pko" {
+			t.Fatalf("naive path = %s", inst.Path())
+		}
+		if k.ID == "GemmXdlopsTiled" && inst.Path() != "blas_GemmXdlopsTiled_m256n512_f16.pko" {
+			t.Fatalf("xdlops path = %s", inst.Path())
+		}
+	}
+	// Binding identity gates instance applicability.
+	xd := Kernels()[2]
+	inst := Instance{Kern: xd, Binding: xd.Binding(&p)}
+	other := Problem{M: 32, N: 32, K: 32, Batch: 1, DType: tensor.F16}
+	if inst.Applicable(device.MI100(), &other) {
+		t.Fatal("different bucket must not reuse the instance")
+	}
+}
+
+func TestRunLazyLoadsAndLaunches(t *testing.T) {
+	env, lib := newTestLib(t)
+	p := attnProblem()
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	var loadedDuringRun bool
+	var execTime time.Duration
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		start := proc.Now()
+		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		loadedDuringRun = lib.RT.Stats().ModuleLoads == 2 && lib.RT.Loaded(CoreObjectPath)
+		sig.Wait(proc)
+		execTime = proc.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !loadedDuringRun {
+		t.Fatal("Run must lazily load the core archive and the kernel object")
+	}
+	if execTime <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if lib.Runs() != 1 {
+		t.Fatalf("Runs = %d", lib.Runs())
+	}
+}
+
+func TestRunSecondCallSkipsLoad(t *testing.T) {
+	env, lib := newTestLib(t)
+	p := attnProblem()
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	var firstDur, secondDur time.Duration
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		t0 := proc.Now()
+		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sig.Wait(proc)
+		firstDur = proc.Now() - t0
+		t1 := proc.Now()
+		sig, err = lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sig.Wait(proc)
+		secondDur = proc.Now() - t1
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondDur >= firstDur {
+		t.Fatalf("warm run (%v) not faster than cold run (%v)", secondDur, firstDur)
+	}
+}
+
+func TestSelectHookSubstitutes(t *testing.T) {
+	env, lib := newTestLib(t)
+	p := Problem{M: 256, N: 768, K: 768, Batch: 1, DType: tensor.F32}
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	naive := Instance{Kern: Kernels()[0]}
+	lib.Hook = func(proc *sim.Proc, prob *Problem, chosen Instance) Instance {
+		return naive // force the generic kernel
+	}
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err != nil {
+			t.Error(err)
+			return
+		}
+		if !lib.RT.Loaded("blas_GemmNaive.pko") {
+			t.Error("hook substitution must load the substitute's object")
+		}
+		if lib.RT.Loaded("blas_GemmXdlopsTiled_m256n512_f32.pko") {
+			t.Error("original specialist must not be loaded when substituted")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHookReturningInapplicableFails(t *testing.T) {
+	env, lib := newTestLib(t)
+	p := Problem{M: 256, N: 768, K: 768, Batch: 1, DType: tensor.F32}
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	xd := Kernels()[2]
+	lib.Hook = func(proc *sim.Proc, prob *Problem, chosen Instance) Instance {
+		return Instance{Kern: xd, Binding: "m32n32_f16"} // wrong binding
+	}
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err == nil {
+			t.Error("expected error for inapplicable substitution")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFunctionalMatchesGemm(t *testing.T) {
+	p := Problem{M: 2, N: 2, K: 2, Batch: 1, DType: tensor.F32}
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	if err := RunFunctional(&p, a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	bad := Problem{}
+	if err := RunFunctional(&bad, nil, nil, nil); err == nil {
+		t.Fatal("invalid problem must error")
+	}
+}

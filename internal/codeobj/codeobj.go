@@ -1,0 +1,288 @@
+// Package codeobj implements PKO, the code-object container format of the
+// simulated GPU stack — the stand-in for the ELF .hsaco/.cubin files whose
+// loading dominates DNN cold start (paper Fig 1b). A PKO file carries one or
+// more compiled kernels: a symbol table plus per-kernel pseudo-ISA payload.
+//
+// The loader really parses bytes (magic, header, symbols, CRC), so failure
+// injection (truncation, corruption, missing symbols) exercises real code
+// paths; the *time* a load takes is charged separately by the hip runtime
+// from the sizes this package reports.
+package codeobj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"sort"
+)
+
+// Format constants.
+const (
+	Magic   = "PKO1"
+	Version = 1
+	// maxStringLen bounds length-prefixed strings to catch corrupt headers
+	// before huge allocations.
+	maxStringLen = 1 << 16
+	// maxKernels bounds the kernel count for the same reason.
+	maxKernels = 1 << 12
+)
+
+// Errors returned by Parse.
+var (
+	ErrBadMagic  = errors.New("codeobj: bad magic")
+	ErrVersion   = errors.New("codeobj: unsupported version")
+	ErrTruncated = errors.New("codeobj: truncated object")
+	ErrChecksum  = errors.New("codeobj: checksum mismatch")
+)
+
+// KernelSpec describes one kernel to embed when building an object.
+type KernelSpec struct {
+	Name     string            // global symbol name
+	Pattern  string            // solution pattern tag (Winograd, GEMM, ...)
+	CodeSize int               // pseudo-ISA payload size in bytes
+	Meta     map[string]string // free-form attributes (dtype, tile, ...)
+}
+
+// Kernel is a parsed kernel entry.
+type Kernel struct {
+	Name     string
+	Pattern  string
+	CodeSize int
+	Meta     map[string]string
+}
+
+// Object is a parsed code object.
+type Object struct {
+	Name    string
+	Arch    string
+	Kernels []Kernel
+	symbols map[string]int // name -> index into Kernels
+	size    int            // full container size in bytes
+}
+
+// Symbol returns the kernel with the given global name.
+func (o *Object) Symbol(name string) (Kernel, bool) {
+	i, ok := o.symbols[name]
+	if !ok {
+		return Kernel{}, false
+	}
+	return o.Kernels[i], true
+}
+
+// NumSymbols returns the number of kernels in the object.
+func (o *Object) NumSymbols() int { return len(o.Kernels) }
+
+// Size returns the container size in bytes (header + payload + trailer).
+func (o *Object) Size() int { return o.size }
+
+// CodeSize returns the summed pseudo-ISA payload size.
+func (o *Object) CodeSize() int64 {
+	var n int64
+	for _, k := range o.Kernels {
+		n += int64(k.CodeSize)
+	}
+	return n
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(s)))
+	buf.Write(lenb[:])
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	var lenb [4]byte
+	if _, err := r.Read(lenb[:]); err != nil {
+		return "", ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > maxStringLen {
+		return "", fmt.Errorf("codeobj: string length %d exceeds limit: %w", n, ErrTruncated)
+	}
+	b := make([]byte, n)
+	if _, err := readFull(r, b); err != nil {
+		return "", ErrTruncated
+	}
+	return string(b), nil
+}
+
+func readFull(r *bytes.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Build serializes a code object. Payload bytes are generated
+// deterministically from each kernel's name, so two builds of the same spec
+// are byte-identical.
+func Build(name, arch string, kernels []KernelSpec) ([]byte, error) {
+	if len(kernels) == 0 {
+		return nil, errors.New("codeobj: object must contain at least one kernel")
+	}
+	if len(kernels) > maxKernels {
+		return nil, fmt.Errorf("codeobj: %d kernels exceeds limit %d", len(kernels), maxKernels)
+	}
+	seen := make(map[string]bool, len(kernels))
+	for _, k := range kernels {
+		if k.Name == "" {
+			return nil, errors.New("codeobj: kernel with empty name")
+		}
+		if k.CodeSize <= 0 {
+			return nil, fmt.Errorf("codeobj: kernel %q has non-positive code size %d", k.Name, k.CodeSize)
+		}
+		if seen[k.Name] {
+			return nil, fmt.Errorf("codeobj: duplicate kernel symbol %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], Version)
+	buf.Write(u16[:])
+	writeString(&buf, name)
+	writeString(&buf, arch)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(kernels)))
+	buf.Write(u32[:])
+	for _, k := range kernels {
+		writeString(&buf, k.Name)
+		writeString(&buf, k.Pattern)
+		binary.LittleEndian.PutUint32(u32[:], uint32(k.CodeSize))
+		buf.Write(u32[:])
+		keys := make([]string, 0, len(k.Meta))
+		for key := range k.Meta {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(keys)))
+		buf.Write(u32[:])
+		for _, key := range keys {
+			writeString(&buf, key)
+			writeString(&buf, k.Meta[key])
+		}
+		writePayload(&buf, k.Name, k.CodeSize)
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	binary.LittleEndian.PutUint32(u32[:], sum)
+	buf.Write(u32[:])
+	return buf.Bytes(), nil
+}
+
+// writePayload appends size bytes of deterministic pseudo-ISA derived from
+// the kernel name.
+func writePayload(buf *bytes.Buffer, name string, size int) {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	state := h.Sum64()
+	for i := 0; i < size; i++ {
+		// xorshift64 keeps generation cheap and reproducible.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		buf.WriteByte(byte(state))
+	}
+}
+
+// Parse validates and decodes a serialized code object.
+func Parse(data []byte) (*Object, error) {
+	if len(data) < len(Magic)+2+4 {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	r := bytes.NewReader(body[len(Magic):])
+	var u16 [2]byte
+	if _, err := readFull(r, u16[:]); err != nil {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(u16[:]) != Version {
+		return nil, ErrVersion
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	var u32 [4]byte
+	if _, err := readFull(r, u32[:]); err != nil {
+		return nil, ErrTruncated
+	}
+	nk := binary.LittleEndian.Uint32(u32[:])
+	if nk == 0 || nk > maxKernels {
+		return nil, fmt.Errorf("codeobj: kernel count %d out of range: %w", nk, ErrTruncated)
+	}
+	o := &Object{Name: name, Arch: arch, symbols: make(map[string]int, nk), size: len(data)}
+	for i := 0; i < int(nk); i++ {
+		var k Kernel
+		if k.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		if k.Pattern, err = readString(r); err != nil {
+			return nil, err
+		}
+		if _, err := readFull(r, u32[:]); err != nil {
+			return nil, ErrTruncated
+		}
+		k.CodeSize = int(binary.LittleEndian.Uint32(u32[:]))
+		if _, err := readFull(r, u32[:]); err != nil {
+			return nil, ErrTruncated
+		}
+		nMeta := int(binary.LittleEndian.Uint32(u32[:]))
+		if nMeta > 0 {
+			if nMeta > maxStringLen {
+				return nil, ErrTruncated
+			}
+			k.Meta = make(map[string]string, nMeta)
+			for j := 0; j < nMeta; j++ {
+				key, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				val, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				k.Meta[key] = val
+			}
+		}
+		// "Relocate": walk the payload like a loader patching addresses.
+		payload := make([]byte, k.CodeSize)
+		if _, err := readFull(r, payload); err != nil {
+			return nil, ErrTruncated
+		}
+		var checksum byte
+		for _, b := range payload {
+			checksum ^= b
+		}
+		_ = checksum
+		if _, dup := o.symbols[k.Name]; dup {
+			return nil, fmt.Errorf("codeobj: duplicate symbol %q in object %q", k.Name, name)
+		}
+		o.symbols[k.Name] = len(o.Kernels)
+		o.Kernels = append(o.Kernels, k)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("codeobj: %d trailing bytes: %w", r.Len(), ErrTruncated)
+	}
+	return o, nil
+}

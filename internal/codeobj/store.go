@@ -1,0 +1,105 @@
+package codeobj
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store is the simulated on-disk registry of compiled code objects — the
+// directory of shared libraries and binary blobs the primitive library loads
+// from at runtime. It is a passive byte store; read latency and bandwidth
+// are charged by the hip runtime when a load happens.
+type Store struct {
+	objects map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string][]byte)}
+}
+
+// Put registers object bytes under path, overwriting any previous content.
+func (s *Store) Put(path string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.objects[path] = cp
+}
+
+// PutBuilt builds a code object from specs and stores it under path.
+func (s *Store) PutBuilt(path, arch string, kernels []KernelSpec) error {
+	data, err := Build(path, arch, kernels)
+	if err != nil {
+		return err
+	}
+	s.objects[path] = data
+	return nil
+}
+
+// Get returns the bytes stored under path.
+func (s *Store) Get(path string) ([]byte, error) {
+	data, ok := s.objects[path]
+	if !ok {
+		return nil, fmt.Errorf("codeobj: object %q not found in store", path)
+	}
+	return data, nil
+}
+
+// Has reports whether path exists.
+func (s *Store) Has(path string) bool {
+	_, ok := s.objects[path]
+	return ok
+}
+
+// Size returns the byte size of the object at path, or 0 if absent.
+func (s *Store) Size(path string) int {
+	return len(s.objects[path])
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.objects) }
+
+// TotalBytes returns the summed size of all stored objects.
+func (s *Store) TotalBytes() int64 {
+	var n int64
+	for _, d := range s.objects {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// Paths returns all stored paths in sorted order.
+func (s *Store) Paths() []string {
+	out := make([]string, 0, len(s.objects))
+	for p := range s.objects {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Corrupt flips one byte of the stored object at the given offset — a
+// failure-injection hook for loader tests.
+func (s *Store) Corrupt(path string, offset int) error {
+	data, ok := s.objects[path]
+	if !ok {
+		return fmt.Errorf("codeobj: object %q not found in store", path)
+	}
+	if offset < 0 || offset >= len(data) {
+		return fmt.Errorf("codeobj: offset %d out of range for %q (%d bytes)", offset, path, len(data))
+	}
+	data[offset] ^= 0xff
+	return nil
+}
+
+// Truncate shortens the stored object to n bytes — a failure-injection hook.
+func (s *Store) Truncate(path string, n int) error {
+	data, ok := s.objects[path]
+	if !ok {
+		return fmt.Errorf("codeobj: object %q not found in store", path)
+	}
+	if n < 0 || n > len(data) {
+		return fmt.Errorf("codeobj: truncate length %d out of range for %q", n, path)
+	}
+	s.objects[path] = data[:n]
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package core implements PASK, the paper's contribution: a kernel loading
+// and reusing middleware between the inference engine and the primitive
+// library. It provides
+//
+//   - the categorical solution cache (§III-C): loaded solution instances
+//     organized in per-pattern MRU lists so a reusable substitute is found
+//     with ~1 applicability check;
+//   - selective solution reuse (§III-B, Algorithm 1): run an absent layer
+//     with an already-loaded, possibly more generic solution instead of
+//     loading the statically optimal one;
+//   - proactively interleaved execution (§III-A): parsing, loading and
+//     issuing on three host threads joined by SPSC channels;
+//   - the evaluated scheme variants (Baseline, NNV12, Ideal, PaSK, PaSK-I,
+//     PaSK-R) and the §VI extensions (BLAS scope, precision preference,
+//     inter-request background loading).
+package core
+
+import (
+	"time"
+
+	"pask/internal/miopen"
+	"pask/internal/sim"
+)
+
+// CacheStats counts cache activity for the paper's Fig 9 metrics.
+type CacheStats struct {
+	Queries int // GetSub invocations
+	Hits    int // queries answered with a substitute
+	Lookups int // IsApplicable evaluations performed inside queries
+	Inserts int // instances inserted (loads)
+}
+
+// Cache is the loaded-solution cache PASK consults for substitutes
+// (Algorithm 1's GETSUBSOLUTION). Two implementations exist: the categorical
+// per-pattern cache of full PASK and the flat naive cache of PaSK-R.
+type Cache interface {
+	// Insert records that inst's code object is resident, moving it to the
+	// most-recently-used position.
+	Insert(inst miopen.Instance)
+	// Touch refreshes recency after an instance is used directly.
+	Touch(inst miopen.Instance)
+	// GetSub returns a loaded substitute applicable to p for the wanted
+	// instance, charging one applicability check per candidate examined.
+	GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool)
+	// Stats returns the accumulated counters.
+	Stats() CacheStats
+	// Len returns the number of cached instances.
+	Len() int
+}
+
+// SeedResidents inserts the library's resident generic instances into a
+// cache, provided they are actually loaded in the process's runtime. PASK
+// does this once at startup: the generics shipped inside the library binary
+// are the first reuse candidates of every pattern.
+func SeedResidents(c Cache, lib *miopen.Library) {
+	for _, inst := range lib.Reg.Residents() {
+		if lib.IsLoaded(inst) {
+			c.Insert(inst)
+		}
+	}
+}
+
+// CategoricalCache organizes loaded instances in separate MRU lists keyed by
+// solution pattern (paper §III-C). A query only scans the list matching the
+// wanted solution's pattern and gives up without touching other categories.
+type CategoricalCache struct {
+	lists map[miopen.Pattern][]miopen.Instance // index 0 = most recent
+	stats CacheStats
+}
+
+// NewCategoricalCache returns an empty categorical cache.
+func NewCategoricalCache() *CategoricalCache {
+	return &CategoricalCache{lists: make(map[miopen.Pattern][]miopen.Instance)}
+}
+
+func promote(list []miopen.Instance, i int) []miopen.Instance {
+	if i == 0 {
+		return list
+	}
+	inst := list[i]
+	copy(list[1:i+1], list[:i])
+	list[0] = inst
+	return list
+}
+
+// Insert adds or refreshes an instance at the head of its pattern list.
+func (c *CategoricalCache) Insert(inst miopen.Instance) {
+	pat := inst.Sol.Pattern()
+	list := c.lists[pat]
+	for i := range list {
+		if list[i].Key() == inst.Key() {
+			c.lists[pat] = promote(list, i)
+			return
+		}
+	}
+	c.stats.Inserts++
+	c.lists[pat] = append([]miopen.Instance{inst}, list...)
+}
+
+// Touch refreshes recency (same as re-inserting an existing entry).
+func (c *CategoricalCache) Touch(inst miopen.Instance) { c.Insert(inst) }
+
+// GetSub scans only the wanted pattern's list in MRU order and returns the
+// first applicable instance, charging one check per candidate.
+func (c *CategoricalCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	c.stats.Queries++
+	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	pat := want.Sol.Pattern()
+	list := c.lists[pat]
+	for i := range list {
+		c.stats.Lookups++
+		if lib.CheckApplicable(proc, list[i], p) {
+			inst := list[i]
+			c.lists[pat] = promote(list, i)
+			c.stats.Hits++
+			return inst, true
+		}
+	}
+	return miopen.Instance{}, false
+}
+
+// Stats returns the accumulated counters.
+func (c *CategoricalCache) Stats() CacheStats { return c.stats }
+
+// Len returns the total number of cached instances.
+func (c *CategoricalCache) Len() int {
+	n := 0
+	for _, l := range c.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// PatternLen returns the number of cached instances of one pattern.
+func (c *CategoricalCache) PatternLen(p miopen.Pattern) int { return len(c.lists[p]) }
+
+// NaiveCache is the flat cache used by the PaSK-R ablation: a single list
+// mixing all patterns, exhaustively scanned on every query to find the
+// best-performing applicable solution (paper §IV: PaSK-R "exhaustively
+// checks the applicability of every cached solution"). Every query pays one
+// applicability check per cached entry — the overhead the categorical
+// organization eliminates (paper Fig 9b).
+type NaiveCache struct {
+	list  []miopen.Instance
+	stats CacheStats
+}
+
+// NewNaiveCache returns an empty naive cache.
+func NewNaiveCache() *NaiveCache { return &NaiveCache{} }
+
+// Insert adds or refreshes an instance at the head.
+func (c *NaiveCache) Insert(inst miopen.Instance) {
+	for i := range c.list {
+		if c.list[i].Key() == inst.Key() {
+			c.list = promote(c.list, i)
+			return
+		}
+	}
+	c.stats.Inserts++
+	c.list = append([]miopen.Instance{inst}, c.list...)
+}
+
+// Touch refreshes recency.
+func (c *NaiveCache) Touch(inst miopen.Instance) { c.Insert(inst) }
+
+// GetSub checks every cached instance regardless of pattern and returns the
+// applicable one with the best predicted performance.
+func (c *NaiveCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	c.stats.Queries++
+	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	best := -1
+	var bestEst time.Duration
+	for i := range c.list {
+		c.stats.Lookups++
+		if !lib.CheckApplicable(proc, c.list[i], p) {
+			continue
+		}
+		est := miopen.EstimateTime(lib.Reg.Ctx().Dev, c.list[i].Sol, p)
+		if best < 0 || est < bestEst {
+			best, bestEst = i, est
+		}
+	}
+	if best < 0 {
+		return miopen.Instance{}, false
+	}
+	inst := c.list[best]
+	c.list = promote(c.list, best)
+	c.stats.Hits++
+	return inst, true
+}
+
+// Stats returns the accumulated counters.
+func (c *NaiveCache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of cached instances.
+func (c *NaiveCache) Len() int { return len(c.list) }

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/tensor"
+
+	"pask/internal/blas"
+	"pask/internal/graphx"
+	"pask/internal/metrics"
+	"pask/internal/miopen"
+	"pask/internal/sim"
+)
+
+// Scheme names the evaluated configurations (paper §IV).
+type Scheme string
+
+const (
+	SchemeBaseline Scheme = "Baseline" // reactive default workflow
+	SchemeNNV12    Scheme = "NNV12"    // layout-uniform selection + pipelined loading
+	SchemeIdeal    Scheme = "Ideal"    // all code objects resident
+	SchemePaSK     Scheme = "PaSK"     // full design
+	SchemePaSKI    Scheme = "PaSK-I"   // interleaving only
+	SchemePaSKR    Scheme = "PaSK-R"   // reuse only, naive cache, no interleaving
+)
+
+// Schemes lists all evaluated schemes in presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemeNNV12, SchemeIdeal, SchemePaSK, SchemePaSKI, SchemePaSKR}
+}
+
+// Options tune the PASK executors.
+type Options struct {
+	// BlasScope extends PASK's loading/reuse management to the BLAS library
+	// (paper §VI "Library supporting").
+	BlasScope bool
+	// PrecisionPreference lets PASK run a reduced-precision layer with an
+	// already-loaded full-precision kernel instead of loading the absent
+	// low-precision specialist (paper §VI "More factors for kernel
+	// specialization").
+	PrecisionPreference bool
+	// NoTransformElision disables dynamic layout tracking: planned
+	// interchange kernels always load and run (design ablation).
+	NoTransformElision bool
+	// NoEagerPhase applies the selective policy from the first layer
+	// instead of loading unconditionally before the milestone (design
+	// ablation of §III-A's milestone rule).
+	NoEagerPhase bool
+}
+
+// Result carries PASK's run statistics.
+type Result struct {
+	Cache             CacheStats
+	Milestone         int // primitive layers decided eagerly before the parser finished
+	SkippedLoads      int // solution loads avoided through reuse
+	SkippedTransforms int // layout transforms dropped with layout-agnostic substitutes
+	CacheLen          int
+	// PrecisionFallbacks counts layers served by a full-precision kernel
+	// under the precision-preference extension.
+	PrecisionFallbacks int
+	// Skipped lists the statically selected instances whose loads were
+	// avoided — the candidates for inter-request background loading (§VI).
+	Skipped []miopen.Instance
+	// BLAS-scope statistics (§VI extension).
+	BlasQueries, BlasHits, BlasSkipped int
+}
+
+// issueItem is the message the loading thread sends to the issuing thread.
+type issueItem struct {
+	instr    *graphx.Instruction
+	inst     miopen.Instance // primitive: instance to run (selected or substitute)
+	prob     *miopen.Problem // primitive problem, possibly rewritten (precision fallback)
+	blasInst blas.Instance   // gemm under BlasScope
+	hasBlas  bool
+}
+
+// pipeline carries the shared state of one interleaved run.
+type pipeline struct {
+	r         *graphx.Runner
+	m         *graphx.CompiledModel
+	cache     Cache
+	selective bool
+	opts      Options
+
+	parseDone bool
+	res       Result
+	err       error
+
+	blasList []blas.Instance
+}
+
+func (pl *pipeline) fail(err error) {
+	if pl.err == nil {
+		pl.err = err
+	}
+}
+
+// RunInterleaved executes the model with PASK's three-thread pipeline. With
+// selective=true this is full PaSK (Algorithm 1 after the milestone); with
+// selective=false it is PaSK-I / NNV12-style unconditional pipelined loading.
+// The call blocks (in virtual time) until the model completes.
+func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, selective bool, opts Options) (*Result, error) {
+	env := p.Env()
+	pl := &pipeline{r: r, m: m, cache: cache, selective: selective, opts: opts}
+	parsed := sim.NewChan[*graphx.Instruction](env, m.NumInstructions()+4)
+	issue := sim.NewChan[issueItem](env, m.NumInstructions()+4)
+	done := sim.NewSignal(env)
+
+	env.Spawn("pask-parser", func(pp *sim.Proc) {
+		pp.Sleep(r.RT.Host.IterOverhead)
+		r.OpenModel(pp)
+		for i := range m.Instrs {
+			r.ParseOne(pp, &m.Instrs[i])
+			parsed.Send(pp, &m.Instrs[i])
+		}
+		pl.parseDone = true
+		parsed.Close()
+	})
+
+	env.Spawn("pask-loader", func(lp *sim.Proc) {
+		defer issue.Close()
+		// PASK tracks the running data layout: reusing layout-agnostic
+		// substitutes leaves tensors in their incoming layout, so planned
+		// interchange kernels become stale and their loads are elided.
+		curLayout := tensor.NCHW
+		var pending *graphx.Instruction // deferred next-primitive transform
+		runTransform := func(sp *sim.Proc, tr *graphx.Instruction) {
+			if pl.selective && !pl.opts.NoTransformElision &&
+				(curLayout != tr.XformSrc || curLayout == tr.XformDst) {
+				// Stale under dynamic layout tracking: nothing to convert.
+				pl.res.SkippedTransforms++
+				return
+			}
+			if _, err := pl.r.RT.ModuleLoad(sp, tr.XformPath); err != nil {
+				pl.fail(err)
+				return
+			}
+			curLayout = tr.XformDst
+			issue.Send(sp, issueItem{instr: tr})
+		}
+		flushPending := func(sp *sim.Proc) {
+			if pending == nil {
+				return
+			}
+			tr := pending
+			pending = nil
+			runTransform(sp, tr)
+		}
+		for {
+			instr, ok := parsed.Recv(lp)
+			if !ok {
+				flushPending(lp)
+				return
+			}
+			if pl.err != nil {
+				continue // drain after failure
+			}
+			switch instr.Kind {
+			case graphx.KindTransform:
+				if instr.XformForNext {
+					flushPending(lp)
+					pending = instr
+					continue
+				}
+				runTransform(lp, instr)
+
+			case graphx.KindBuiltin:
+				flushPending(lp)
+				if _, err := pl.r.RT.ModuleLoad(lp, graphx.BuiltinObjectPath); err != nil {
+					pl.fail(err)
+					continue
+				}
+				issue.Send(lp, issueItem{instr: instr})
+
+			case graphx.KindGemm:
+				flushPending(lp)
+				item := issueItem{instr: instr}
+				if pl.opts.BlasScope {
+					inst, ok := pl.decideGemm(lp, instr)
+					if ok {
+						item.blasInst = inst
+						item.hasBlas = true
+					}
+				}
+				issue.Send(lp, item)
+
+			case graphx.KindPrimitive:
+				inst, prob, usedSub, err := pl.decidePrimitive(lp, instr)
+				if err != nil {
+					pl.fail(err)
+					continue
+				}
+				pref, agnostic := inst.Sol.PreferredLayout(prob)
+				if pending != nil {
+					if usedSub && agnostic && !pl.opts.NoTransformElision {
+						// The substitute runs in the incoming layout: the
+						// planned transform (and its load) is unnecessary.
+						pl.res.SkippedTransforms++
+						pending = nil
+					} else {
+						flushPending(lp)
+					}
+				}
+				if !usedSub && !agnostic {
+					curLayout = pref
+				}
+				issue.Send(lp, issueItem{instr: instr, inst: inst, prob: prob})
+			}
+		}
+	})
+
+	env.Spawn("pask-issuer", func(ip *sim.Proc) {
+		defer done.Fire()
+		r.CopyParams(ip, m)
+		for {
+			item, ok := issue.Recv(ip)
+			if !ok {
+				break
+			}
+			if pl.err != nil {
+				continue
+			}
+			var err error
+			switch {
+			case item.instr.Kind == graphx.KindPrimitive:
+				prob := item.prob
+				if prob == nil {
+					prob = &item.instr.Problem
+				}
+				_, err = r.ExecPrimitiveAs(ip, item.instr.Name, prob, item.inst)
+			case item.hasBlas:
+				start := ip.Now()
+				_, err = r.Blas.RunInstance(ip, r.Stream, &item.instr.Gemm, item.blasInst)
+				r.Tracer.Add(metrics.CatLaunch, "issue:"+item.instr.Name, ip.Name(), start, ip.Now())
+			default:
+				_, err = r.ExecInstr(ip, item.instr)
+			}
+			if err != nil {
+				pl.fail(err)
+			}
+		}
+		if pl.err == nil {
+			r.Sync(ip)
+		}
+	})
+
+	done.Wait(p)
+	pl.res.Cache = cache.Stats()
+	pl.res.CacheLen = cache.Len()
+	return &pl.res, pl.err
+}
+
+// decidePrimitive implements Algorithm 1's per-layer decision on the loading
+// thread: before the milestone load unconditionally; afterwards prefer the
+// already-loaded s*, then a cached substitute, then load s*. It returns the
+// instance to run and the (possibly precision-rewritten) problem.
+func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (miopen.Instance, *miopen.Problem, bool, error) {
+	lib := pl.r.Lib
+	prob := &instr.Problem
+	sInst, err := instr.Instance(lib.Reg)
+	if err != nil {
+		return miopen.Instance{}, prob, false, err
+	}
+	selectivePhase := pl.selective && (pl.parseDone || pl.opts.NoEagerPhase)
+	if !selectivePhase {
+		pl.res.Milestone++
+		if err := lib.EnsureLoaded(lp, sInst); err != nil {
+			return miopen.Instance{}, prob, false, err
+		}
+		pl.cache.Insert(sInst)
+		return sInst, prob, false, nil
+	}
+	if lib.IsLoaded(sInst) {
+		pl.cache.Touch(sInst)
+		return sInst, prob, false, nil
+	}
+	start := lp.Now()
+	sub, ok := pl.cache.GetSub(lp, lib, sInst, prob)
+	if !ok && pl.opts.PrecisionPreference && prob.DType != tensor.F32 {
+		// §VI extension: retry the query at full precision — a resident
+		// fp32 kernel beats loading the absent low-precision specialist.
+		f32 := *prob
+		f32.DType = tensor.F32
+		if ranked := lib.Reg.Find(&f32); len(ranked) > 0 {
+			if sub32, ok32 := pl.cache.GetSub(lp, lib, ranked[0].Inst, &f32); ok32 {
+				pl.r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, lp.Name(), start, lp.Now())
+				pl.res.SkippedLoads++
+				pl.res.PrecisionFallbacks++
+				pl.res.Skipped = append(pl.res.Skipped, sInst)
+				probCopy := f32
+				return sub32, &probCopy, true, nil
+			}
+		}
+	}
+	pl.r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, lp.Name(), start, lp.Now())
+	if ok {
+		pl.res.SkippedLoads++
+		pl.res.Skipped = append(pl.res.Skipped, sInst)
+		return sub, prob, true, nil
+	}
+	if err := lib.EnsureLoaded(lp, sInst); err != nil {
+		return miopen.Instance{}, prob, false, err
+	}
+	pl.cache.Insert(sInst)
+	return sInst, prob, false, nil
+}
+
+// decideGemm applies the same policy to BLAS kernels under the §VI
+// extension. Returns the instance to run and whether one was decided.
+func (pl *pipeline) decideGemm(lp *sim.Proc, instr *graphx.Instruction) (blas.Instance, bool) {
+	ranked := pl.r.Blas.Find(&instr.Gemm)
+	if len(ranked) == 0 {
+		return blas.Instance{}, false
+	}
+	chosen := ranked[0].Inst
+	if err := pl.r.Blas.EnsureCore(lp); err != nil {
+		pl.fail(err)
+		return blas.Instance{}, false
+	}
+	if !pl.selective || !pl.parseDone {
+		if _, err := pl.r.RT.ModuleLoad(lp, chosen.Path()); err != nil {
+			pl.fail(err)
+			return blas.Instance{}, false
+		}
+		pl.insertBlas(chosen)
+		return chosen, true
+	}
+	if pl.r.RT.Loaded(chosen.Path()) {
+		pl.insertBlas(chosen)
+		return chosen, true
+	}
+	pl.res.BlasQueries++
+	start := lp.Now()
+	for i := range pl.blasList {
+		lp.Sleep(pl.r.RT.Host.ApplicabilityCheck)
+		if pl.blasList[i].Applicable(pl.r.RT.GPU.Profile, &instr.Gemm) {
+			inst := pl.blasList[i]
+			pl.blasList = append([]blas.Instance{inst}, append(pl.blasList[:i:i], pl.blasList[i+1:]...)...)
+			pl.res.BlasHits++
+			pl.res.BlasSkipped++
+			pl.r.Tracer.Add(metrics.CatOverhead, "getsub-blas:"+instr.Name, lp.Name(), start, lp.Now())
+			return inst, true
+		}
+	}
+	pl.r.Tracer.Add(metrics.CatOverhead, "getsub-blas:"+instr.Name, lp.Name(), start, lp.Now())
+	if _, err := pl.r.RT.ModuleLoad(lp, chosen.Path()); err != nil {
+		pl.fail(err)
+		return blas.Instance{}, false
+	}
+	pl.insertBlas(chosen)
+	return chosen, true
+}
+
+func (pl *pipeline) insertBlas(inst blas.Instance) {
+	for i := range pl.blasList {
+		if pl.blasList[i].Path() == inst.Path() {
+			pl.blasList = append([]blas.Instance{inst}, append(pl.blasList[:i:i], pl.blasList[i+1:]...)...)
+			return
+		}
+	}
+	pl.blasList = append([]blas.Instance{inst}, pl.blasList...)
+}
+
+// RunSequentialReuse executes the PaSK-R ablation: no interleaving (parse
+// everything, then run layer by layer on one thread) with reuse through the
+// given cache — typically the NaiveCache with its exhaustive scans.
+func RunSequentialReuse(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache) (*Result, error) {
+	return runSequential(p, r, m, cache, true)
+}
+
+// RunWarmReuse serves a request on a warm engine that retains the parsed
+// program: layers still follow Algorithm 1 against the cache (paper §VI's
+// subsequent-request behavior) but nothing is re-parsed.
+func RunWarmReuse(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache) (*Result, error) {
+	return runSequential(p, r, m, cache, false)
+}
+
+func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, parse bool) (*Result, error) {
+	res := &Result{}
+	p.Sleep(r.RT.Host.IterOverhead)
+	if parse {
+		r.OpenModel(p)
+		for i := range m.Instrs {
+			r.ParseOne(p, &m.Instrs[i])
+		}
+	}
+	r.CopyParams(p, m)
+	var pending *graphx.Instruction
+	flushPending := func() error {
+		if pending == nil {
+			return nil
+		}
+		if _, err := r.ExecInstr(p, pending); err != nil {
+			return err
+		}
+		pending = nil
+		return nil
+	}
+	for i := range m.Instrs {
+		instr := &m.Instrs[i]
+		switch instr.Kind {
+		case graphx.KindTransform:
+			if instr.XformForNext {
+				if err := flushPending(); err != nil {
+					return res, err
+				}
+				pending = instr
+				continue
+			}
+			if _, err := r.ExecInstr(p, instr); err != nil {
+				return res, err
+			}
+
+		case graphx.KindPrimitive:
+			sInst, err := instr.Instance(r.Lib.Reg)
+			if err != nil {
+				return res, err
+			}
+			run := sInst
+			usedSub := false
+			if r.Lib.IsLoaded(sInst) {
+				cache.Touch(sInst)
+			} else {
+				start := p.Now()
+				sub, ok := cache.GetSub(p, r.Lib, sInst, &instr.Problem)
+				r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, p.Name(), start, p.Now())
+				if ok {
+					res.SkippedLoads++
+					res.Skipped = append(res.Skipped, sInst)
+					run = sub
+					usedSub = true
+				} else {
+					if err := r.Lib.EnsureLoaded(p, sInst); err != nil {
+						return res, err
+					}
+					cache.Insert(sInst)
+				}
+			}
+			if pending != nil {
+				_, agnostic := run.Sol.PreferredLayout(&instr.Problem)
+				if usedSub && agnostic {
+					res.SkippedTransforms++
+					pending = nil
+				} else if err := flushPending(); err != nil {
+					return res, err
+				}
+			}
+			if _, err := r.ExecPrimitive(p, instr, run); err != nil {
+				return res, err
+			}
+
+		default:
+			if err := flushPending(); err != nil {
+				return res, err
+			}
+			if _, err := r.ExecInstr(p, instr); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := flushPending(); err != nil {
+		return res, err
+	}
+	r.Sync(p)
+	res.Cache = cache.Stats()
+	res.CacheLen = cache.Len()
+	return res, nil
+}
+
+// BackgroundLoad realizes §VI "Loading desired solutions": during the idle
+// interval between requests, load previously skipped (or still absent)
+// selected solutions into the cache, stopping when the budget is exhausted.
+// It returns how many objects were loaded.
+func BackgroundLoad(p *sim.Proc, r *graphx.Runner, cache Cache, skipped []miopen.Instance, budget time.Duration) (int, error) {
+	deadline := p.Now() + budget
+	loaded := 0
+	for _, inst := range skipped {
+		if p.Now() >= deadline {
+			break
+		}
+		if r.Lib.IsLoaded(inst) {
+			continue
+		}
+		if err := r.Lib.EnsureLoaded(p, inst); err != nil {
+			return loaded, fmt.Errorf("core: background load %s: %w", inst.Key(), err)
+		}
+		cache.Insert(inst)
+		loaded++
+	}
+	return loaded, nil
+}

@@ -1,0 +1,291 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV–§V) plus the §VI extensions: each experiment builds the
+// zoo models, runs them under the evaluated schemes on simulated devices,
+// and reports the same quantities the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/blas"
+	"pask/internal/codeobj"
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/graphx"
+	"pask/internal/hip"
+	"pask/internal/metrics"
+	"pask/internal/miopen"
+	"pask/internal/onnx/zoo"
+	"pask/internal/sim"
+	"pask/internal/tensor"
+)
+
+// ModelSetup bundles one model compiled for one device and batch size,
+// together with the shared code-object store all cold processes read from.
+type ModelSetup struct {
+	Spec    zoo.Spec
+	Batch   int
+	Profile device.Profile
+	Reg     *miopen.Registry
+	Store   *codeobj.Store
+	Model   *graphx.CompiledModel // default (vendor) selection plan
+	Uniform *graphx.CompiledModel // layout-uniform plan (NNV12 selection)
+}
+
+// PrepareModel compiles a zoo model for a device at a batch size and
+// materializes every code object either plan can load.
+func PrepareModel(abbr string, batch int, prof device.Profile) (*ModelSetup, error) {
+	return PrepareModelTyped(abbr, batch, prof, tensor.F32)
+}
+
+// PrepareModelsShared compiles several models against ONE registry and ONE
+// code-object store, so processes hosting more than one model share loaded
+// kernels — the setting where PASK recycles kernels across models.
+func PrepareModelsShared(abbrs []string, batch int, prof device.Profile) (map[string]*ModelSetup, error) {
+	reg := miopen.NewRegistry(miopen.NewCtx(prof))
+	db := miopen.NewPerfDB(reg)
+	store := codeobj.NewStore()
+	out := make(map[string]*ModelSetup, len(abbrs))
+	for _, abbr := range abbrs {
+		spec, err := zoo.ByAbbr(abbr)
+		if err != nil {
+			return nil, err
+		}
+		g, err := spec.Build(batch)
+		if err != nil {
+			return nil, err
+		}
+		m, err := graphx.Compile(g, db, graphx.CompileOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compile %s: %w", abbr, err)
+		}
+		if err := graphx.MaterializeModel(store, reg, m); err != nil {
+			return nil, err
+		}
+		env := sim.NewEnv()
+		rt := hip.NewRuntime(env, device.NewGPU(env, prof), device.DefaultHost(), store)
+		if err := blas.NewLibrary(rt).Materialize(store, m.GemmProblems()); err != nil {
+			return nil, err
+		}
+		out[abbr] = &ModelSetup{
+			Spec: spec, Batch: batch, Profile: prof,
+			Reg: reg, Store: store, Model: m, Uniform: m,
+		}
+	}
+	return out, nil
+}
+
+// PrepareModelTyped is PrepareModel with an explicit element type (quantized
+// deployments compile the same architecture at fp16).
+func PrepareModelTyped(abbr string, batch int, prof device.Profile, dt tensor.DType) (*ModelSetup, error) {
+	spec, err := zoo.ByAbbr(abbr)
+	if err != nil {
+		return nil, err
+	}
+	reg := miopen.NewRegistry(miopen.NewCtx(prof))
+	db := miopen.NewPerfDB(reg)
+
+	g, err := spec.Build(batch)
+	if err != nil {
+		return nil, err
+	}
+	g.DType = dt
+	m, err := graphx.Compile(g, db, graphx.CompileOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s: %w", abbr, err)
+	}
+	gu, err := spec.Build(batch)
+	if err != nil {
+		return nil, err
+	}
+	gu.DType = dt
+	uniform, err := graphx.Compile(gu, db, graphx.CompileOptions{Mode: graphx.SelectUniformLayout, Uniform: tensor.NCHW})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s (uniform): %w", abbr, err)
+	}
+
+	store := codeobj.NewStore()
+	for _, cm := range []*graphx.CompiledModel{m, uniform} {
+		if err := graphx.MaterializeModel(store, reg, cm); err != nil {
+			return nil, err
+		}
+	}
+	// BLAS objects (needs a runtime for device/arch resolution).
+	env := sim.NewEnv()
+	rt := hip.NewRuntime(env, device.NewGPU(env, prof), device.DefaultHost(), store)
+	bl := blas.NewLibrary(rt)
+	if err := bl.Materialize(store, m.GemmProblems()); err != nil {
+		return nil, err
+	}
+	if err := bl.Materialize(store, uniform.GemmProblems()); err != nil {
+		return nil, err
+	}
+	return &ModelSetup{Spec: spec, Batch: batch, Profile: prof, Reg: reg, Store: store, Model: m, Uniform: uniform}, nil
+}
+
+// Process is one cold OS process over the setup's shared object store: its
+// own simulation environment, device, runtime and runner.
+type Process struct {
+	Env    *sim.Env
+	GPU    *device.GPU
+	RT     *hip.Runtime
+	Runner *graphx.Runner
+	Tracer *metrics.Tracer
+}
+
+// NewProcess creates a fresh cold process with its own environment.
+func (ms *ModelSetup) NewProcess() *Process {
+	env := sim.NewEnv()
+	return ms.NewProcessIn(env)
+}
+
+// NewProcessIn creates a fresh cold process inside an existing environment
+// (multi-instance serving scenarios share one virtual clock).
+func (ms *ModelSetup) NewProcessIn(env *sim.Env) *Process {
+	gpu := device.NewGPU(env, ms.Profile)
+	rt := hip.NewRuntime(env, gpu, device.DefaultHost(), ms.Store)
+	tracer := &metrics.Tracer{}
+	runner := graphx.NewRunner(rt, miopen.NewLibrary(ms.Reg, rt), blas.NewLibrary(rt), tracer)
+	return &Process{Env: env, GPU: gpu, RT: rt, Runner: runner, Tracer: tracer}
+}
+
+// RunScheme executes the model once under the given scheme in a fresh cold
+// process and reports the timed window. Process initialization (GPU context,
+// library open with its resident kernels, and for Ideal the preloading) is
+// excluded from the window, matching the paper's §V methodology where all
+// schemes share the serving framework's startup.
+func (ms *ModelSetup) RunScheme(scheme core.Scheme, opts core.Options) (*metrics.Report, *core.Result, error) {
+	pr := ms.NewProcess()
+	rep := &metrics.Report{Scheme: string(scheme), Model: ms.Spec.Abbr, Batch: ms.Batch}
+	var res *core.Result
+	var runErr error
+
+	pr.Env.Spawn("main", func(p *sim.Proc) {
+		defer pr.GPU.CloseAll()
+		pr.Runner.RT.InitContext(p)
+		if err := pr.Runner.Lib.LoadResidents(p); err != nil {
+			runErr = err
+			return
+		}
+		model := ms.Model
+		if scheme == core.SchemeNNV12 {
+			model = ms.Uniform
+		}
+		if scheme == core.SchemeIdeal {
+			if err := pr.Runner.PreloadAll(p, model); err != nil {
+				runErr = err
+				return
+			}
+		}
+		loads0 := pr.RT.Stats()
+		busy0 := pr.GPU.BusyTime()
+		t0 := p.Now()
+
+		switch scheme {
+		case core.SchemeBaseline:
+			runErr = pr.Runner.RunBaseline(p, model)
+		case core.SchemeIdeal:
+			// Hot execution with every solution resident: the same engine,
+			// nothing left to load.
+			cache := core.NewCategoricalCache()
+			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, core.Options{})
+		case core.SchemeNNV12:
+			cache := core.NewCategoricalCache() // unused: no reuse in NNV12
+			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, core.Options{})
+		case core.SchemePaSK:
+			// PASK recycles *loaded* kernels: the cache starts with the
+			// library's resident built-ins and grows with per-model loads.
+			cache := core.NewCategoricalCache()
+			core.SeedResidents(cache, pr.Runner.Lib)
+			res, runErr = core.RunInterleaved(p, pr.Runner, model, cache, true, opts)
+		case core.SchemePaSKI:
+			cache := core.NewCategoricalCache()
+			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, opts)
+		case core.SchemePaSKR:
+			cache := core.NewNaiveCache()
+			core.SeedResidents(cache, pr.Runner.Lib)
+			res, runErr = core.RunSequentialReuse(p, pr.Runner, model, cache)
+		default:
+			runErr = fmt.Errorf("experiments: unknown scheme %q", scheme)
+		}
+
+		t1 := p.Now()
+		rep.Total = t1 - t0
+		rep.GPUBusy = pr.GPU.BusyTime() - busy0
+		st := pr.RT.Stats()
+		rep.Loads = st.ModuleLoads - loads0.ModuleLoads
+		rep.LoadedBytes = st.BytesLoaded - loads0.BytesLoaded
+		rep.Breakdown = metrics.Breakdown(pr.Tracer.Spans(), t0, t1, metrics.DefaultPriority())
+		if res != nil {
+			rep.ReuseQueries = res.Cache.Queries
+			rep.ReuseHits = res.Cache.Hits
+			rep.Lookups = res.Cache.Lookups
+			rep.Milestone = res.Milestone
+			rep.SkippedLoads = res.SkippedLoads
+		}
+	})
+	if err := pr.Env.Run(); err != nil {
+		return nil, nil, err
+	}
+	if runErr != nil {
+		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", ms.Spec.Abbr, scheme, runErr)
+	}
+	return rep, res, nil
+}
+
+// RunColdHot measures the paper's Fig 1 quantities on one device: the cold
+// time of the *first* inference of a fresh process (including GPU context
+// creation and library open, the full start-from-scratch path) and the hot
+// time of a steady-state iteration in the same process.
+func (ms *ModelSetup) RunColdHot() (cold, hot time.Duration, spans []metrics.Span, err error) {
+	pr := ms.NewProcess()
+	var runErr error
+	pr.Env.Spawn("main", func(p *sim.Proc) {
+		defer pr.GPU.CloseAll()
+		t0 := p.Now()
+		pr.Runner.RT.InitContext(p)
+		if runErr = pr.Runner.Lib.LoadResidents(p); runErr != nil {
+			return
+		}
+		if runErr = pr.Runner.RunBaseline(p, ms.Model); runErr != nil {
+			return
+		}
+		cold = p.Now() - t0
+		// Steady state: average over a few successive iterations.
+		const iters = 3
+		t1 := p.Now()
+		for i := 0; i < iters; i++ {
+			if runErr = pr.Runner.RunHot(p, ms.Model); runErr != nil {
+				return
+			}
+		}
+		hot = (p.Now() - t1) / iters
+		spans = pr.Tracer.Spans()
+	})
+	if err := pr.Env.Run(); err != nil {
+		return 0, 0, nil, err
+	}
+	if runErr != nil {
+		return 0, 0, nil, fmt.Errorf("experiments: cold/hot %s on %s: %w", ms.Spec.Abbr, ms.Profile.Name, runErr)
+	}
+	return cold, hot, spans, nil
+}
+
+// AllModelAbbrs returns the zoo's model abbreviations in Table I order.
+func AllModelAbbrs() []string {
+	var out []string
+	for _, s := range zoo.Models() {
+		out = append(out, s.Abbr)
+	}
+	return out
+}
+
+// ConvModelAbbrs returns the nine convolution-dominated models (the paper
+// omits the transformers from the cache statistics, Fig 9).
+func ConvModelAbbrs() []string {
+	return []string{"alex", "vgg", "res", "reg", "eff", "rcnn", "ssd", "fcn", "unet"}
+}
+
+// TransformerAbbrs returns the three vision-transformer models.
+func TransformerAbbrs() []string { return []string{"vit", "swin", "swin2"} }

@@ -1,0 +1,420 @@
+package graphx
+
+import (
+	"fmt"
+
+	"pask/internal/blas"
+	"pask/internal/codeobj"
+	"pask/internal/kernels"
+	"pask/internal/miopen"
+	"pask/internal/onnx"
+	"pask/internal/tensor"
+)
+
+// BuiltinObjectPath is the engine's own kernel object (elementwise, shuffle
+// and normalization kernels), loaded once per process.
+const BuiltinObjectPath = "graphx_builtin.pko"
+
+// builtinOps lists the symbols bundled in the builtin object.
+var builtinOps = []string{
+	"add", "mul", "concat", "softmax", "layernorm", "gelu",
+	"resize", "tokens", "patchmerge", "batchnorm",
+}
+
+// SelectMode chooses the solution-selection policy during lowering.
+type SelectMode int
+
+const (
+	// SelectDefault picks the fastest applicable solution per layer — the
+	// vendor-library policy that mixes layouts and maximizes specialization
+	// (and therefore loads).
+	SelectDefault SelectMode = iota
+	// SelectUniformLayout restricts selection to solutions that run in one
+	// uniform layout, eliminating inter-layer transforms — the NNV12
+	// selection policy.
+	SelectUniformLayout
+)
+
+// CompileOptions configures lowering.
+type CompileOptions struct {
+	Mode    SelectMode
+	Uniform tensor.Layout // uniform layout for SelectUniformLayout (default NCHW)
+	// SkipOptimize disables the graph passes (for pass-effect experiments).
+	SkipOptimize bool
+	// FuseConvActivation merges exclusive Conv+ReLU pairs (design ablation:
+	// fewer activation instructions and code objects).
+	FuseConvActivation bool
+}
+
+// Compile lowers an onnx graph into a compiled model: graph passes, then
+// per-layer solution selection against the performance database with layout
+// planning (paper Fig 3 "offline preparation"). The input graph is mutated
+// by the optimization passes.
+func Compile(g *onnx.Graph, db *miopen.PerfDB, opts CompileOptions) (*CompiledModel, error) {
+	if !opts.SkipOptimize {
+		Optimize(g)
+	}
+	if opts.FuseConvActivation {
+		FuseConvActivation(g)
+	}
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		g: g, db: db, opts: opts, shapes: shapes,
+		layouts: map[string]tensor.Layout{g.Input: tensor.NCHW},
+		m: &CompiledModel{
+			Name:       g.Name,
+			Batch:      g.InputShape.N,
+			DType:      g.DType,
+			InputShape: g.InputShape,
+			ParamBytes: g.ParamBytes(),
+		},
+	}
+	for _, init := range g.Inits {
+		c.layouts[init.Name] = tensor.NCHW
+	}
+	for i := range g.Nodes {
+		if err := c.lower(&g.Nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	return c.m, nil
+}
+
+type compiler struct {
+	g       *onnx.Graph
+	db      *miopen.PerfDB
+	opts    CompileOptions
+	shapes  map[string]tensor.Shape
+	layouts map[string]tensor.Layout
+	m       *CompiledModel
+}
+
+func (c *compiler) emit(in Instruction) *Instruction {
+	in.Index = len(c.m.Instrs)
+	c.m.Instrs = append(c.m.Instrs, in)
+	return &c.m.Instrs[in.Index]
+}
+
+// layoutOf returns the planned layout of a tensor (NCHW for parameters and
+// anything untracked).
+func (c *compiler) layoutOf(t string) tensor.Layout {
+	if l, ok := c.layouts[t]; ok {
+		return l
+	}
+	return tensor.NCHW
+}
+
+// transformPath names the JIT-compiled layout-interchange object — one
+// distinct code object per (direction, tensor geometry, dtype), mirroring
+// how the engine emits a dedicated interchange kernel for every shape it
+// plans (the loads NNV12's uniform-layout selection eliminates).
+func transformPath(from, to tensor.Layout, s tensor.Shape, dt tensor.DType) string {
+	return fmt.Sprintf("xform_%s2%s_n%dc%dh%dw%d_%s.pko", from, to, s.N, s.C, s.H, s.W, dt)
+}
+
+// ensureLayout inserts a layout-interchange instruction when tensor t is not
+// yet available in the wanted layout.
+func (c *compiler) ensureLayout(t string, want tensor.Layout) {
+	c.ensureLayoutFor(t, want, false)
+}
+
+// ensureLayoutFor is ensureLayout with control over whether the emitted
+// transform feeds the immediately following primitive instruction.
+func (c *compiler) ensureLayoutFor(t string, want tensor.Layout, forNext bool) {
+	cur := c.layoutOf(t)
+	if cur == want {
+		return
+	}
+	if c.opts.Mode == SelectUniformLayout {
+		// Uniform selection must never need a transform; reaching here is a
+		// planner bug, so fail loudly in tests via panic-free accounting.
+		panic(fmt.Sprintf("graphx: transform required for %q under uniform layout", t))
+	}
+	s := c.shapes[t]
+	if s.H == 1 && s.W == 1 {
+		// A 1x1-spatial tensor has identical NCHW and NHWC layouts: the
+		// interchange is a no-op and no kernel is planned.
+		c.layouts[t] = want
+		return
+	}
+	c.emit(Instruction{
+		Name:         fmt.Sprintf("xform(%s:%s->%s)", t, cur, want),
+		Kind:         KindTransform,
+		XformPath:    transformPath(cur, want, s, c.m.DType),
+		XformSrc:     cur,
+		XformDst:     want,
+		XformForNext: forNext,
+		Work:         kernels.TransformWorkload(s, c.m.DType),
+		Eff:          0.35,
+		OutShape:     s,
+	})
+	c.layouts[t] = want
+}
+
+// selectSolution picks the solution instance for a primitive problem under
+// the compile mode.
+func (c *compiler) selectSolution(p *miopen.Problem) (miopen.Ranked, error) {
+	ranked := c.db.Find(p)
+	if len(ranked) == 0 {
+		return miopen.Ranked{}, fmt.Errorf("graphx: no applicable solution for %s", p.Key())
+	}
+	if c.opts.Mode == SelectUniformLayout {
+		for _, r := range ranked {
+			pref, agnostic := r.Inst.Sol.PreferredLayout(p)
+			if agnostic || pref == c.opts.Uniform {
+				return r, nil
+			}
+		}
+		return miopen.Ranked{}, fmt.Errorf("graphx: no %v-layout solution for %s", c.opts.Uniform, p.Key())
+	}
+	return ranked[0], nil
+}
+
+// lowerPrimitive emits a primitive-library instruction, planning layouts.
+func (c *compiler) lowerPrimitive(n *onnx.Node, input string, build func(layout tensor.Layout) miopen.Problem) error {
+	cur := c.layoutOf(input)
+	prob := build(cur)
+	r, err := c.selectSolution(&prob)
+	if err != nil {
+		return fmt.Errorf("node %q: %w", n.Name, err)
+	}
+	pref, agnostic := r.Inst.Sol.PreferredLayout(&prob)
+	runLayout := cur
+	if c.opts.Mode == SelectUniformLayout {
+		runLayout = c.opts.Uniform
+	} else if !agnostic && pref != cur {
+		c.ensureLayoutFor(input, pref, true)
+		runLayout = pref
+	}
+	if runLayout != prob.Layout {
+		prob = build(runLayout)
+	}
+	c.emit(Instruction{
+		Name:       n.Name,
+		Kind:       KindPrimitive,
+		Problem:    prob,
+		SolutionID: r.Inst.Sol.ID(),
+		Binding:    r.Inst.Binding,
+		OutShape:   prob.OutShape(),
+	})
+	c.layouts[n.Output] = runLayout
+	return nil
+}
+
+// lowerBuiltin emits an engine-kernel instruction with a memory-bound
+// workload proportional to the touched bytes.
+func (c *compiler) lowerBuiltin(n *onnx.Node, op string, trafficScale float64) {
+	// Binary ops need operands in one layout.
+	target := c.layoutOf(n.Inputs[0])
+	for _, in := range n.Inputs[1:] {
+		if _, isParam := c.g.InitShape(in); !isParam {
+			c.ensureLayout(in, target)
+		}
+	}
+	out := c.shapes[n.Output]
+	w := kernels.TransformWorkload(out, c.m.DType).Scale(trafficScale)
+	c.emit(Instruction{
+		Name:     n.Name,
+		Kind:     KindBuiltin,
+		Builtin:  op,
+		Work:     w,
+		Eff:      0.35,
+		OutShape: out,
+	})
+	c.layouts[n.Output] = target
+}
+
+func (c *compiler) lower(n *onnx.Node) error {
+	switch n.Op {
+	case onnx.OpConv:
+		x := n.Inputs[0]
+		xs := c.shapes[x]
+		ws := c.shapes[n.Inputs[1]]
+		groups := n.AttrInt("groups", 1)
+		conv := kernels.Conv2DParams{
+			StrideH: n.AttrInt("stride_h", n.AttrInt("stride", 1)),
+			StrideW: n.AttrInt("stride_w", n.AttrInt("stride", 1)),
+			PadH:    n.AttrInt("pad_h", n.AttrInt("pad", 0)),
+			PadW:    n.AttrInt("pad_w", n.AttrInt("pad", 0)),
+			DilH:    n.AttrInt("dil_h", n.AttrInt("dil", 1)),
+			DilW:    n.AttrInt("dil_w", n.AttrInt("dil", 1)),
+		}
+		return c.lowerPrimitive(n, x, func(l tensor.Layout) miopen.Problem {
+			return miopen.NewConvProblem(xs, ws.N, ws.H, ws.W, conv, groups, c.m.DType, l)
+		})
+
+	case onnx.OpMaxPool, onnx.OpAvgPool, onnx.OpGlobalPool:
+		x := n.Inputs[0]
+		xs := c.shapes[x]
+		var pool kernels.Pool2DParams
+		mode := kernels.MaxPool
+		if n.Op == onnx.OpGlobalPool {
+			pool = kernels.Pool2DParams{WinH: xs.H, WinW: xs.W, StrideH: xs.H, StrideW: xs.W}
+			mode = kernels.AvgPool
+		} else {
+			win := n.AttrInt("win", 2)
+			pool = kernels.Pool2DParams{
+				WinH: n.AttrInt("win_h", win), WinW: n.AttrInt("win_w", win),
+				StrideH: n.AttrInt("stride_h", n.AttrInt("stride", win)),
+				StrideW: n.AttrInt("stride_w", n.AttrInt("stride", win)),
+				PadH:    n.AttrInt("pad_h", n.AttrInt("pad", 0)),
+				PadW:    n.AttrInt("pad_w", n.AttrInt("pad", 0)),
+			}
+			if n.Op == onnx.OpAvgPool {
+				mode = kernels.AvgPool
+			}
+		}
+		return c.lowerPrimitive(n, x, func(l tensor.Layout) miopen.Problem {
+			return miopen.NewPoolProblem(xs, pool, mode, c.m.DType, l)
+		})
+
+	case onnx.OpRelu, onnx.OpLeakyRelu, onnx.OpSigmoid, onnx.OpTanh:
+		x := n.Inputs[0]
+		xs := c.shapes[x]
+		kind := map[onnx.Op]kernels.ActKind{
+			onnx.OpRelu: kernels.ReLU, onnx.OpLeakyRelu: kernels.LeakyReLU,
+			onnx.OpSigmoid: kernels.Sigmoid, onnx.OpTanh: kernels.Tanh,
+		}[n.Op]
+		alpha := float32(0)
+		if kind == kernels.LeakyReLU {
+			alpha = 0.01
+		}
+		return c.lowerPrimitive(n, x, func(l tensor.Layout) miopen.Problem {
+			return miopen.NewActProblem(xs, kind, alpha, c.m.DType, l)
+		})
+
+	case onnx.OpGemm:
+		// Fully-connected layers lower to 1x1 convolutions over a 1x1
+		// spatial map, as serving frameworks do — keeping dense classifier
+		// heads inside the primitive library (and PASK's reach), unlike the
+		// transformer MatMuls that go to BLAS.
+		a := c.shapes[n.Inputs[0]]
+		w := c.shapes[n.Inputs[1]]
+		fcIn := tensor.Shape{N: a.N * a.C * a.H, C: a.W, H: 1, W: 1}
+		return c.lowerPrimitive(n, n.Inputs[0], func(l tensor.Layout) miopen.Problem {
+			return miopen.NewConvProblem(fcIn, w.W, 1, 1, kernels.Default1x1(), 1, c.m.DType, l)
+		})
+
+	case onnx.OpMatMul:
+		a := c.shapes[n.Inputs[0]]
+		b := c.shapes[n.Inputs[1]]
+		transB := n.AttrInt("trans_b", 0) == 1
+		nDim := b.W
+		if transB {
+			nDim = b.H
+		}
+		c.emit(Instruction{
+			Name: n.Name,
+			Kind: KindGemm,
+			Gemm: blas.Problem{
+				M: a.H, N: nDim, K: a.W, Batch: a.N * a.C, TransB: transB, DType: c.m.DType,
+			},
+			OutShape: c.shapes[n.Output],
+		})
+		c.layouts[n.Output] = tensor.NCHW
+		return nil
+
+	case onnx.OpAdd:
+		c.lowerBuiltin(n, "add", 1.5)
+	case onnx.OpMul:
+		c.lowerBuiltin(n, "mul", 1.5)
+	case onnx.OpConcat:
+		c.lowerBuiltin(n, "concat", 1)
+	case onnx.OpSoftmax:
+		c.lowerBuiltin(n, "softmax", 2)
+	case onnx.OpLayerNorm:
+		c.lowerBuiltin(n, "layernorm", 2)
+	case onnx.OpGelu:
+		c.lowerBuiltin(n, "gelu", 1)
+	case onnx.OpResize:
+		c.lowerBuiltin(n, "resize", 1)
+	case onnx.OpTokens:
+		c.lowerBuiltin(n, "tokens", 1)
+		c.layouts[n.Output] = tensor.NCHW
+	case onnx.OpPatchMerge:
+		c.lowerBuiltin(n, "patchmerge", 1)
+		c.layouts[n.Output] = tensor.NCHW
+	case onnx.OpBatchNorm:
+		// Unfolded BN (non-conv producer) runs as an engine kernel.
+		c.lowerBuiltin(n, "batchnorm", 2)
+	case onnx.OpFlatten, onnx.OpIdentity:
+		// Pure view changes: no kernel, inherit layout.
+		c.layouts[n.Output] = c.layoutOf(n.Inputs[0])
+	default:
+		return fmt.Errorf("graphx: cannot lower op %q (node %q)", n.Op, n.Name)
+	}
+	return nil
+}
+
+// GemmProblems returns the distinct BLAS problems of the model (for offline
+// materialization of the BLAS kernel objects).
+func (m *CompiledModel) GemmProblems() []blas.Problem {
+	seen := make(map[string]bool)
+	var out []blas.Problem
+	for i := range m.Instrs {
+		if m.Instrs[i].Kind != KindGemm {
+			continue
+		}
+		p := m.Instrs[i].Gemm
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MaterializeModel builds every code object the compiled model's static plan
+// references (selected primitive solutions, layout transforms, the engine
+// builtin object) into the store, plus the library's resident generic
+// kernels. BLAS objects are materialized separately by the BLAS library,
+// which owns their naming.
+func MaterializeModel(store *codeobj.Store, reg *miopen.Registry, m *CompiledModel) error {
+	arch := reg.Ctx().Dev.Arch
+	if err := miopen.MaterializeObjects(store, arch, reg.Residents()); err != nil {
+		return err
+	}
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		switch in.Kind {
+		case KindPrimitive:
+			inst, err := in.Instance(reg)
+			if err != nil {
+				return err
+			}
+			if err := miopen.MaterializeObjects(store, arch, []miopen.Instance{inst}); err != nil {
+				return err
+			}
+		case KindTransform:
+			if store.Has(in.XformPath) {
+				continue
+			}
+			spec := []codeobj.KernelSpec{{
+				Name:     "xform_main",
+				Pattern:  "Transform",
+				CodeSize: 220 << 10,
+				Meta:     map[string]string{"path": in.XformPath},
+			}}
+			if err := store.PutBuilt(in.XformPath, arch, spec); err != nil {
+				return err
+			}
+		case KindBuiltin:
+			if store.Has(BuiltinObjectPath) {
+				continue
+			}
+			var specs []codeobj.KernelSpec
+			for _, op := range builtinOps {
+				specs = append(specs, codeobj.KernelSpec{
+					Name: "builtin_" + op, Pattern: "Builtin", CodeSize: 44 << 10,
+				})
+			}
+			if err := store.PutBuilt(BuiltinObjectPath, arch, specs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

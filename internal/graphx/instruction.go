@@ -1,0 +1,204 @@
+// Package graphx reimplements the serving-framework layer of the stack (the
+// MIGraphX analogue): graph optimization passes, lowering of onnx models to
+// an instruction stream with per-layer solution selection against the
+// primitive library's performance database, a binary compiled-model format
+// (the ".mgx file" of paper Fig 3), and the reactive baseline executor whose
+// lazy loading causes the cold-start problem.
+package graphx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+
+	"pask/internal/blas"
+	"pask/internal/kernels"
+	"pask/internal/miopen"
+	"pask/internal/tensor"
+)
+
+// Kind classifies a lowered instruction by the backend that executes it.
+type Kind uint8
+
+const (
+	// KindPrimitive runs on the primitive library (conv/pool/activation) —
+	// the instructions PASK manages.
+	KindPrimitive Kind = iota
+	// KindGemm runs on the BLAS library (outside PASK's default scope).
+	KindGemm
+	// KindBuiltin runs one of the engine's own elementwise/shuffle kernels.
+	KindBuiltin
+	// KindTransform is a layout-interchange kernel inserted between layers
+	// whose selected solutions want different layouts (what NNV12 removes).
+	KindTransform
+)
+
+var kindNames = [...]string{"primitive", "gemm", "builtin", "transform"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Instruction is one lowered operation of a compiled model.
+type Instruction struct {
+	Index int
+	Name  string
+	Kind  Kind
+
+	// KindPrimitive
+	Problem    miopen.Problem
+	SolutionID string // statically selected solution family (s*)
+	Binding    string // its template binding
+
+	// KindGemm
+	Gemm blas.Problem
+
+	// KindBuiltin
+	Builtin string
+
+	// KindTransform
+	XformPath string
+	// XformSrc/XformDst are the layouts the transform converts between.
+	XformSrc, XformDst tensor.Layout
+	// XformForNext marks a transform that exists only to feed the next
+	// primitive instruction's preferred layout; PASK drops it when it reuses
+	// a layout-agnostic substitute for that primitive.
+	XformForNext bool
+
+	// Execution metadata for builtin/transform kernels.
+	Work kernels.Workload
+	Eff  float64
+
+	OutShape tensor.Shape
+}
+
+// Instance resolves the statically selected solution instance against a
+// registry. Only valid for KindPrimitive.
+func (in *Instruction) Instance(reg *miopen.Registry) (miopen.Instance, error) {
+	if in.Kind != KindPrimitive {
+		return miopen.Instance{}, fmt.Errorf("graphx: instruction %d (%s) has no solution", in.Index, in.Kind)
+	}
+	sol, ok := reg.ByID(in.SolutionID)
+	if !ok {
+		return miopen.Instance{}, fmt.Errorf("graphx: unknown solution %q in instruction %d", in.SolutionID, in.Index)
+	}
+	return miopen.Instance{Sol: sol, Binding: in.Binding}, nil
+}
+
+// CompiledModel is the lowered, solution-annotated model the serving
+// framework stores in its registry and deserializes on every cold start.
+type CompiledModel struct {
+	Name       string
+	Batch      int
+	DType      tensor.DType
+	InputShape tensor.Shape
+	ParamBytes int64
+	Instrs     []Instruction
+}
+
+// NumInstructions returns the instruction count (what the parser walks).
+func (m *CompiledModel) NumInstructions() int { return len(m.Instrs) }
+
+// PrimitiveCount returns the number of primitive-library instructions.
+func (m *CompiledModel) PrimitiveCount() int {
+	n := 0
+	for i := range m.Instrs {
+		if m.Instrs[i].Kind == KindPrimitive {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctPrimitiveProblems returns the number of unique primitive problems
+// — the "# Primitive Layers" axis of the paper's Table I.
+func (m *CompiledModel) DistinctPrimitiveProblems() int {
+	seen := make(map[string]bool)
+	for i := range m.Instrs {
+		if m.Instrs[i].Kind == KindPrimitive {
+			seen[m.Instrs[i].Problem.Key()] = true
+		}
+	}
+	return len(seen)
+}
+
+// DistinctObjects returns the set of code-object paths the statically
+// selected plan will load on a cold start.
+func (m *CompiledModel) DistinctObjects(reg *miopen.Registry) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	addPath := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		switch in.Kind {
+		case KindPrimitive:
+			inst, err := in.Instance(reg)
+			if err != nil {
+				return nil, err
+			}
+			addPath(inst.Path())
+		case KindTransform:
+			addPath(in.XformPath)
+		case KindBuiltin:
+			addPath(BuiltinObjectPath)
+		}
+	}
+	return out, nil
+}
+
+// Binary compiled-model container: magic + gob payload + CRC trailer.
+
+const modelMagic = "PMX1"
+
+// Encode serializes the compiled model.
+func (m *CompiledModel) Encode() ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return nil, fmt.Errorf("graphx: encode %s: %w", m.Name, err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(modelMagic)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(payload.Len()))
+	buf.Write(lenb[:])
+	buf.Write(payload.Bytes())
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crcb[:])
+	return buf.Bytes(), nil
+}
+
+// DecodeModel parses a serialized compiled model, validating framing and
+// checksum.
+func DecodeModel(data []byte) (*CompiledModel, error) {
+	if len(data) < len(modelMagic)+8 {
+		return nil, fmt.Errorf("graphx: compiled model truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(modelMagic)]) != modelMagic {
+		return nil, fmt.Errorf("graphx: bad compiled-model magic")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("graphx: compiled-model checksum mismatch")
+	}
+	n := binary.LittleEndian.Uint32(data[len(modelMagic) : len(modelMagic)+4])
+	payload := data[len(modelMagic)+4 : len(data)-4]
+	if int(n) != len(payload) {
+		return nil, fmt.Errorf("graphx: compiled-model length %d != payload %d", n, len(payload))
+	}
+	var m CompiledModel
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("graphx: decode: %w", err)
+	}
+	return &m, nil
+}

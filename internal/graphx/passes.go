@@ -1,0 +1,258 @@
+package graphx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pask/internal/onnx"
+)
+
+// PassStats reports what the optimizer did to a graph.
+type PassStats struct {
+	FoldedBatchNorm    int
+	RemovedIdentity    int
+	MergedCommonSubexp int
+	DeadNodes          int
+	DeadInits          int
+	FusedActivations   int
+}
+
+func (s PassStats) String() string {
+	return fmt.Sprintf("bn-fold=%d identity=%d cse=%d dce-nodes=%d dce-inits=%d fused=%d",
+		s.FoldedBatchNorm, s.RemovedIdentity, s.MergedCommonSubexp, s.DeadNodes, s.DeadInits, s.FusedActivations)
+}
+
+// Optimize runs the hardware-independent graph passes (paper Fig 3:
+// "multiple optimizations on the requested model") to fixpoint, mutating g.
+func Optimize(g *onnx.Graph) PassStats {
+	var total PassStats
+	for i := 0; i < 8; i++ {
+		var round PassStats
+		round.FoldedBatchNorm = foldBatchNorm(g)
+		round.RemovedIdentity = eliminateIdentity(g)
+		round.MergedCommonSubexp = eliminateCommonSubexpr(g)
+		round.DeadNodes, round.DeadInits = eliminateDead(g)
+		total.FoldedBatchNorm += round.FoldedBatchNorm
+		total.RemovedIdentity += round.RemovedIdentity
+		total.MergedCommonSubexp += round.MergedCommonSubexp
+		total.DeadNodes += round.DeadNodes
+		total.DeadInits += round.DeadInits
+		if round == (PassStats{}) {
+			break
+		}
+	}
+	return total
+}
+
+// FuseConvActivation merges a ReLU that exclusively consumes a Conv output
+// into the convolution (the epilogue fusion engines apply): the activation
+// node disappears, so no activation kernel — and no activation code object —
+// is needed for that pair. Opt-in: it changes the primitive-layer population
+// and is evaluated as a design ablation rather than enabled by default.
+func FuseConvActivation(g *onnx.Graph) int {
+	prod := producer(g)
+	cons := consumers(g)
+	fused := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != onnx.OpRelu {
+			continue
+		}
+		pi, ok := prod[n.Inputs[0]]
+		if !ok || g.Nodes[pi].Op != onnx.OpConv {
+			continue
+		}
+		if len(cons[n.Inputs[0]]) != 1 {
+			continue
+		}
+		if g.Nodes[pi].AttrInt("fused_relu", 0) == 1 {
+			continue
+		}
+		if g.Nodes[pi].Ints == nil {
+			g.Nodes[pi].Ints = map[string]int{}
+		}
+		g.Nodes[pi].Ints["fused_relu"] = 1
+		n.Op = onnx.OpIdentity
+		n.Ints = nil
+		fused++
+	}
+	if fused > 0 {
+		eliminateIdentity(g)
+	}
+	return fused
+}
+
+// consumers maps each tensor to the indices of nodes reading it.
+func consumers(g *onnx.Graph) map[string][]int {
+	m := make(map[string][]int)
+	for i := range g.Nodes {
+		for _, in := range g.Nodes[i].Inputs {
+			m[in] = append(m[in], i)
+		}
+	}
+	return m
+}
+
+// producer maps each tensor to the index of the node writing it.
+func producer(g *onnx.Graph) map[string]int {
+	m := make(map[string]int)
+	for i := range g.Nodes {
+		m[g.Nodes[i].Output] = i
+	}
+	return m
+}
+
+// foldBatchNorm converts BatchNorm nodes that exclusively follow a Conv into
+// Identity: inference-time BN is an affine transform absorbable into the
+// convolution's weights and bias.
+func foldBatchNorm(g *onnx.Graph) int {
+	prod := producer(g)
+	cons := consumers(g)
+	folded := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != onnx.OpBatchNorm {
+			continue
+		}
+		pi, ok := prod[n.Inputs[0]]
+		if !ok || g.Nodes[pi].Op != onnx.OpConv {
+			continue
+		}
+		// The conv output must feed only this BN, or folding would change
+		// the other consumers' inputs.
+		if len(cons[n.Inputs[0]]) != 1 {
+			continue
+		}
+		n.Op = onnx.OpIdentity
+		n.Ints = nil
+		folded++
+	}
+	return folded
+}
+
+// eliminateIdentity removes Identity nodes by rewiring their consumers.
+func eliminateIdentity(g *onnx.Graph) int {
+	removed := 0
+	rewrite := make(map[string]string)
+	var kept []onnx.Node
+	for _, n := range g.Nodes {
+		if n.Op == onnx.OpIdentity {
+			src := n.Inputs[0]
+			for rewrite[src] != "" {
+				src = rewrite[src]
+			}
+			rewrite[n.Output] = src
+			removed++
+			continue
+		}
+		kept = append(kept, n)
+	}
+	if removed == 0 {
+		return 0
+	}
+	resolve := func(t string) string {
+		for rewrite[t] != "" {
+			t = rewrite[t]
+		}
+		return t
+	}
+	for i := range kept {
+		for j, in := range kept[i].Inputs {
+			kept[i].Inputs[j] = resolve(in)
+		}
+	}
+	g.Output = resolve(g.Output)
+	g.Nodes = kept
+	return removed
+}
+
+// cseKey canonicalizes a node's semantics for common-subexpression matching.
+func cseKey(n *onnx.Node) string {
+	var b strings.Builder
+	b.WriteString(string(n.Op))
+	b.WriteByte('|')
+	b.WriteString(strings.Join(n.Inputs, ","))
+	b.WriteByte('|')
+	keys := make([]string, 0, len(n.Ints))
+	for k := range n.Ints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, n.Ints[k])
+	}
+	return b.String()
+}
+
+// eliminateCommonSubexpr merges nodes computing the same value from the same
+// inputs.
+func eliminateCommonSubexpr(g *onnx.Graph) int {
+	seen := make(map[string]string) // cse key -> surviving output
+	rewrite := make(map[string]string)
+	merged := 0
+	var kept []onnx.Node
+	for _, n := range g.Nodes {
+		for j, in := range n.Inputs {
+			if r, ok := rewrite[in]; ok {
+				n.Inputs[j] = r
+			}
+		}
+		key := cseKey(&n)
+		if prev, ok := seen[key]; ok {
+			rewrite[n.Output] = prev
+			merged++
+			continue
+		}
+		seen[key] = n.Output
+		kept = append(kept, n)
+	}
+	if merged == 0 {
+		return 0
+	}
+	if r, ok := rewrite[g.Output]; ok {
+		g.Output = r
+	}
+	g.Nodes = kept
+	return merged
+}
+
+// eliminateDead drops nodes and initializers that do not reach the output.
+func eliminateDead(g *onnx.Graph) (nodes, inits int) {
+	prod := producer(g)
+	live := map[string]bool{g.Output: true}
+	queue := []string{g.Output}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		pi, ok := prod[t]
+		if !ok {
+			continue
+		}
+		for _, in := range g.Nodes[pi].Inputs {
+			if !live[in] {
+				live[in] = true
+				queue = append(queue, in)
+			}
+		}
+	}
+	var keptNodes []onnx.Node
+	for _, n := range g.Nodes {
+		if live[n.Output] {
+			keptNodes = append(keptNodes, n)
+		} else {
+			nodes++
+		}
+	}
+	var keptInits []onnx.Init
+	for _, in := range g.Inits {
+		if live[in.Name] {
+			keptInits = append(keptInits, in)
+		} else {
+			inits++
+		}
+	}
+	g.Nodes = keptNodes
+	g.Inits = keptInits
+	return nodes, inits
+}

@@ -1,0 +1,67 @@
+package graphx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ModelRegistry is the serving framework's model repository (paper §II-A):
+// lowered, solution-annotated models are stored in their serialized binary
+// form after offline preparation and fetched by name when a request arrives,
+// avoiding repeated lowering. The registry stores opaque encoded bytes — the
+// per-request deserialization cost is what the executors charge as parsing.
+type ModelRegistry struct {
+	blobs map[string][]byte
+}
+
+// NewModelRegistry returns an empty repository.
+func NewModelRegistry() *ModelRegistry {
+	return &ModelRegistry{blobs: make(map[string][]byte)}
+}
+
+// Save serializes and stores a compiled model under its name.
+func (r *ModelRegistry) Save(m *CompiledModel) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	r.blobs[m.Name] = data
+	return nil
+}
+
+// Load fetches and decodes the model stored under name.
+func (r *ModelRegistry) Load(name string) (*CompiledModel, error) {
+	data, ok := r.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("graphx: model %q not in registry", name)
+	}
+	return DecodeModel(data)
+}
+
+// Has reports whether a model is stored under name.
+func (r *ModelRegistry) Has(name string) bool {
+	_, ok := r.blobs[name]
+	return ok
+}
+
+// Size returns the stored byte size of a model, or 0 if absent.
+func (r *ModelRegistry) Size(name string) int { return len(r.blobs[name]) }
+
+// Names lists stored models in sorted order.
+func (r *ModelRegistry) Names() []string {
+	out := make([]string, 0, len(r.blobs))
+	for n := range r.blobs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a model; it reports whether one was present.
+func (r *ModelRegistry) Delete(name string) bool {
+	if _, ok := r.blobs[name]; !ok {
+		return false
+	}
+	delete(r.blobs, name)
+	return true
+}

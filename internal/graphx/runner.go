@@ -1,0 +1,207 @@
+package graphx
+
+import (
+	"time"
+
+	"fmt"
+
+	"pask/internal/blas"
+	"pask/internal/device"
+	"pask/internal/hip"
+	"pask/internal/metrics"
+	"pask/internal/miopen"
+	"pask/internal/sim"
+)
+
+// Runner binds one process's runtime, libraries and tracer together and
+// provides the building blocks every scheme's executor is made of: parse
+// steps, the parameter copy, per-instruction execution and synchronization.
+type Runner struct {
+	RT     *hip.Runtime
+	Lib    *miopen.Library
+	Blas   *blas.Library
+	Tracer *metrics.Tracer
+	Stream *device.Stream
+
+	// paramsResident tracks models whose weights are already on the device:
+	// a warm process serving a second request does not copy them again.
+	paramsResident map[string]bool
+}
+
+// NewRunner wires the runtime's load events and the GPU's kernel events into
+// the tracer and returns a runner using the device's default stream.
+func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, tracer *metrics.Tracer) *Runner {
+	r := &Runner{
+		RT: rt, Lib: lib, Blas: blasLib, Tracer: tracer,
+		Stream:         rt.GPU.DefaultStream(),
+		paramsResident: make(map[string]bool),
+	}
+	rt.OnLoad = func(path string, start, end time.Duration, err error) {
+		tracer.Add(metrics.CatLoad, path, "loader", start, end)
+	}
+	rt.GPU.OnKernel = func(name string, start, end time.Duration) {
+		tracer.Add(metrics.CatExec, name, "gpu", start, end)
+	}
+	return r
+}
+
+// OpenModel charges the cost of opening and mapping the compiled model file.
+func (r *Runner) OpenModel(p *sim.Proc) {
+	start := p.Now()
+	p.Sleep(r.RT.Host.ModelOpen)
+	r.Tracer.Add(metrics.CatParse, "model-open", p.Name(), start, p.Now())
+}
+
+// ParseOne charges the deserialization of one instruction.
+func (r *Runner) ParseOne(p *sim.Proc, in *Instruction) {
+	start := p.Now()
+	p.Sleep(r.RT.Host.ParseInstr)
+	r.Tracer.Add(metrics.CatParse, "parse:"+in.Name, p.Name(), start, p.Now())
+}
+
+// CopyParams transfers the model's parameters host-to-device and waits.
+// Weights stay resident, so only the first request of a process pays this.
+func (r *Runner) CopyParams(p *sim.Proc, m *CompiledModel) {
+	if r.paramsResident[m.Name] {
+		return
+	}
+	start := p.Now()
+	r.Stream.Copy(p, "weights-h2d", m.ParamBytes).Wait(p)
+	r.Tracer.Add(metrics.CatCopy, "weights-h2d", p.Name(), start, p.Now())
+	r.paramsResident[m.Name] = true
+}
+
+// EvictParams marks a model's weights as no longer resident (suspend/evict
+// scenarios).
+func (r *Runner) EvictParams(name string) { delete(r.paramsResident, name) }
+
+// ExecPrimitive runs a primitive instruction with the given instance (the
+// statically selected one, or a substitute chosen by PASK). Kernels are
+// launched asynchronously; absent code objects load lazily here.
+func (r *Runner) ExecPrimitive(p *sim.Proc, in *Instruction, inst miopen.Instance) (*sim.Signal, error) {
+	return r.ExecPrimitiveAs(p, in.Name, &in.Problem, inst)
+}
+
+// ExecPrimitiveAs runs a primitive problem (possibly rewritten by a PASK
+// policy, e.g. the precision-preference extension) with the given instance.
+func (r *Runner) ExecPrimitiveAs(p *sim.Proc, name string, prob *miopen.Problem, inst miopen.Instance) (*sim.Signal, error) {
+	start := p.Now()
+	sig, err := r.Lib.RunSolution(p, r.Stream, inst, prob)
+	if err != nil {
+		return nil, err
+	}
+	r.Tracer.Add(metrics.CatLaunch, "issue:"+name, p.Name(), start, p.Now())
+	return sig, nil
+}
+
+// ExecInstr runs one instruction with its static plan.
+func (r *Runner) ExecInstr(p *sim.Proc, in *Instruction) (*sim.Signal, error) {
+	switch in.Kind {
+	case KindPrimitive:
+		inst, err := in.Instance(r.Lib.Reg)
+		if err != nil {
+			return nil, err
+		}
+		return r.ExecPrimitive(p, in, inst)
+
+	case KindGemm:
+		start := p.Now()
+		sig, err := r.Blas.Run(p, r.Stream, &in.Gemm)
+		if err != nil {
+			return nil, err
+		}
+		r.Tracer.Add(metrics.CatLaunch, "issue:"+in.Name, p.Name(), start, p.Now())
+		return sig, nil
+
+	case KindBuiltin:
+		start := p.Now()
+		fn, err := r.RT.GetFunction(p, BuiltinObjectPath, "builtin_"+in.Builtin)
+		if err != nil {
+			return nil, err
+		}
+		sig := r.Stream.LaunchWorkload(p, fn.Name(), in.Work, in.Eff)
+		r.Tracer.Add(metrics.CatLaunch, "issue:"+in.Name, p.Name(), start, p.Now())
+		return sig, nil
+
+	case KindTransform:
+		start := p.Now()
+		fn, err := r.RT.GetFunction(p, in.XformPath, "xform_main")
+		if err != nil {
+			return nil, err
+		}
+		sig := r.Stream.LaunchWorkload(p, fn.Name(), in.Work, in.Eff)
+		r.Tracer.Add(metrics.CatLaunch, "issue:"+in.Name, p.Name(), start, p.Now())
+		return sig, nil
+	}
+	return nil, fmt.Errorf("graphx: unknown instruction kind %v", in.Kind)
+}
+
+// Sync drains the stream and charges the host synchronization cost.
+func (r *Runner) Sync(p *sim.Proc) {
+	start := p.Now()
+	r.Stream.Synchronize(p)
+	p.Sleep(r.RT.Host.SyncOverhead)
+	r.Tracer.Add(metrics.CatSync, "sync", p.Name(), start, p.Now())
+}
+
+// RunBaseline executes the reactive default workflow (paper "Baseline"):
+// parse every instruction, copy parameters, then launch layer by layer with
+// lazy on-demand code loading.
+func (r *Runner) RunBaseline(p *sim.Proc, m *CompiledModel) error {
+	p.Sleep(r.RT.Host.IterOverhead)
+	r.OpenModel(p)
+	for i := range m.Instrs {
+		r.ParseOne(p, &m.Instrs[i])
+	}
+	r.CopyParams(p, m)
+	for i := range m.Instrs {
+		if _, err := r.ExecInstr(p, &m.Instrs[i]); err != nil {
+			return err
+		}
+	}
+	r.Sync(p)
+	return nil
+}
+
+// RunHot executes a steady-state iteration: everything already parsed and
+// loaded, only launches and GPU execution remain (the denominator of the
+// paper's Fig 1a slowdowns).
+func (r *Runner) RunHot(p *sim.Proc, m *CompiledModel) error {
+	p.Sleep(r.RT.Host.IterOverhead)
+	for i := range m.Instrs {
+		if _, err := r.ExecInstr(p, &m.Instrs[i]); err != nil {
+			return err
+		}
+	}
+	r.Sync(p)
+	return nil
+}
+
+// PreloadAll loads every code object the model's static plan references
+// (realizing the paper's Ideal scheme before the timed window).
+func (r *Runner) PreloadAll(p *sim.Proc, m *CompiledModel) error {
+	paths, err := m.DistinctObjects(r.Lib.Reg)
+	if err != nil {
+		return err
+	}
+	if err := r.RT.Preload(p, paths); err != nil {
+		return err
+	}
+	// BLAS objects load through their own library paths.
+	gemms := m.GemmProblems()
+	if len(gemms) > 0 {
+		if err := r.Blas.EnsureCore(p); err != nil {
+			return err
+		}
+	}
+	for _, gp := range gemms {
+		gp := gp
+		ranked := r.Blas.Find(&gp)
+		if len(ranked) > 0 {
+			if _, err := r.RT.ModuleLoad(p, ranked[0].Inst.Path()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+// Package hip implements the host GPU runtime of the simulated stack — the
+// analogue of the HIP/CUDA driver API that the paper interposes on. It owns
+// the per-process module registry with the *lazy loading* semantics that
+// cause DNN cold start: a kernel's code object is read, validated and
+// relocated only when something asks for it, and the calling process is
+// charged the full load time (paper §II-A, Fig 3).
+//
+// A Runtime corresponds to one OS process: a fresh Runtime models a cold
+// instance (spot migration, serverless scale-out, edge restart); reusing a
+// Runtime across inferences models a warm instance.
+package hip
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/sim"
+)
+
+// Module is a loaded code object registered in host memory.
+type Module struct {
+	Path     string
+	Object   *codeobj.Object
+	LoadedAt time.Duration
+	// lastUsed drives LRU eviction under device code-memory pressure.
+	lastUsed time.Duration
+	// resident modules live inside the library binary and are never evicted.
+	resident bool
+}
+
+// Function is a resolved kernel symbol inside a loaded module.
+type Function struct {
+	Module *Module
+	Kernel codeobj.Kernel
+}
+
+// Name returns the kernel's global symbol name.
+func (f *Function) Name() string { return f.Kernel.Name }
+
+// Stats aggregates the runtime's loading activity.
+type Stats struct {
+	ModuleLoads   int           // completed loads (cache misses)
+	LoadHits      int           // ModuleLoad calls satisfied by the registry
+	BytesLoaded   int64         // container bytes read and relocated
+	LoadTimeTotal time.Duration // virtual time spent inside loads
+	FailedLoads   int
+	Evictions     int // modules dropped under code-memory pressure
+}
+
+// Runtime is the per-process host runtime.
+type Runtime struct {
+	Env  *sim.Env
+	GPU  *device.GPU
+	Host device.HostProfile
+
+	store      *codeobj.Store
+	modules    map[string]*Module
+	inflight   map[string]*loadState
+	driverLock *sim.Resource
+	ctxReady   bool
+	stats      Stats
+
+	// OnLoad, when set, observes every completed module load (for the
+	// metrics tracer). start/end are virtual times.
+	OnLoad func(path string, start, end time.Duration, err error)
+}
+
+type loadState struct {
+	done *sim.Signal
+	mod  *Module
+	err  error
+}
+
+// NewRuntime creates a cold process runtime over the given device and
+// code-object store.
+func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *codeobj.Store) *Runtime {
+	return &Runtime{
+		Env:        env,
+		GPU:        gpu,
+		Host:       host,
+		store:      store,
+		modules:    make(map[string]*Module),
+		inflight:   make(map[string]*loadState),
+		driverLock: sim.NewResource(env, 1),
+	}
+}
+
+// Store returns the backing code-object store.
+func (rt *Runtime) Store() *codeobj.Store { return rt.store }
+
+// Stats returns a snapshot of loading statistics.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// ContextReady reports whether InitContext has completed.
+func (rt *Runtime) ContextReady() bool { return rt.ctxReady }
+
+// InitContext creates the GPU context, charging the device's context
+// initialization cost once per process.
+func (rt *Runtime) InitContext(p *sim.Proc) {
+	if rt.ctxReady {
+		return
+	}
+	p.Sleep(rt.GPU.Profile.ContextInit)
+	rt.ctxReady = true
+}
+
+// Loaded reports whether the module at path is resident.
+func (rt *Runtime) Loaded(path string) bool {
+	_, ok := rt.modules[path]
+	return ok
+}
+
+// NumLoaded returns the number of resident modules.
+func (rt *Runtime) NumLoaded() int { return len(rt.modules) }
+
+// ModuleLoad returns the module at path, loading it if absent. Loading reads
+// the object from the store, validates it (real parse), resolves symbols and
+// charges the device profile's load time. Concurrent loads of the same path
+// coalesce: later callers wait on the first. Distinct loads serialize on the
+// driver lock, as real drivers do.
+func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
+	if m, ok := rt.modules[path]; ok {
+		rt.stats.LoadHits++
+		return m, nil
+	}
+	if st, ok := rt.inflight[path]; ok {
+		st.done.Wait(p)
+		return st.mod, st.err
+	}
+	st := &loadState{done: sim.NewSignal(p.Env())}
+	rt.inflight[path] = st
+
+	start := p.Now()
+	rt.driverLock.Acquire(p)
+	st.mod, st.err = rt.loadLocked(p, path)
+	rt.driverLock.Release()
+
+	delete(rt.inflight, path)
+	if st.err == nil {
+		rt.evictForSpace(int64(st.mod.Object.Size()))
+		rt.modules[path] = st.mod
+		rt.stats.ModuleLoads++
+		rt.stats.BytesLoaded += int64(st.mod.Object.Size())
+	} else {
+		rt.stats.FailedLoads++
+	}
+	rt.stats.LoadTimeTotal += p.Now() - start
+	if rt.OnLoad != nil {
+		rt.OnLoad(path, start, p.Now(), st.err)
+	}
+	st.done.Fire()
+	return st.mod, st.err
+}
+
+// loadLocked performs the actual read + validate + relocate under the driver
+// lock, charging virtual time proportional to the object size and symbols.
+func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
+	data, err := rt.store.Get(path)
+	if err != nil {
+		// A failed open still costs the fixed driver overhead.
+		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
+		return nil, fmt.Errorf("hip: ModuleLoad: %w", err)
+	}
+	obj, perr := codeobj.Parse(data)
+	if perr != nil {
+		// The driver read and checksummed the file before rejecting it.
+		p.Sleep(rt.GPU.Profile.LoadTime(int64(len(data)), 0))
+		return nil, fmt.Errorf("hip: ModuleLoad %q: %w", path, perr)
+	}
+	if arch := rt.GPU.Profile.Arch; obj.Arch != arch {
+		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
+		return nil, fmt.Errorf("hip: ModuleLoad %q: object arch %q does not match device %q", path, obj.Arch, arch)
+	}
+	p.Sleep(rt.GPU.Profile.LoadTime(int64(obj.Size()), obj.NumSymbols()))
+	return &Module{Path: path, Object: obj, LoadedAt: p.Now()}, nil
+}
+
+// evictForSpace drops least-recently-used non-resident modules until a new
+// object of the given size fits into the device's code-memory budget — the
+// memory pressure that forces edge devices to re-pay cold starts (paper §I).
+func (rt *Runtime) evictForSpace(incoming int64) {
+	budget := rt.GPU.Profile.CodeMemory
+	if budget <= 0 {
+		return
+	}
+	for rt.LoadedCodeBytes()+incoming > budget {
+		var victim *Module
+		for _, m := range rt.modules {
+			if m.resident {
+				continue
+			}
+			if victim == nil || m.lastUsed < victim.lastUsed ||
+				(m.lastUsed == victim.lastUsed && m.Path < victim.Path) {
+				victim = m
+			}
+		}
+		if victim == nil {
+			return // only resident modules remain
+		}
+		delete(rt.modules, victim.Path)
+		rt.stats.Evictions++
+	}
+}
+
+// ModuleGetFunction resolves a kernel symbol in a loaded module.
+func (rt *Runtime) ModuleGetFunction(m *Module, name string) (*Function, error) {
+	k, ok := m.Object.Symbol(name)
+	if !ok {
+		return nil, fmt.Errorf("hip: symbol %q not found in module %q", name, m.Path)
+	}
+	m.lastUsed = rt.Env.Now()
+	return &Function{Module: m, Kernel: k}, nil
+}
+
+// GetFunction loads the module at path if needed (the lazy path the reactive
+// baseline hits at launch time) and resolves the symbol.
+func (rt *Runtime) GetFunction(p *sim.Proc, path, name string) (*Function, error) {
+	m, err := rt.ModuleLoad(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return rt.ModuleGetFunction(m, name)
+}
+
+// RegisterResident maps a code object that ships inside an already-open
+// shared library: the bytes are parsed and the symbols registered, but only
+// the cheap mapping cost is charged (no file read or relocation pass).
+func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
+	if m, ok := rt.modules[path]; ok {
+		return m, nil
+	}
+	data, err := rt.store.Get(path)
+	if err != nil {
+		return nil, fmt.Errorf("hip: RegisterResident: %w", err)
+	}
+	obj, perr := codeobj.Parse(data)
+	if perr != nil {
+		return nil, fmt.Errorf("hip: RegisterResident %q: %w", path, perr)
+	}
+	p.Sleep(rt.Host.ResidentMap)
+	m := &Module{Path: path, Object: obj, LoadedAt: p.Now(), resident: true}
+	rt.modules[path] = m
+	return m, nil
+}
+
+// Unload evicts a module from the registry (edge/suspend scenarios).
+func (rt *Runtime) Unload(path string) bool {
+	if _, ok := rt.modules[path]; !ok {
+		return false
+	}
+	delete(rt.modules, path)
+	return true
+}
+
+// UnloadAll evicts every non-resident module, modeling a device reset that
+// keeps the process (and its mapped library binary) alive.
+func (rt *Runtime) UnloadAll() {
+	for path, m := range rt.modules {
+		if !m.resident {
+			delete(rt.modules, path)
+		}
+	}
+}
+
+// Preload loads every listed module, stopping at the first error. Used to
+// realize the paper's Ideal scheme (all solutions resident before timing
+// starts).
+func (rt *Runtime) Preload(p *sim.Proc, paths []string) error {
+	for _, path := range paths {
+		if _, err := rt.ModuleLoad(p, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadedCodeBytes returns the total container bytes of resident modules.
+func (rt *Runtime) LoadedCodeBytes() int64 {
+	var n int64
+	for _, m := range rt.modules {
+		n += int64(m.Object.Size())
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+// Package httpapi exposes the simulated PASK stack as a small JSON web
+// service: clients ask "what would a cold start of model X under scheme Y on
+// device Z cost?" and receive the full report. It powers cmd/pasksrv and
+// gives capacity planners a programmatic what-if interface.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/metrics"
+	"pask/internal/onnx/zoo"
+)
+
+// Server is the HTTP handler set. Model setups are compiled once per
+// (model, device, batch) and cached; runs themselves are deterministic.
+type Server struct {
+	mu     sync.Mutex
+	setups map[string]*experiments.ModelSetup
+	mux    *http.ServeMux
+}
+
+// New returns a ready-to-serve handler.
+func New() *Server {
+	s := &Server{setups: make(map[string]*experiments.ModelSetup), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /models", s.handleModels)
+	s.mux.HandleFunc("GET /devices", s.handleDevices)
+	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /coldstart", s.handleColdStart)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ModelInfo is one /models entry.
+type ModelInfo struct {
+	Abbr string `json:"abbr"`
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var out []ModelInfo
+	for _, spec := range zoo.Models() {
+		out = append(out, ModelInfo{Abbr: spec.Abbr, Name: spec.Name, Type: spec.Type})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	var out []string
+	for _, p := range device.Profiles() {
+		out = append(out, p.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	var out []string
+	for _, sch := range core.Schemes() {
+		out = append(out, string(sch))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ColdStartResponse is the /coldstart reply.
+type ColdStartResponse struct {
+	Model  string `json:"model"`
+	Scheme string `json:"scheme"`
+	Device string `json:"device"`
+	Batch  int    `json:"batch"`
+
+	TotalMs       float64            `json:"total_ms"`
+	Utilization   float64            `json:"gpu_utilization"`
+	Loads         int                `json:"code_objects_loaded"`
+	LoadedBytes   int64              `json:"bytes_loaded"`
+	ReuseQueries  int                `json:"reuse_queries"`
+	ReuseHits     int                `json:"reuse_hits"`
+	SkippedLoads  int                `json:"skipped_loads"`
+	Milestone     int                `json:"milestone"`
+	BreakdownMs   map[string]float64 `json:"breakdown_ms"`
+	SpeedupVsBase float64            `json:"speedup_vs_baseline,omitempty"`
+}
+
+// handleColdStart runs ?model=res&scheme=PaSK&device=MI100&batch=1 and
+// reports the result; with compare=1 it also runs Baseline and reports the
+// speedup.
+func (s *Server) handleColdStart(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	model := q.Get("model")
+	if model == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing model parameter"))
+		return
+	}
+	schemeName := q.Get("scheme")
+	if schemeName == "" {
+		schemeName = string(core.SchemePaSK)
+	}
+	scheme := core.Scheme(schemeName)
+	valid := false
+	for _, sch := range core.Schemes() {
+		if sch == scheme {
+			valid = true
+		}
+	}
+	if !valid {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", schemeName))
+		return
+	}
+	devName := q.Get("device")
+	if devName == "" {
+		devName = "MI100"
+	}
+	prof, ok := device.ProfileByName(devName)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", devName))
+		return
+	}
+	batch := 1
+	if b := q.Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", b))
+			return
+		}
+		batch = v
+	}
+
+	ms, err := s.setup(model, batch, prof)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, _, err := ms.RunScheme(scheme, core.Options{})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := toResponse(model, schemeName, devName, batch, rep)
+	if q.Get("compare") == "1" && scheme != core.SchemeBaseline {
+		base, _, err := ms.RunScheme(core.SchemeBaseline, core.Options{})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.SpeedupVsBase = float64(base.Total) / float64(rep.Total)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) setup(model string, batch int, prof device.Profile) (*experiments.ModelSetup, error) {
+	key := fmt.Sprintf("%s/%d/%s", model, batch, prof.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ms, ok := s.setups[key]; ok {
+		return ms, nil
+	}
+	ms, err := experiments.PrepareModel(model, batch, prof)
+	if err != nil {
+		return nil, err
+	}
+	s.setups[key] = ms
+	return ms, nil
+}
+
+func toResponse(model, scheme, dev string, batch int, rep *metrics.Report) *ColdStartResponse {
+	bd := make(map[string]float64, len(rep.Breakdown))
+	for c, v := range rep.Breakdown {
+		bd[string(c)] = float64(v) / float64(time.Millisecond)
+	}
+	// Deterministic map content for clients diffing responses.
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &ColdStartResponse{
+		Model: model, Scheme: scheme, Device: dev, Batch: batch,
+		TotalMs:      float64(rep.Total) / float64(time.Millisecond),
+		Utilization:  rep.Utilization(),
+		Loads:        rep.Loads,
+		LoadedBytes:  rep.LoadedBytes,
+		ReuseQueries: rep.ReuseQueries,
+		ReuseHits:    rep.ReuseHits,
+		SkippedLoads: rep.SkippedLoads,
+		Milestone:    rep.Milestone,
+		BreakdownMs:  bd,
+	}
+}

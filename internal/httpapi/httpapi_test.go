@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, srv *Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := get(t, srv, "/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var models []ModelInfo
+	if err := json.Unmarshal(body, &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 12 {
+		t.Fatalf("got %d models", len(models))
+	}
+}
+
+func TestDevicesAndSchemesEndpoints(t *testing.T) {
+	srv := New()
+	_, body := get(t, srv, "/devices")
+	var devs []string
+	if err := json.Unmarshal(body, &devs); err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 3 {
+		t.Fatalf("devices = %v", devs)
+	}
+	_, body = get(t, srv, "/schemes")
+	var schemes []string
+	if err := json.Unmarshal(body, &schemes); err != nil {
+		t.Fatal(err)
+	}
+	if len(schemes) != 6 {
+		t.Fatalf("schemes = %v", schemes)
+	}
+}
+
+func TestColdStartEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := get(t, srv, "/coldstart?model=alex&scheme=PaSK&compare=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ColdStartResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalMs <= 0 || out.SpeedupVsBase <= 1 {
+		t.Fatalf("response implausible: %+v", out)
+	}
+	if out.ReuseHits == 0 || out.Milestone == 0 {
+		t.Fatalf("PASK statistics missing: %+v", out)
+	}
+	var sum float64
+	for _, v := range out.BreakdownMs {
+		sum += v
+	}
+	if sum < out.TotalMs*0.999 || sum > out.TotalMs*1.001 {
+		t.Fatalf("breakdown (%v) does not sum to total (%v)", sum, out.TotalMs)
+	}
+}
+
+func TestColdStartDefaultsAndCache(t *testing.T) {
+	srv := New()
+	resp1, body1 := get(t, srv, "/coldstart?model=alex")
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	// The second call reuses the cached setup and must be identical
+	// (deterministic virtual time).
+	_, body2 := get(t, srv, "/coldstart?model=alex")
+	if string(body1) != string(body2) {
+		t.Fatal("repeated identical queries differ")
+	}
+}
+
+func TestColdStartValidation(t *testing.T) {
+	srv := New()
+	cases := []string{
+		"/coldstart",                         // missing model
+		"/coldstart?model=bert",              // unknown model
+		"/coldstart?model=alex&scheme=Turbo", // unknown scheme
+		"/coldstart?model=alex&device=H100",  // unknown device
+		"/coldstart?model=alex&batch=0",      // bad batch
+		"/coldstart?model=alex&batch=banana", // non-numeric batch
+	}
+	for _, path := range cases {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package kernels implements functional CPU reference implementations of the
+// GPU kernels the simulated stack schedules: convolution by three genuinely
+// different algorithms (direct, im2col+GEMM, Winograd F(2x2,3x3)), pooling,
+// activations and GEMM, plus the FLOP/byte accounting the roofline timing
+// model consumes.
+//
+// The different convolution algorithms matter: PASK's central claim is that a
+// layer can be *re-implemented* by a substitute solution of the same pattern
+// and still compute the same function. The tests in this package prove that
+// equivalence numerically.
+package kernels
+
+import (
+	"fmt"
+
+	"pask/internal/tensor"
+)
+
+// Conv2DParams describes a 2-D cross-correlation (the DL convention).
+type Conv2DParams struct {
+	StrideH, StrideW int
+	PadH, PadW       int
+	DilH, DilW       int
+}
+
+// Default1x1 returns stride-1, pad-0, dilation-1 parameters.
+func Default1x1() Conv2DParams {
+	return Conv2DParams{StrideH: 1, StrideW: 1, DilH: 1, DilW: 1}
+}
+
+// Valid reports whether the parameters are well formed.
+func (p Conv2DParams) Valid() bool {
+	return p.StrideH > 0 && p.StrideW > 0 && p.PadH >= 0 && p.PadW >= 0 && p.DilH > 0 && p.DilW > 0
+}
+
+// OutSize returns the convolution output spatial size for input size (h, w)
+// and filter size (r, s). A filter larger than the padded input yields a
+// non-positive size (Go's truncated division would otherwise mask it).
+func (p Conv2DParams) OutSize(h, w, r, s int) (oh, ow int) {
+	effR := (r-1)*p.DilH + 1
+	effS := (s-1)*p.DilW + 1
+	nh := h + 2*p.PadH - effR
+	nw := w + 2*p.PadW - effS
+	if nh < 0 || nw < 0 {
+		return 0, 0
+	}
+	return nh/p.StrideH + 1, nw/p.StrideW + 1
+}
+
+// ConvOutShape returns the output tensor shape for input shape in and a
+// weight tensor of shape (K, C/groups, R, S). groups=1 for dense conv and
+// groups=C for depthwise conv.
+func ConvOutShape(in tensor.Shape, k, r, s int, p Conv2DParams) tensor.Shape {
+	oh, ow := p.OutSize(in.H, in.W, r, s)
+	return tensor.Shape{N: in.N, C: k, H: oh, W: ow}
+}
+
+func checkConvArgs(in, weight, out *tensor.Tensor, p Conv2DParams, groups int) error {
+	if !p.Valid() {
+		return fmt.Errorf("kernels: invalid conv params %+v", p)
+	}
+	if groups < 1 || in.Shape.C%groups != 0 || weight.Shape.N%groups != 0 {
+		return fmt.Errorf("kernels: invalid groups %d for C=%d K=%d", groups, in.Shape.C, weight.Shape.N)
+	}
+	if weight.Shape.C != in.Shape.C/groups {
+		return fmt.Errorf("kernels: weight channels %d != C/groups %d", weight.Shape.C, in.Shape.C/groups)
+	}
+	want := ConvOutShape(in.Shape, weight.Shape.N, weight.Shape.H, weight.Shape.W, p)
+	if out.Shape != want {
+		return fmt.Errorf("kernels: out shape %v, want %v", out.Shape, want)
+	}
+	if want.H <= 0 || want.W <= 0 {
+		return fmt.Errorf("kernels: non-positive output size %v", want)
+	}
+	return nil
+}
+
+// ConvDirect computes a grouped 2-D convolution with the naive seven-loop
+// algorithm. weight has shape (K, C/groups, R, S); bias may be nil.
+func ConvDirect(in, weight, bias, out *tensor.Tensor, p Conv2DParams, groups int) error {
+	if err := checkConvArgs(in, weight, out, p, groups); err != nil {
+		return err
+	}
+	s := in.Shape
+	k := weight.Shape.N
+	r, q := weight.Shape.H, weight.Shape.W
+	cPerG := s.C / groups
+	kPerG := k / groups
+	oh, ow := p.OutSize(s.H, s.W, r, q)
+	for n := 0; n < s.N; n++ {
+		for ko := 0; ko < k; ko++ {
+			g := ko / kPerG
+			var b float32
+			if bias != nil {
+				b = bias.Data[ko]
+			}
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					acc := b
+					for c := 0; c < cPerG; c++ {
+						ci := g*cPerG + c
+						for fy := 0; fy < r; fy++ {
+							iy := y*p.StrideH - p.PadH + fy*p.DilH
+							if iy < 0 || iy >= s.H {
+								continue
+							}
+							for fx := 0; fx < q; fx++ {
+								ix := x*p.StrideW - p.PadW + fx*p.DilW
+								if ix < 0 || ix >= s.W {
+									continue
+								}
+								acc += in.At(n, ci, iy, ix) * weight.At(ko, c, fy, fx)
+							}
+						}
+					}
+					out.Set(n, ko, y, x, acc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ConvIm2col computes the same convolution by lowering the input to a column
+// matrix and calling GEMM — the "GEMM pattern" solution family.
+func ConvIm2col(in, weight, bias, out *tensor.Tensor, p Conv2DParams, groups int) error {
+	if err := checkConvArgs(in, weight, out, p, groups); err != nil {
+		return err
+	}
+	s := in.Shape
+	k := weight.Shape.N
+	r, q := weight.Shape.H, weight.Shape.W
+	cPerG := s.C / groups
+	kPerG := k / groups
+	oh, ow := p.OutSize(s.H, s.W, r, q)
+	colRows := cPerG * r * q
+	colCols := oh * ow
+	col := make([]float32, colRows*colCols)
+	res := make([]float32, kPerG*colCols)
+	for n := 0; n < s.N; n++ {
+		for g := 0; g < groups; g++ {
+			// im2col for this group
+			for c := 0; c < cPerG; c++ {
+				ci := g*cPerG + c
+				for fy := 0; fy < r; fy++ {
+					for fx := 0; fx < q; fx++ {
+						row := (c*r+fy)*q + fx
+						for y := 0; y < oh; y++ {
+							iy := y*p.StrideH - p.PadH + fy*p.DilH
+							for x := 0; x < ow; x++ {
+								ix := x*p.StrideW - p.PadW + fx*p.DilW
+								var v float32
+								if iy >= 0 && iy < s.H && ix >= 0 && ix < s.W {
+									v = in.At(n, ci, iy, ix)
+								}
+								col[row*colCols+y*ow+x] = v
+							}
+						}
+					}
+				}
+			}
+			// res[kPerG x colCols] = W[kPerG x colRows] * col
+			wBase := g * kPerG
+			for ko := 0; ko < kPerG; ko++ {
+				wRow := make([]float32, colRows)
+				for c := 0; c < cPerG; c++ {
+					for fy := 0; fy < r; fy++ {
+						for fx := 0; fx < q; fx++ {
+							wRow[(c*r+fy)*q+fx] = weight.At(wBase+ko, c, fy, fx)
+						}
+					}
+				}
+				for j := 0; j < colCols; j++ {
+					var acc float32
+					for i := 0; i < colRows; i++ {
+						acc += wRow[i] * col[i*colCols+j]
+					}
+					res[ko*colCols+j] = acc
+				}
+			}
+			for ko := 0; ko < kPerG; ko++ {
+				var b float32
+				if bias != nil {
+					b = bias.Data[wBase+ko]
+				}
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						out.Set(n, wBase+ko, y, x, res[ko*colCols+y*ow+x]+b)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// winograd F(2x2, 3x3) transform matrices.
+var (
+	wgG = [4][3]float32{
+		{1, 0, 0},
+		{0.5, 0.5, 0.5},
+		{0.5, -0.5, 0.5},
+		{0, 0, 1},
+	}
+	wgBT = [4][4]float32{
+		{1, 0, -1, 0},
+		{0, 1, 1, 0},
+		{0, -1, 1, 0},
+		{0, 1, 0, -1},
+	}
+	wgAT = [2][4]float32{
+		{1, 1, 1, 0},
+		{0, 1, -1, -1},
+	}
+)
+
+// ConvWinograd computes a dense (groups=1) 3x3 stride-1 dilation-1
+// convolution with the Winograd F(2x2,3x3) fast algorithm. It returns an
+// error for unsupported geometry; callers fall back to another algorithm.
+func ConvWinograd(in, weight, bias, out *tensor.Tensor, p Conv2DParams) error {
+	if err := checkConvArgs(in, weight, out, p, 1); err != nil {
+		return err
+	}
+	if weight.Shape.H != 3 || weight.Shape.W != 3 || p.StrideH != 1 || p.StrideW != 1 || p.DilH != 1 || p.DilW != 1 {
+		return fmt.Errorf("kernels: winograd F(2x2,3x3) requires 3x3 stride-1 dilation-1, got %dx%d s%d,%d d%d,%d",
+			weight.Shape.H, weight.Shape.W, p.StrideH, p.StrideW, p.DilH, p.DilW)
+	}
+	s := in.Shape
+	k := weight.Shape.N
+	oh, ow := p.OutSize(s.H, s.W, 3, 3)
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+
+	// U[k][c] = G g G^T (4x4), precomputed per filter.
+	u := make([][4][4]float32, k*s.C)
+	for ko := 0; ko < k; ko++ {
+		for c := 0; c < s.C; c++ {
+			var g [3][3]float32
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					g[i][j] = weight.At(ko, c, i, j)
+				}
+			}
+			var gg [4][3]float32
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 3; j++ {
+					for t := 0; t < 3; t++ {
+						gg[i][j] += wgG[i][t] * g[t][j]
+					}
+				}
+			}
+			var uu [4][4]float32
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					for t := 0; t < 3; t++ {
+						uu[i][j] += gg[i][t] * wgG[j][t]
+					}
+				}
+			}
+			u[ko*s.C+c] = uu
+		}
+	}
+
+	fetch := func(n, c, y, x int) float32 {
+		if y < 0 || y >= s.H || x < 0 || x >= s.W {
+			return 0
+		}
+		return in.At(n, c, y, x)
+	}
+
+	m := make([][4][4]float32, k)
+	for n := 0; n < s.N; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				for ko := range m {
+					m[ko] = [4][4]float32{}
+				}
+				baseY := ty*2 - p.PadH
+				baseX := tx*2 - p.PadW
+				for c := 0; c < s.C; c++ {
+					var d [4][4]float32
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							d[i][j] = fetch(n, c, baseY+i, baseX+j)
+						}
+					}
+					// V = B^T d B
+					var bd [4][4]float32
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							for t := 0; t < 4; t++ {
+								bd[i][j] += wgBT[i][t] * d[t][j]
+							}
+						}
+					}
+					var v [4][4]float32
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							for t := 0; t < 4; t++ {
+								v[i][j] += bd[i][t] * wgBT[j][t]
+							}
+						}
+					}
+					for ko := 0; ko < k; ko++ {
+						uu := &u[ko*s.C+c]
+						for i := 0; i < 4; i++ {
+							for j := 0; j < 4; j++ {
+								m[ko][i][j] += uu[i][j] * v[i][j]
+							}
+						}
+					}
+				}
+				for ko := 0; ko < k; ko++ {
+					// Y = A^T M A (2x2)
+					var am [2][4]float32
+					for i := 0; i < 2; i++ {
+						for j := 0; j < 4; j++ {
+							for t := 0; t < 4; t++ {
+								am[i][j] += wgAT[i][t] * m[ko][t][j]
+							}
+						}
+					}
+					var b float32
+					if bias != nil {
+						b = bias.Data[ko]
+					}
+					for i := 0; i < 2; i++ {
+						oy := ty*2 + i
+						if oy >= oh {
+							continue
+						}
+						for j := 0; j < 2; j++ {
+							ox := tx*2 + j
+							if ox >= ow {
+								continue
+							}
+							var y float32
+							for t := 0; t < 4; t++ {
+								y += am[i][t] * wgAT[j][t]
+							}
+							out.Set(n, ko, oy, ox, y+b)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pask/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, s tensor.Shape) *tensor.Tensor {
+	t := tensor.New(s, tensor.NCHW)
+	t.Fill(func(int) float32 { return rng.Float32()*2 - 1 })
+	return t
+}
+
+func TestConvDirectKnownValues(t *testing.T) {
+	// 1x1x3x3 input, single 2x2 filter of ones, stride 1, no pad:
+	// output elements are the 2x2 window sums.
+	in := tensor.New(sh(1, 1, 3, 3), tensor.NCHW)
+	in.Data = []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	w := tensor.New(sh(1, 1, 2, 2), tensor.NCHW)
+	w.Data = []float32{1, 1, 1, 1}
+	p := Default1x1()
+	out := tensor.New(ConvOutShape(in.Shape, 1, 2, 2, p), tensor.NCHW)
+	if err := ConvDirect(in, w, nil, out, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 16, 24, 28}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestConvDirectWithBiasAndPadding(t *testing.T) {
+	in := tensor.New(sh(1, 1, 2, 2), tensor.NCHW)
+	in.Data = []float32{1, 2, 3, 4}
+	w := tensor.New(sh(1, 1, 3, 3), tensor.NCHW)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	bias := tensor.New(sh(1, 1, 1, 1), tensor.NCHW)
+	bias.Data[0] = 10
+	p := Conv2DParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DilH: 1, DilW: 1}
+	out := tensor.New(ConvOutShape(in.Shape, 1, 3, 3, p), tensor.NCHW)
+	if err := ConvDirect(in, w, bias, out, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Center output (0,0): window covers all four inputs -> 10 + 10 = 20.
+	if out.At(0, 0, 0, 0) != 20 {
+		t.Fatalf("out(0,0) = %v, want 20", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestConvOutShape(t *testing.T) {
+	cases := []struct {
+		in      tensor.Shape
+		k, r, s int
+		p       Conv2DParams
+		want    tensor.Shape
+	}{
+		{sh(1, 3, 224, 224), 64, 7, 7, Conv2DParams{2, 2, 3, 3, 1, 1}, sh(1, 64, 112, 112)},
+		{sh(1, 64, 56, 56), 64, 3, 3, Conv2DParams{1, 1, 1, 1, 1, 1}, sh(1, 64, 56, 56)},
+		{sh(2, 16, 32, 32), 8, 1, 1, Default1x1(), sh(2, 8, 32, 32)},
+		{sh(1, 8, 16, 16), 8, 3, 3, Conv2DParams{1, 1, 2, 2, 2, 2}, sh(1, 8, 16, 16)},
+	}
+	for _, c := range cases {
+		if got := ConvOutShape(c.in, c.k, c.r, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutShape(%v,k=%d,%dx%d,%+v) = %v, want %v", c.in, c.k, c.r, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConvShapeMismatchError(t *testing.T) {
+	in := tensor.New(sh(1, 2, 4, 4), tensor.NCHW)
+	w := tensor.New(sh(3, 2, 3, 3), tensor.NCHW)
+	out := tensor.New(sh(1, 3, 4, 4), tensor.NCHW) // wrong: should be 2x2
+	if err := ConvDirect(in, w, nil, out, Default1x1(), 1); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestConvBadGroupsError(t *testing.T) {
+	in := tensor.New(sh(1, 3, 4, 4), tensor.NCHW)
+	w := tensor.New(sh(3, 3, 1, 1), tensor.NCHW)
+	out := tensor.New(sh(1, 3, 4, 4), tensor.NCHW)
+	if err := ConvDirect(in, w, nil, out, Default1x1(), 2); err == nil {
+		t.Fatal("expected groups error: 3 % 2 != 0")
+	}
+}
+
+func TestConvDepthwiseEqualsPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randTensor(rng, sh(1, 4, 8, 8))
+	w := randTensor(rng, sh(4, 1, 3, 3))
+	p := Conv2DParams{1, 1, 1, 1, 1, 1}
+	out := tensor.New(ConvOutShape(in.Shape, 4, 3, 3, p), tensor.NCHW)
+	if err := ConvDirect(in, w, nil, out, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Each channel convolved independently.
+	for c := 0; c < 4; c++ {
+		sub := tensor.New(sh(1, 1, 8, 8), tensor.NCHW)
+		for h := 0; h < 8; h++ {
+			for x := 0; x < 8; x++ {
+				sub.Set(0, 0, h, x, in.At(0, c, h, x))
+			}
+		}
+		subW := tensor.New(sh(1, 1, 3, 3), tensor.NCHW)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				subW.Set(0, 0, i, j, w.At(c, 0, i, j))
+			}
+		}
+		subOut := tensor.New(sh(1, 1, 8, 8), tensor.NCHW)
+		if err := ConvDirect(sub, subW, nil, subOut, p, 1); err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h < 8; h++ {
+			for x := 0; x < 8; x++ {
+				if math.Abs(float64(subOut.At(0, 0, h, x)-out.At(0, c, h, x))) > 1e-5 {
+					t.Fatalf("depthwise channel %d differs at (%d,%d)", c, h, x)
+				}
+			}
+		}
+	}
+}
+
+// Property: im2col+GEMM convolution computes the same function as direct
+// convolution for random geometry, including strides, padding and groups.
+func TestIm2colEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := []int{1, 1, 1, 2}[rng.Intn(4)]
+		cPerG := rng.Intn(3) + 1
+		kPerG := rng.Intn(3) + 1
+		in := randTensor(rng, sh(rng.Intn(2)+1, groups*cPerG, rng.Intn(8)+4, rng.Intn(8)+4))
+		r := rng.Intn(3) + 1
+		s := rng.Intn(3) + 1
+		p := Conv2DParams{
+			StrideH: rng.Intn(2) + 1, StrideW: rng.Intn(2) + 1,
+			PadH: rng.Intn(2), PadW: rng.Intn(2),
+			DilH: 1, DilW: 1,
+		}
+		oh, ow := p.OutSize(in.Shape.H, in.Shape.W, r, s)
+		if oh <= 0 || ow <= 0 {
+			return true
+		}
+		w := randTensor(rng, sh(groups*kPerG, cPerG, r, s))
+		bias := randTensor(rng, sh(groups*kPerG, 1, 1, 1))
+		outShape := ConvOutShape(in.Shape, w.Shape.N, r, s, p)
+		a := tensor.New(outShape, tensor.NCHW)
+		b := tensor.New(outShape, tensor.NCHW)
+		if err := ConvDirect(in, w, bias, a, p, groups); err != nil {
+			return false
+		}
+		if err := ConvIm2col(in, w, bias, b, p, groups); err != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(a, b) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Winograd F(2x2,3x3) matches direct convolution on its supported
+// geometry (3x3, stride 1, dilation 1, any padding, odd/even outputs).
+func TestWinogradEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randTensor(rng, sh(rng.Intn(2)+1, rng.Intn(4)+1, rng.Intn(10)+3, rng.Intn(10)+3))
+		k := rng.Intn(4) + 1
+		p := Conv2DParams{StrideH: 1, StrideW: 1, PadH: rng.Intn(2), PadW: rng.Intn(2), DilH: 1, DilW: 1}
+		oh, ow := p.OutSize(in.Shape.H, in.Shape.W, 3, 3)
+		if oh <= 0 || ow <= 0 {
+			return true
+		}
+		w := randTensor(rng, sh(k, in.Shape.C, 3, 3))
+		bias := randTensor(rng, sh(k, 1, 1, 1))
+		outShape := ConvOutShape(in.Shape, k, 3, 3, p)
+		a := tensor.New(outShape, tensor.NCHW)
+		b := tensor.New(outShape, tensor.NCHW)
+		if err := ConvDirect(in, w, bias, a, p, 1); err != nil {
+			return false
+		}
+		if err := ConvWinograd(in, w, bias, b, p); err != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(a, b) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradRejectsUnsupported(t *testing.T) {
+	in := tensor.New(sh(1, 1, 8, 8), tensor.NCHW)
+	w5 := tensor.New(sh(1, 1, 5, 5), tensor.NCHW)
+	p := Default1x1()
+	out := tensor.New(ConvOutShape(in.Shape, 1, 5, 5, p), tensor.NCHW)
+	if err := ConvWinograd(in, w5, nil, out, p); err == nil {
+		t.Fatal("expected error for 5x5 filter")
+	}
+	w3 := tensor.New(sh(1, 1, 3, 3), tensor.NCHW)
+	p2 := Conv2DParams{StrideH: 2, StrideW: 2, DilH: 1, DilW: 1}
+	out2 := tensor.New(ConvOutShape(in.Shape, 1, 3, 3, p2), tensor.NCHW)
+	if err := ConvWinograd(in, w3, nil, out2, p2); err == nil {
+		t.Fatal("expected error for stride 2")
+	}
+}
+
+func TestConvDilated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randTensor(rng, sh(1, 2, 9, 9))
+	w := randTensor(rng, sh(3, 2, 3, 3))
+	p := Conv2DParams{StrideH: 1, StrideW: 1, PadH: 2, PadW: 2, DilH: 2, DilW: 2}
+	outShape := ConvOutShape(in.Shape, 3, 3, 3, p)
+	if outShape.H != 9 || outShape.W != 9 {
+		t.Fatalf("dilated same-conv shape = %v", outShape)
+	}
+	a := tensor.New(outShape, tensor.NCHW)
+	b := tensor.New(outShape, tensor.NCHW)
+	if err := ConvDirect(in, w, nil, a, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConvIm2col(in, w, nil, b, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a, b); d > 1e-4 {
+		t.Fatalf("dilated conv mismatch: %v", d)
+	}
+}
+
+// sh builds a Shape without repeating field names in every literal.
+func sh(n, c, h, w int) tensor.Shape { return tensor.Shape{N: n, C: c, H: h, W: w} }

@@ -1,0 +1,232 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"pask/internal/tensor"
+)
+
+// Pool2DParams describes a 2-D pooling window.
+type Pool2DParams struct {
+	WinH, WinW       int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// Valid reports whether the parameters are well formed.
+func (p Pool2DParams) Valid() bool {
+	return p.WinH > 0 && p.WinW > 0 && p.StrideH > 0 && p.StrideW > 0 && p.PadH >= 0 && p.PadW >= 0
+}
+
+// OutSize returns the pooled spatial size for input (h, w). A window larger
+// than the padded input yields a non-positive size.
+func (p Pool2DParams) OutSize(h, w int) (oh, ow int) {
+	nh := h + 2*p.PadH - p.WinH
+	nw := w + 2*p.PadW - p.WinW
+	if nh < 0 || nw < 0 {
+		return 0, 0
+	}
+	return nh/p.StrideH + 1, nw/p.StrideW + 1
+}
+
+// PoolOutShape returns the output shape of pooling over in.
+func PoolOutShape(in tensor.Shape, p Pool2DParams) tensor.Shape {
+	oh, ow := p.OutSize(in.H, in.W)
+	return tensor.Shape{N: in.N, C: in.C, H: oh, W: ow}
+}
+
+// PoolMode selects the pooling reduction.
+type PoolMode uint8
+
+const (
+	MaxPool PoolMode = iota
+	AvgPool
+)
+
+func (m PoolMode) String() string {
+	if m == MaxPool {
+		return "max"
+	}
+	return "avg"
+}
+
+// Pool2D applies 2-D pooling. Average pooling counts padded positions as
+// excluded (count_include_pad=false, the PyTorch default for model-zoo nets).
+func Pool2D(in, out *tensor.Tensor, p Pool2DParams, mode PoolMode) error {
+	if !p.Valid() {
+		return fmt.Errorf("kernels: invalid pool params %+v", p)
+	}
+	want := PoolOutShape(in.Shape, p)
+	if out.Shape != want {
+		return fmt.Errorf("kernels: pool out shape %v, want %v", out.Shape, want)
+	}
+	s := in.Shape
+	oh, ow := p.OutSize(s.H, s.W)
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					count := 0
+					if mode == MaxPool {
+						acc = float32(math.Inf(-1))
+					}
+					for fy := 0; fy < p.WinH; fy++ {
+						iy := y*p.StrideH - p.PadH + fy
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for fx := 0; fx < p.WinW; fx++ {
+							ix := x*p.StrideW - p.PadW + fx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							v := in.At(n, c, iy, ix)
+							if mode == MaxPool {
+								if v > acc {
+									acc = v
+								}
+							} else {
+								acc += v
+							}
+							count++
+						}
+					}
+					if mode == AvgPool {
+						if count > 0 {
+							acc /= float32(count)
+						}
+					} else if count == 0 {
+						acc = 0
+					}
+					out.Set(n, c, y, x, acc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ActKind selects an elementwise activation function.
+type ActKind uint8
+
+const (
+	ReLU ActKind = iota
+	LeakyReLU
+	Sigmoid
+	Tanh
+	GELU
+)
+
+var actNames = [...]string{"relu", "leakyrelu", "sigmoid", "tanh", "gelu"}
+
+func (a ActKind) String() string {
+	if int(a) < len(actNames) {
+		return actNames[a]
+	}
+	return fmt.Sprintf("act(%d)", uint8(a))
+}
+
+// Apply evaluates the activation at v. alpha is the LeakyReLU slope and is
+// ignored by other kinds.
+func (a ActKind) Apply(v, alpha float32) float32 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case LeakyReLU:
+		if v < 0 {
+			return alpha * v
+		}
+		return v
+	case Sigmoid:
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	case Tanh:
+		return float32(math.Tanh(float64(v)))
+	case GELU:
+		// tanh approximation, as used by model zoos.
+		x := float64(v)
+		return float32(0.5 * x * (1 + math.Tanh(math.Sqrt(2/math.Pi)*(x+0.044715*x*x*x))))
+	}
+	return v
+}
+
+// Activation applies an elementwise activation from in to out (same shape).
+func Activation(in, out *tensor.Tensor, kind ActKind, alpha float32) error {
+	if in.Shape != out.Shape {
+		return fmt.Errorf("kernels: activation shape mismatch %v vs %v", in.Shape, out.Shape)
+	}
+	if in.Layout != out.Layout {
+		return fmt.Errorf("kernels: activation layout mismatch %v vs %v", in.Layout, out.Layout)
+	}
+	for i, v := range in.Data {
+		out.Data[i] = kind.Apply(v, alpha)
+	}
+	return nil
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices.
+// A is m x k (or k x m when transA), B is k x n (or n x k when transB),
+// C is m x n.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) error {
+	if m < 0 || n < 0 || k < 0 {
+		return fmt.Errorf("kernels: negative gemm dims m=%d n=%d k=%d", m, n, k)
+	}
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		return fmt.Errorf("kernels: gemm buffer too small: |A|=%d |B|=%d |C|=%d for m=%d n=%d k=%d",
+			len(a), len(b), len(c), m, n, k)
+	}
+	at := func(i, j int) float32 {
+		if transA {
+			return a[j*m+i]
+		}
+		return a[i*k+j]
+	}
+	bt := func(i, j int) float32 {
+		if transB {
+			return b[j*k+i]
+		}
+		return b[i*n+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for t := 0; t < k; t++ {
+				acc += at(i, t) * bt(t, j)
+			}
+			c[i*n+j] = alpha*acc + beta*c[i*n+j]
+		}
+	}
+	return nil
+}
+
+// Softmax applies a numerically stable softmax over the last axis of a
+// row-major m x n matrix, in place.
+func Softmax(data []float32, m, n int) error {
+	if len(data) < m*n {
+		return fmt.Errorf("kernels: softmax buffer %d < %d", len(data), m*n)
+	}
+	for i := 0; i < m; i++ {
+		row := data[i*n : (i+1)*n]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return nil
+}

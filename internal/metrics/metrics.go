@@ -1,0 +1,232 @@
+// Package metrics collects virtual-time spans from a model run and turns
+// them into the quantities the paper reports: GPU utilization (Fig 6b) and
+// exclusive phase breakdowns (Fig 1b, Fig 7). Spans may overlap freely (the
+// whole point of PASK is overlapping loading with execution); Breakdown
+// attributes every instant of wall time to exactly one category by priority.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Category labels one kind of activity.
+type Category string
+
+const (
+	CatParse     Category = "parse"    // model deserialization
+	CatLoad      Category = "load"     // code-object loading
+	CatLaunch    Category = "launch"   // kernel submission
+	CatExec      Category = "exec"     // GPU computing
+	CatCopy      Category = "copy"     // host<->device parameter transfer
+	CatOverhead  Category = "overhead" // PASK cache queries / applicability checks
+	CatSync      Category = "sync"     // host-device synchronization
+	CatTransform Category = "xform"    // layout interchange kernels
+	CatOther     Category = "other"
+)
+
+// Span is one timed activity.
+type Span struct {
+	Cat    Category
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Thread string
+}
+
+// Tracer accumulates spans during a run. The zero value is ready to use.
+type Tracer struct {
+	spans []Span
+}
+
+// Add records a span; degenerate spans (End <= Start) are kept only if they
+// carry a category (they still mark events but contribute no time).
+func (t *Tracer) Add(cat Category, name, thread string, start, end time.Duration) {
+	if end < start {
+		panic(fmt.Sprintf("metrics: span %q ends (%v) before it starts (%v)", name, end, start))
+	}
+	t.spans = append(t.spans, Span{Cat: cat, Name: name, Start: start, End: end, Thread: thread})
+}
+
+// Spans returns all recorded spans.
+func (t *Tracer) Spans() []Span { return t.spans }
+
+// CategoryTotal sums the raw (possibly overlapping) time in a category.
+func (t *Tracer) CategoryTotal(cat Category) time.Duration {
+	var total time.Duration
+	for _, s := range t.spans {
+		if s.Cat == cat {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// Count returns the number of spans in a category.
+func (t *Tracer) Count(cat Category) int {
+	n := 0
+	for _, s := range t.spans {
+		if s.Cat == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultPriority is the attribution order used for the paper's breakdowns:
+// work that keeps the GPU busy first (compute, then DMA), then loading, then
+// the host bookkeeping categories.
+func DefaultPriority() []Category {
+	return []Category{CatExec, CatCopy, CatLoad, CatTransform, CatOverhead, CatLaunch, CatParse, CatSync}
+}
+
+// Breakdown attributes every instant of [t0, t1] to exactly one category:
+// the highest-priority category with an active span at that instant, or
+// CatOther when none is active. The result's values sum to t1-t0.
+func Breakdown(spans []Span, t0, t1 time.Duration, priority []Category) map[Category]time.Duration {
+	out := make(map[Category]time.Duration, len(priority)+1)
+	if t1 <= t0 {
+		return out
+	}
+	rank := make(map[Category]int, len(priority))
+	for i, c := range priority {
+		rank[c] = i + 1
+	}
+	// Collect edges inside the window.
+	edges := []time.Duration{t0, t1}
+	for _, s := range spans {
+		if s.End <= t0 || s.Start >= t1 {
+			continue
+		}
+		if s.Start > t0 {
+			edges = append(edges, s.Start)
+		}
+		if s.End < t1 {
+			edges = append(edges, s.End)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	for i := 1; i < len(edges); i++ {
+		lo, hi := edges[i-1], edges[i]
+		if hi <= lo {
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		best := CatOther
+		bestRank := len(priority) + 2
+		for _, s := range spans {
+			if s.Start <= mid && mid < s.End {
+				if r, ok := rank[s.Cat]; ok && r < bestRank {
+					bestRank = r
+					best = s.Cat
+				}
+			}
+		}
+		out[best] += hi - lo
+	}
+	return out
+}
+
+// Report summarizes one model run under one scheme.
+type Report struct {
+	Scheme string
+	Model  string
+	Batch  int
+
+	Total   time.Duration // end-to-end wall time of the run
+	GPUBusy time.Duration // union of GPU-active intervals
+
+	Loads       int   // code objects loaded
+	LoadedBytes int64 // container bytes loaded
+
+	// PASK reuse statistics (zero for non-PASK schemes).
+	ReuseQueries int // GetSubSolution invocations
+	ReuseHits    int // queries answered with a cached instance
+	Lookups      int // IsApplicable evaluations inside queries
+	Milestone    int // index of the milestone layer
+	SkippedLoads int // loads avoided via reuse
+
+	Breakdown map[Category]time.Duration
+}
+
+// Utilization returns the GPU-active fraction of the run.
+func (r *Report) Utilization() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.GPUBusy) / float64(r.Total)
+}
+
+// HitRate returns the reuse-query hit fraction.
+func (r *Report) HitRate() float64 {
+	if r.ReuseQueries == 0 {
+		return 0
+	}
+	return float64(r.ReuseHits) / float64(r.ReuseQueries)
+}
+
+// LookupsPerHit returns the average applicability checks per successful
+// query (paper Fig 9b).
+func (r *Report) LookupsPerHit() float64 {
+	if r.ReuseHits == 0 {
+		return 0
+	}
+	return float64(r.Lookups) / float64(r.ReuseHits)
+}
+
+// Share returns a category's fraction of total time in the breakdown.
+func (r *Report) Share(cat Category) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Breakdown[cat]) / float64(r.Total)
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatCSV renders rows as comma-separated values with a header line.
+func FormatCSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

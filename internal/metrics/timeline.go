@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline renders spans as an ASCII Gantt chart, one lane per category, so
+// a run's overlap structure (the interleaving PASK introduces) is visible in
+// a terminal.
+//
+//	parse  |■■■···································|
+//	load   |···■■■■■■■■■■■■■······■■■■■···········|
+//	exec   |·······■■····■■■■■■■■■■■■■■■■■■■■■···|
+func Timeline(spans []Span, t0, t1 time.Duration, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if t1 <= t0 {
+		return ""
+	}
+	lanes := map[Category][]Span{}
+	for _, s := range spans {
+		if s.End <= t0 || s.Start >= t1 {
+			continue
+		}
+		lanes[s.Cat] = append(lanes[s.Cat], s)
+	}
+	order := []Category{CatParse, CatLoad, CatOverhead, CatLaunch, CatCopy, CatExec, CatSync}
+	var cats []Category
+	seen := map[Category]bool{}
+	for _, c := range order {
+		if len(lanes[c]) > 0 {
+			cats = append(cats, c)
+			seen[c] = true
+		}
+	}
+	var rest []Category
+	for c := range lanes {
+		if !seen[c] {
+			rest = append(rest, c)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	cats = append(cats, rest...)
+
+	scale := float64(width) / float64(t1-t0)
+	var b strings.Builder
+	for _, c := range cats {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range lanes[c] {
+			lo := int(float64(clampDur(s.Start, t0, t1)-t0) * scale)
+			hi := int(float64(clampDur(s.End, t0, t1)-t0) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-9s |%s|\n", c, row)
+	}
+	fmt.Fprintf(&b, "%-9s  0%*s\n", "", width-1, fmt.Sprintf("%.1fms", float64(t1-t0)/1e6))
+	return b.String()
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

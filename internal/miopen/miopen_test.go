@@ -1,0 +1,551 @@
+package miopen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/kernels"
+	"pask/internal/tensor"
+)
+
+func testCtx() *Ctx { return NewCtx(device.MI100()) }
+
+func sh(n, c, h, w int) tensor.Shape { return tensor.Shape{N: n, C: c, H: h, W: w} }
+
+func conv3x3(c, k, hw int) Problem {
+	return NewConvProblem(sh(1, c, hw, hw), k, 3, 3,
+		kernels.Conv2DParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DilH: 1, DilW: 1},
+		1, tensor.F32, tensor.NCHW)
+}
+
+func TestProblemKeyDistinguishes(t *testing.T) {
+	a := conv3x3(64, 64, 56)
+	b := conv3x3(64, 128, 56)
+	c := a
+	if a.Key() == b.Key() {
+		t.Fatal("different problems share a key")
+	}
+	if a.Key() != c.Key() {
+		t.Fatal("identical problems have different keys")
+	}
+	d := a
+	d.DType = tensor.F16
+	if a.Key() == d.Key() {
+		t.Fatal("dtype must be part of the key")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	good := conv3x3(8, 8, 16)
+	if !good.Valid() {
+		t.Fatal("valid problem rejected")
+	}
+	bad := good
+	bad.Groups = 3 // 8 % 3 != 0
+	if bad.Valid() {
+		t.Fatal("invalid groups accepted")
+	}
+	neg := good
+	neg.K = 0
+	if neg.Valid() {
+		t.Fatal("zero filters accepted")
+	}
+	shrunk := good
+	shrunk.In.H = 1
+	shrunk.Conv.PadH = 0
+	if shrunk.Valid() {
+		t.Fatal("non-positive output accepted")
+	}
+}
+
+func TestProblemOutShapeAndWeights(t *testing.T) {
+	p := NewConvProblem(sh(2, 16, 32, 32), 8, 3, 3,
+		kernels.Conv2DParams{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, DilH: 1, DilW: 1},
+		1, tensor.F32, tensor.NCHW)
+	if got := p.OutShape(); got != sh(2, 8, 16, 16) {
+		t.Fatalf("OutShape = %v", got)
+	}
+	if got := p.WeightShape(); got != sh(8, 16, 3, 3) {
+		t.Fatalf("WeightShape = %v", got)
+	}
+	if p.WeightBytes() != 8*16*9*4 {
+		t.Fatalf("WeightBytes = %d", p.WeightBytes())
+	}
+	pool := NewPoolProblem(sh(1, 8, 8, 8), kernels.Pool2DParams{WinH: 2, WinW: 2, StrideH: 2, StrideW: 2}, kernels.MaxPool, tensor.F32, tensor.NCHW)
+	if got := pool.OutShape(); got != sh(1, 8, 4, 4) {
+		t.Fatalf("pool OutShape = %v", got)
+	}
+	act := NewActProblem(sh(1, 8, 8, 8), kernels.ReLU, 0, tensor.F32, tensor.NCHW)
+	if got := act.OutShape(); got != act.In {
+		t.Fatalf("act OutShape = %v", got)
+	}
+	if act.WeightBytes() != 0 {
+		t.Fatal("activation has no weights")
+	}
+}
+
+func TestEveryConvProblemHasFallback(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	// Awkward geometries that defeat every specialist.
+	problems := []Problem{
+		NewConvProblem(sh(1, 3, 7, 7), 5, 4, 2, kernels.Conv2DParams{StrideH: 3, StrideW: 1, PadH: 2, PadW: 0, DilH: 2, DilW: 1}, 1, tensor.I8, tensor.NHWC),
+		NewConvProblem(sh(1, 6, 9, 9), 6, 3, 3, kernels.Conv2DParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DilH: 1, DilW: 1}, 3, tensor.F16, tensor.NCHW),
+		NewConvProblem(sh(1, 1, 224, 1), 2, 5, 1, kernels.Conv2DParams{StrideH: 2, StrideW: 1, PadH: 0, PadW: 0, DilH: 1, DilW: 1}, 1, tensor.F32, tensor.NCHW),
+	}
+	for _, p := range problems {
+		if _, err := reg.FindBest(&p); err != nil {
+			t.Errorf("no solution for %s: %v", p.Key(), err)
+		}
+	}
+}
+
+func TestFindRanksSpecialistsFirstInSweetSpot(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	p := conv3x3(256, 256, 28) // deep-layer sweet spot
+	ranked := reg.Find(&p)
+	if len(ranked) < 3 {
+		t.Fatalf("expected several applicable solutions, got %d", len(ranked))
+	}
+	if got := ranked[0].Inst.Sol.ID(); got != "ConvBinWinogradFwdFixed" {
+		t.Fatalf("best = %s, want ConvBinWinogradFwdFixed", got)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Est < ranked[i-1].Est {
+			t.Fatal("ranking not sorted by estimate")
+		}
+	}
+}
+
+func TestFirstLayerPicksDirectTiled(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	p := NewConvProblem(sh(1, 3, 224, 224), 64, 7, 7,
+		kernels.Conv2DParams{StrideH: 2, StrideW: 2, PadH: 3, PadW: 3, DilH: 1, DilW: 1},
+		1, tensor.F32, tensor.NCHW)
+	best, err := reg.FindBest(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "ConvDirectTiledFwd" {
+		t.Fatalf("best = %s, want ConvDirectTiledFwd", best.Inst.Sol.ID())
+	}
+}
+
+func TestLargeSpatial3x3PicksMidTierWinograd(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	p := conv3x3(64, 64, 224) // too big for the fixed specialist
+	best, err := reg.FindBest(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "ConvBinWinogradRxSFwd" {
+		t.Fatalf("best = %s, want ConvBinWinogradRxSFwd", best.Inst.Sol.ID())
+	}
+	if best.Inst.Binding != "f32" {
+		t.Fatalf("binding = %q", best.Inst.Binding)
+	}
+}
+
+func TestSpecializationLadderMonotonicity(t *testing.T) {
+	// A problem inside every Winograd tier's envelope: the more specialized
+	// the solution, the faster the estimate (paper Fig 4).
+	reg := NewRegistry(testCtx())
+	p := conv3x3(64, 64, 28)
+	ids := []string{"ConvWinogradNaiveFwd", "ConvBinWinogradRxSFwd", "ConvBinWinogradFwdFixed"}
+	var prev time.Duration
+	for i, id := range ids {
+		s, ok := reg.ByID(id)
+		if !ok {
+			t.Fatalf("missing solution %s", id)
+		}
+		if !s.IsApplicable(reg.Ctx(), &p) {
+			t.Fatalf("%s should be applicable to %s", id, p.Key())
+		}
+		est := EstimateTime(reg.Ctx().Dev, s, &p)
+		if i > 0 && est >= prev {
+			t.Fatalf("%s (%v) not faster than previous tier (%v)", id, est, prev)
+		}
+		prev = est
+	}
+}
+
+func TestBindingRestrictsInstanceReuse(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	ctx := reg.Ctx()
+	fixed, _ := reg.ByID("ConvBinWinogradFwdFixed")
+	p1 := conv3x3(64, 64, 28)
+	p2 := conv3x3(256, 256, 14) // different problem configuration
+	p1dup := conv3x3(64, 64, 28)
+	inst := Bind(fixed, &p1)
+	if !inst.IsApplicable(ctx, &p1) {
+		t.Fatal("instance must serve its own problem")
+	}
+	if inst.IsApplicable(ctx, &p2) {
+		t.Fatal("instance must not serve a different binding")
+	}
+	if !inst.IsApplicable(ctx, &p1dup) {
+		t.Fatal("instance must serve a repeat of its own problem")
+	}
+	// A binding-free mid-tier serves all of them.
+	rxs, _ := reg.ByID("ConvBinWinogradRxSFwd")
+	mid := Bind(rxs, &p1)
+	for _, p := range []*Problem{&p1, &p2, &p1dup} {
+		if !mid.IsApplicable(ctx, p) {
+			t.Fatalf("mid-tier should serve %s", p.Key())
+		}
+	}
+}
+
+func TestInstancePathIncludesBinding(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	fixed, _ := reg.ByID("ConvBinWinogradFwdFixed")
+	naive, _ := reg.ByID("ConvDirectNaiveFwd")
+	p := conv3x3(64, 64, 28)
+	if got := Bind(fixed, &p).Path(); got != "ConvBinWinogradFwdFixed_r3s3_c64k64h28_f32.pko" {
+		t.Fatalf("specialized path = %q", got)
+	}
+	if got := Bind(naive, &p).Path(); got != "ConvDirectNaiveFwd.pko" {
+		t.Fatalf("generic path = %q", got)
+	}
+}
+
+func TestWorkspaceLimitDisqualifies(t *testing.T) {
+	ctx := testCtx()
+	ctx.WorkspaceLimit = 1 // nothing fits
+	reg := NewRegistry(ctx)
+	p := conv3x3(64, 64, 56)
+	for _, r := range reg.Find(&p) {
+		if r.Inst.Sol.ID() == "ConvGemmNaiveFwd" || r.Inst.Sol.ID() == "ConvGemmStridedBatchedFwd" {
+			t.Fatalf("%s needs workspace and must be excluded", r.Inst.Sol.ID())
+		}
+	}
+}
+
+func TestDisabledSolutionExcluded(t *testing.T) {
+	ctx := testCtx()
+	ctx.Disabled["ConvBinWinogradFwdFixed"] = true
+	reg := NewRegistry(ctx)
+	p := conv3x3(128, 128, 28)
+	best, err := reg.FindBest(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() == "ConvBinWinogradFwdFixed" {
+		t.Fatal("disabled solution selected")
+	}
+}
+
+func TestXdlopsRequiresMatrixHardware(t *testing.T) {
+	p := NewConvProblem(sh(1, 64, 14, 14), 64, 1, 1, kernels.Default1x1(), 1, tensor.F32, tensor.NHWC)
+	mi := NewRegistry(NewCtx(device.MI100()))
+	xd, _ := mi.ByID("ConvImplicitGemmXdlopsFwd")
+	if !xd.IsApplicable(mi.Ctx(), &p) {
+		t.Fatal("Xdlops should be applicable on MI100 (gfx908)")
+	}
+	navi := NewRegistry(NewCtx(device.RX6900XT()))
+	xdN, _ := navi.ByID("ConvImplicitGemmXdlopsFwd")
+	if xdN.IsApplicable(navi.Ctx(), &p) {
+		t.Fatal("Xdlops must be rejected on gfx1030 (no matrix pipes)")
+	}
+}
+
+func TestPoolAndActLadders(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	pool := NewPoolProblem(sh(1, 64, 56, 56), kernels.Pool2DParams{WinH: 2, WinW: 2, StrideH: 2, StrideW: 2}, kernels.MaxPool, tensor.F32, tensor.NCHW)
+	best, err := reg.FindBest(&pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "PoolingTiled2DFwd" {
+		t.Fatalf("pool best = %s", best.Inst.Sol.ID())
+	}
+	global := NewPoolProblem(sh(1, 512, 7, 7), kernels.Pool2DParams{WinH: 7, WinW: 7, StrideH: 7, StrideW: 7}, kernels.AvgPool, tensor.F32, tensor.NCHW)
+	best, err = reg.FindBest(&global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "PoolingNaiveFwd" {
+		t.Fatalf("global pool best = %s", best.Inst.Sol.ID())
+	}
+	relu := NewActProblem(sh(1, 64, 56, 56), kernels.ReLU, 0, tensor.F32, tensor.NCHW)
+	best, err = reg.FindBest(&relu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "ActivationPackedFwd" {
+		t.Fatalf("relu best = %s", best.Inst.Sol.ID())
+	}
+	gelu := NewActProblem(sh(1, 1, 1, 3), kernels.GELU, 0, tensor.F32, tensor.NCHW)
+	best, err = reg.FindBest(&gelu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Inst.Sol.ID() != "ActivationNaiveFwd" {
+		t.Fatalf("gelu best = %s", best.Inst.Sol.ID())
+	}
+}
+
+func TestPerfDBMemoizes(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	db := NewPerfDB(reg)
+	p := conv3x3(64, 64, 56)
+	a := db.Find(&p)
+	b := db.Find(&p)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("find results differ: %d vs %d", len(a), len(b))
+	}
+	if db.Entries() != 1 {
+		t.Fatalf("Entries = %d", db.Entries())
+	}
+	if db.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", db.HitRate())
+	}
+}
+
+// TestObjectSymbolsCoverKernelCalls materializes every solution's object for
+// a set of representative problems and checks that each KernelCall symbol
+// resolves — the consistency contract between the cost model and the loader.
+func TestObjectSymbolsCoverKernelCalls(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	problems := []Problem{
+		conv3x3(64, 64, 56),
+		conv3x3(3, 64, 224),
+		conv3x3(128, 256, 14),
+		NewConvProblem(sh(1, 64, 56, 56), 128, 1, 1, kernels.Default1x1(), 1, tensor.F32, tensor.NHWC),
+		NewConvProblem(sh(1, 32, 28, 28), 32, 3, 3, kernels.Conv2DParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DilH: 1, DilW: 1}, 32, tensor.F32, tensor.NCHW),
+		NewConvProblem(sh(1, 3, 224, 224), 96, 11, 11, kernels.Conv2DParams{StrideH: 4, StrideW: 4, PadH: 2, PadW: 2, DilH: 1, DilW: 1}, 1, tensor.F32, tensor.NCHW),
+		NewPoolProblem(sh(1, 64, 56, 56), kernels.Pool2DParams{WinH: 3, WinW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}, kernels.MaxPool, tensor.F32, tensor.NCHW),
+		NewActProblem(sh(1, 64, 56, 56), kernels.ReLU, 0, tensor.F32, tensor.NCHW),
+		NewActProblem(sh(1, 64, 56, 56), kernels.Sigmoid, 0, tensor.F16, tensor.NCHW),
+	}
+	store := codeobj.NewStore()
+	for pi := range problems {
+		p := &problems[pi]
+		for _, r := range reg.Find(p) {
+			inst := r.Inst
+			if err := MaterializeObjects(store, reg.Ctx().Dev.Arch, []Instance{inst}); err != nil {
+				t.Fatalf("materialize %s: %v", inst.Key(), err)
+			}
+			data, err := store.Get(inst.Path())
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, err := codeobj.Parse(data)
+			if err != nil {
+				t.Fatalf("parse %s: %v", inst.Path(), err)
+			}
+			for _, call := range inst.Sol.KernelCalls(p) {
+				if _, ok := obj.Symbol(call.Symbol); !ok {
+					t.Fatalf("symbol %q of %s missing from object %s", call.Symbol, inst.Key(), inst.Path())
+				}
+				if call.Work.Flops < 0 || call.Work.Bytes <= 0 {
+					t.Fatalf("degenerate workload for %s: %+v", call.Symbol, call.Work)
+				}
+			}
+		}
+	}
+}
+
+// Property: every applicable solution computes the same function — the
+// correctness premise of PASK's reuse (substituting a loaded solution never
+// changes results).
+func TestApplicableSolutionsAgreeProperty(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Problem
+		switch rng.Intn(3) {
+		case 0:
+			c := []int{3, 4, 8, 16}[rng.Intn(4)]
+			k := []int{8, 16, 32}[rng.Intn(3)]
+			r := []int{1, 3, 5}[rng.Intn(3)]
+			hw := rng.Intn(12) + r
+			st := rng.Intn(2) + 1
+			p = NewConvProblem(sh(1, c, hw, hw), k, r, r,
+				kernels.Conv2DParams{StrideH: st, StrideW: st, PadH: r / 2, PadW: r / 2, DilH: 1, DilW: 1},
+				1, tensor.F32, tensor.NCHW)
+		case 1:
+			c := rng.Intn(8) + 1
+			hw := rng.Intn(10) + 4
+			p = NewPoolProblem(sh(1, c, hw, hw),
+				kernels.Pool2DParams{WinH: rng.Intn(3) + 1, WinW: rng.Intn(3) + 1, StrideH: rng.Intn(2) + 1, StrideW: rng.Intn(2) + 1},
+				kernels.PoolMode(rng.Intn(2)), tensor.F32, tensor.NCHW)
+		default:
+			c := rng.Intn(8) + 1
+			hw := rng.Intn(10) + 2
+			p = NewActProblem(sh(1, c, hw, hw), kernels.ActKind(rng.Intn(5)), 0.1, tensor.F32, tensor.NCHW)
+		}
+		if !p.Valid() {
+			return true
+		}
+		in := tensor.New(p.In, tensor.NCHW)
+		in.Fill(func(int) float32 { return rng.Float32()*2 - 1 })
+		var w, bias *tensor.Tensor
+		if p.Primitive == Convolution {
+			w = tensor.New(p.WeightShape(), tensor.NCHW)
+			w.Fill(func(int) float32 { return rng.Float32()*2 - 1 })
+			bias = tensor.New(sh(p.K, 1, 1, 1), tensor.NCHW)
+			bias.Fill(func(int) float32 { return rng.Float32() })
+		}
+		ranked := reg.Find(&p)
+		if len(ranked) == 0 {
+			return false
+		}
+		var ref *tensor.Tensor
+		for _, r := range ranked {
+			out := tensor.New(p.OutShape(), tensor.NCHW)
+			if err := r.Inst.Sol.RunFunctional(&p, in, w, bias, out); err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = out
+				continue
+			}
+			if tensor.MaxAbsDiff(ref, out) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Find never returns an inapplicable instance, and the instance's
+// binding always matches the problem.
+func TestFindSoundnessProperty(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := rng.Intn(512) + 1
+		k := rng.Intn(512) + 1
+		r := rng.Intn(7) + 1
+		hw := rng.Intn(200) + r
+		st := rng.Intn(3) + 1
+		p := NewConvProblem(sh(rng.Intn(4)+1, c, hw, hw), k, r, r,
+			kernels.Conv2DParams{StrideH: st, StrideW: st, PadH: rng.Intn(3), PadW: rng.Intn(3), DilH: 1, DilW: 1},
+			1, tensor.DType(rng.Intn(3)), tensor.Layout(rng.Intn(2)))
+		if !p.Valid() {
+			return true
+		}
+		for _, ranked := range reg.Find(&p) {
+			if !ranked.Inst.IsApplicable(reg.Ctx(), &p) {
+				return false
+			}
+			if ranked.Inst.Binding != ranked.Inst.Sol.BindingKey(&p) {
+				return false
+			}
+			if ranked.Est <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyCurve(t *testing.T) {
+	if occupancy(1000) >= occupancy(10000) || occupancy(10000) >= occupancy(400000) {
+		t.Fatal("occupancy must grow with parallel work")
+	}
+	if occupancy(400000) != 1 || occupancy(1<<30) != 1 {
+		t.Fatal("occupancy must saturate at 1")
+	}
+	if occupancy(0) < 0.03 {
+		t.Fatal("occupancy floor too low")
+	}
+}
+
+func TestPow2Bucket(t *testing.T) {
+	cases := map[int]int{1: 16, 16: 16, 17: 16, 64: 64, 100: 64, 512: 512, 2048: 512}
+	for in, want := range cases {
+		if got := pow2Bucket(in); got != want {
+			t.Errorf("pow2Bucket(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPerfDBExportImportRoundTrip(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	db := NewPerfDB(reg)
+	problems := []Problem{
+		conv3x3(64, 64, 56),
+		conv3x3(256, 256, 14),
+		NewPoolProblem(sh(1, 64, 56, 56), kernels.Pool2DParams{WinH: 2, WinW: 2, StrideH: 2, StrideW: 2}, kernels.MaxPool, tensor.F32, tensor.NCHW),
+	}
+	for i := range problems {
+		db.Find(&problems[i])
+	}
+	data, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh database imports the tuned results and serves them without
+	// recomputing.
+	db2 := NewPerfDB(reg)
+	if err := db2.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Entries() != db.Entries() {
+		t.Fatalf("entries = %d, want %d", db2.Entries(), db.Entries())
+	}
+	for i := range problems {
+		a := db.Find(&problems[i])
+		b := db2.Find(&problems[i])
+		if len(a) != len(b) {
+			t.Fatalf("ranked lengths differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Inst.Key() != b[j].Inst.Key() || a[j].Est != b[j].Est {
+				t.Fatalf("entry %d differs: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+	// Imports are cache hits, not recomputation.
+	if db2.HitRate() == 0 {
+		t.Fatal("imported entries should serve as hits")
+	}
+}
+
+func TestPerfDBImportValidation(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	db := NewPerfDB(reg)
+	if err := db.Import([]byte("{")); err == nil {
+		t.Fatal("malformed JSON must fail")
+	}
+	if err := db.Import([]byte(`{"arch":"sm_80","entries":[]}`)); err == nil {
+		t.Fatal("arch mismatch must fail")
+	}
+	if err := db.Import([]byte(`{"arch":"gfx908","entries":[{"problem":"p","solutions":[{"solution":"Nope","binding":"","time_ns":5}]}]}`)); err == nil {
+		t.Fatal("unknown solution must fail")
+	}
+	if err := db.Import([]byte(`{"arch":"gfx908","entries":[{"problem":"p","solutions":[{"solution":"ConvDirectNaiveFwd","binding":"","time_ns":0}]}]}`)); err == nil {
+		t.Fatal("non-positive time must fail")
+	}
+}
+
+func TestPerfDBExportDeterministic(t *testing.T) {
+	reg := NewRegistry(testCtx())
+	db := NewPerfDB(reg)
+	p1 := conv3x3(64, 64, 56)
+	p2 := conv3x3(128, 128, 28)
+	db.Find(&p2)
+	db.Find(&p1)
+	a, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("export not deterministic")
+	}
+}

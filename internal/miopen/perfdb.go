@@ -1,0 +1,81 @@
+package miopen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The performance database is persisted alongside the library (the paper's
+// "integrated database [52]" that records the anticipated performance of
+// each solution on a problem), so a serving framework can ship tuned
+// find-results instead of re-ranking at deploy time.
+
+// perfDBFile is the serialized form of one database.
+type perfDBFile struct {
+	Arch    string         `json:"arch"`
+	Entries []perfDBRecord `json:"entries"`
+}
+
+type perfDBRecord struct {
+	Problem   string        `json:"problem"`
+	Solutions []perfDBEntry `json:"solutions"`
+}
+
+type perfDBEntry struct {
+	Solution string        `json:"solution"`
+	Binding  string        `json:"binding"`
+	Time     time.Duration `json:"time_ns"`
+}
+
+// Export serializes the memoized find-results, sorted by problem key for
+// deterministic output.
+func (db *PerfDB) Export() ([]byte, error) {
+	file := perfDBFile{Arch: db.reg.ctx.Dev.Arch}
+	keys := make([]string, 0, len(db.m))
+	for k := range db.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rec := perfDBRecord{Problem: k}
+		for _, r := range db.m[k] {
+			rec.Solutions = append(rec.Solutions, perfDBEntry{
+				Solution: r.Inst.Sol.ID(),
+				Binding:  r.Inst.Binding,
+				Time:     r.Est,
+			})
+		}
+		file.Entries = append(file.Entries, rec)
+	}
+	return json.MarshalIndent(file, "", " ")
+}
+
+// Import merges serialized find-results into the database. Records for an
+// unknown solution or a mismatched architecture are rejected.
+func (db *PerfDB) Import(data []byte) error {
+	var file perfDBFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("miopen: perfdb: %w", err)
+	}
+	if file.Arch != db.reg.ctx.Dev.Arch {
+		return fmt.Errorf("miopen: perfdb for arch %q does not match device %q",
+			file.Arch, db.reg.ctx.Dev.Arch)
+	}
+	for _, rec := range file.Entries {
+		var ranked []Ranked
+		for _, e := range rec.Solutions {
+			sol, ok := db.reg.ByID(e.Solution)
+			if !ok {
+				return fmt.Errorf("miopen: perfdb references unknown solution %q", e.Solution)
+			}
+			if e.Time <= 0 {
+				return fmt.Errorf("miopen: perfdb entry for %q has non-positive time", rec.Problem)
+			}
+			ranked = append(ranked, Ranked{Inst: Instance{Sol: sol, Binding: e.Binding}, Est: e.Time})
+		}
+		db.m[rec.Problem] = ranked
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package miopen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pask/internal/codeobj"
+)
+
+// Ranked is one applicable instance with its predicted GPU time.
+type Ranked struct {
+	Inst Instance
+	Est  time.Duration
+}
+
+// Registry holds every solution the library ships and answers Find queries.
+type Registry struct {
+	ctx  *Ctx
+	sols []Solution
+	byID map[string]Solution
+}
+
+// NewRegistry builds the full library (conv + pooling + activation ladders)
+// for the given context.
+func NewRegistry(ctx *Ctx) *Registry {
+	r := &Registry{ctx: ctx, byID: make(map[string]Solution)}
+	for _, set := range [][]Solution{ConvSolutions(), PoolSolutions(), ActSolutions()} {
+		for _, s := range set {
+			if _, dup := r.byID[s.ID()]; dup {
+				panic("miopen: duplicate solution id " + s.ID())
+			}
+			r.sols = append(r.sols, s)
+			r.byID[s.ID()] = s
+		}
+	}
+	return r
+}
+
+// Ctx returns the registry's validation context.
+func (r *Registry) Ctx() *Ctx { return r.ctx }
+
+// Solutions returns all registered solutions.
+func (r *Registry) Solutions() []Solution { return r.sols }
+
+// ByID looks up a solution by its stable name.
+func (r *Registry) ByID(id string) (Solution, bool) {
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// Find returns every applicable instance for p ranked fastest-first — the
+// library's find step (paper Fig 3). Ties break toward higher specificity,
+// then lexical ID, keeping compilation deterministic.
+func (r *Registry) Find(p *Problem) []Ranked {
+	var out []Ranked
+	for _, s := range r.sols {
+		if !s.IsApplicable(r.ctx, p) {
+			continue
+		}
+		out = append(out, Ranked{Inst: Bind(s, p), Est: EstimateTime(r.ctx.Dev, s, p)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Est != out[j].Est {
+			return out[i].Est < out[j].Est
+		}
+		si, sj := out[i].Inst.Sol.Specificity(), out[j].Inst.Sol.Specificity()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Inst.Key() < out[j].Inst.Key()
+	})
+	return out
+}
+
+// FindBest returns the fastest applicable instance for p.
+func (r *Registry) FindBest(p *Problem) (Ranked, error) {
+	ranked := r.Find(p)
+	if len(ranked) == 0 {
+		return Ranked{}, fmt.Errorf("miopen: no applicable solution for %s", p.Key())
+	}
+	return ranked[0], nil
+}
+
+// PerfDB memoizes Find results per problem key — the integrated performance
+// database the serving framework queries during lowering (paper §II-A).
+type PerfDB struct {
+	reg    *Registry
+	m      map[string][]Ranked
+	hits   int
+	misses int
+}
+
+// NewPerfDB returns an empty database over the registry.
+func NewPerfDB(reg *Registry) *PerfDB {
+	return &PerfDB{reg: reg, m: make(map[string][]Ranked)}
+}
+
+// Find returns the ranked applicable instances for p, computing and caching
+// them on first use.
+func (db *PerfDB) Find(p *Problem) []Ranked {
+	key := p.Key()
+	if r, ok := db.m[key]; ok {
+		db.hits++
+		return r
+	}
+	db.misses++
+	r := db.reg.Find(p)
+	db.m[key] = r
+	return r
+}
+
+// Entries returns the number of memoized problems.
+func (db *PerfDB) Entries() int { return len(db.m) }
+
+// HitRate returns the fraction of Find calls served from the cache.
+func (db *PerfDB) HitRate() float64 {
+	total := db.hits + db.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(db.hits) / float64(total)
+}
+
+// Residents returns the instances whose kernels ship precompiled inside the
+// library binary: the naive generic solutions (specificity 1) and the
+// binary-shipped mid-tier solvers (the "Bin" kernels, one precompiled
+// variant per supported element type). After the library is opened they are
+// resident without any per-model load, which is what makes them the
+// universal reuse fallback PASK's cache holds. Per-problem compiled
+// specialists are never resident — they are what the cold start loads.
+func (r *Registry) Residents() []Instance {
+	var out []Instance
+	for _, s := range r.sols {
+		if s.Specificity() == 1 {
+			out = append(out, Instance{Sol: s})
+			continue
+		}
+		if f, ok := s.(*family); ok {
+			for _, b := range f.residentBindings {
+				out = append(out, Instance{Sol: s, Binding: b})
+			}
+		}
+	}
+	return out
+}
+
+// MaterializeObjects compiles (builds and stores) the code object of every
+// instance that is not yet in the store — the offline preparation step that
+// populates the on-disk kernel registry.
+func MaterializeObjects(store *codeobj.Store, arch string, insts []Instance) error {
+	for _, inst := range insts {
+		path := inst.Path()
+		if store.Has(path) {
+			continue
+		}
+		if err := store.PutBuilt(path, arch, inst.Sol.ObjectSpec(inst.Binding)); err != nil {
+			return fmt.Errorf("miopen: materialize %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,496 @@
+// Package zoo builds the twelve DNN models of the paper's Table I as onnx
+// graphs: five image-recognition CNNs, two object detectors, two semantic
+// segmentation nets and three vision transformers. Architectures follow the
+// torchvision implementations in structure and channel geometry at ImageNet
+// input settings; transformer blocks are expressed with explicit MatMul /
+// Softmax / LayerNorm operators so their GEMMs lower to the BLAS library,
+// exactly the property that limits PASK's benefit on them (paper §VI).
+package zoo
+
+import (
+	"fmt"
+
+	"pask/internal/onnx"
+	"pask/internal/tensor"
+)
+
+// Spec describes one zoo model.
+type Spec struct {
+	Name  string // torchvision-style name
+	Abbr  string // paper abbreviation (Table I)
+	Type  string // workload category
+	Build func(batch int) (*onnx.Graph, error)
+}
+
+// Models returns the twelve models in the paper's Table I order.
+func Models() []Spec {
+	return []Spec{
+		{"AlexNet", "alex", "Img. Rec.", AlexNet},
+		{"VGG16", "vgg", "Img. Rec.", VGG16},
+		{"ResNet34", "res", "Img. Rec.", ResNet34},
+		{"RegNet_Y_800MF", "reg", "Img. Rec.", RegNetY800MF},
+		{"EfficientNet_B7", "eff", "Img. Rec.", EfficientNetB7},
+		{"Faster_R-CNN", "rcnn", "Obj. Det.", FasterRCNN},
+		{"SSD300", "ssd", "Obj. Det.", SSD300},
+		{"FCN", "fcn", "Sem. Seg.", FCN},
+		{"UNet", "unet", "Sem. Seg.", UNet},
+		{"VIT_B_16", "vit", "ViT", ViTB16},
+		{"Swin_B", "swin", "ViT", SwinB},
+		{"Swin_V2_B", "swin2", "ViT", SwinV2B},
+	}
+}
+
+// ByAbbr returns the spec with the given paper abbreviation.
+func ByAbbr(abbr string) (Spec, error) {
+	for _, s := range Models() {
+		if s.Abbr == abbr {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("zoo: unknown model %q", abbr)
+}
+
+func imageInput(batch, size int) tensor.Shape {
+	return tensor.Shape{N: batch, C: 3, H: size, W: size}
+}
+
+// AlexNet is the 5-conv classifier of Krizhevsky et al.
+func AlexNet(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("AlexNet", imageInput(batch, 224), tensor.F32)
+	x := b.ConvRect("conv1", b.Input(), 64, 11, 11, 4, 4, 2, 2, 1)
+	x = b.Relu("relu1", x)
+	x = b.MaxPool("pool1", x, 3, 2, 0)
+	x = b.Conv("conv2", x, 192, 5, 1, 2, 1)
+	x = b.Relu("relu2", x)
+	x = b.MaxPool("pool2", x, 3, 2, 0)
+	x = b.Conv("conv3", x, 384, 3, 1, 1, 1)
+	x = b.Relu("relu3", x)
+	x = b.Conv("conv4", x, 256, 3, 1, 1, 1)
+	x = b.Relu("relu4", x)
+	x = b.Conv("conv5", x, 256, 3, 1, 1, 1)
+	x = b.Relu("relu5", x)
+	x = b.MaxPool("pool5", x, 3, 2, 0)
+	x = b.Flatten("flat", x)
+	x = b.FC("fc6", x, 4096)
+	x = b.Relu("relu6", x)
+	x = b.FC("fc7", x, 4096)
+	x = b.Relu("relu7", x)
+	x = b.FC("fc8", x, 1000)
+	return b.Finish(x)
+}
+
+// VGG16 is the 13-conv + 3-FC classifier of Simonyan & Zisserman.
+func VGG16(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("VGG16", imageInput(batch, 224), tensor.F32)
+	x := b.Input()
+	cfg := []struct {
+		convs, ch int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	for si, stage := range cfg {
+		for ci := 0; ci < stage.convs; ci++ {
+			name := fmt.Sprintf("conv%d_%d", si+1, ci+1)
+			x = b.Conv(name, x, stage.ch, 3, 1, 1, 1)
+			x = b.Relu(name+"_relu", x)
+		}
+		x = b.MaxPool(fmt.Sprintf("pool%d", si+1), x, 2, 2, 0)
+	}
+	x = b.Flatten("flat", x)
+	x = b.FC("fc1", x, 4096)
+	x = b.Relu("fc1_relu", x)
+	x = b.FC("fc2", x, 4096)
+	x = b.Relu("fc2_relu", x)
+	x = b.FC("fc3", x, 1000)
+	return b.Finish(x)
+}
+
+// basicBlock appends a ResNet basic block (two 3x3 convs + shortcut).
+func basicBlock(b *onnx.Builder, name, x string, ch, stride int) string {
+	id := x
+	y := b.Conv(name+"_conv1", x, ch, 3, stride, 1, 1)
+	y = b.BatchNorm(name+"_bn1", y)
+	y = b.Relu(name+"_relu1", y)
+	y = b.Conv(name+"_conv2", y, ch, 3, 1, 1, 1)
+	y = b.BatchNorm(name+"_bn2", y)
+	if stride != 1 || b.Shape(x).C != ch {
+		id = b.Conv(name+"_down", x, ch, 1, stride, 0, 1)
+		id = b.BatchNorm(name+"_downbn", id)
+	}
+	y = b.Add(name+"_add", y, id)
+	return b.Relu(name+"_relu2", y)
+}
+
+// ResNet34 is the 34-layer residual network.
+func ResNet34(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("ResNet34", imageInput(batch, 224), tensor.F32)
+	x := b.Conv("conv1", b.Input(), 64, 7, 2, 3, 1)
+	x = b.BatchNorm("bn1", x)
+	x = b.Relu("relu1", x)
+	x = b.MaxPool("pool1", x, 3, 2, 1)
+	depths := []int{3, 4, 6, 3}
+	widths := []int{64, 128, 256, 512}
+	for si, d := range depths {
+		for bi := 0; bi < d; bi++ {
+			stride := 1
+			if bi == 0 && si > 0 {
+				stride = 2
+			}
+			x = basicBlock(b, fmt.Sprintf("layer%d_%d", si+1, bi), x, widths[si], stride)
+		}
+	}
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flat", x)
+	x = b.FC("fc", x, 1000)
+	return b.Finish(x)
+}
+
+// seBlock appends a squeeze-and-excitation gate over x.
+func seBlock(b *onnx.Builder, name, x string, reduced int) string {
+	c := b.Shape(x).C
+	s := b.GlobalAvgPool(name+"_squeeze", x)
+	s = b.Conv(name+"_fc1", s, reduced, 1, 1, 0, 1)
+	s = b.Relu(name+"_relu", s)
+	s = b.Conv(name+"_fc2", s, c, 1, 1, 0, 1)
+	s = b.Sigmoid(name+"_gate", s)
+	return b.Mul(name+"_scale", x, s)
+}
+
+// RegNetY800MF follows the RegNet-Y 800MF design: four stages of grouped
+// bottlenecks with SE.
+func RegNetY800MF(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("RegNet_Y_800MF", imageInput(batch, 224), tensor.F32)
+	x := b.Conv("stem", b.Input(), 32, 3, 2, 1, 1)
+	x = b.BatchNorm("stem_bn", x)
+	x = b.Relu("stem_relu", x)
+	widths := []int{64, 128, 320, 768}
+	depths := []int{1, 3, 8, 2}
+	const groupWidth = 16
+	for si, d := range depths {
+		for bi := 0; bi < d; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = 2
+			}
+			w := widths[si]
+			name := fmt.Sprintf("s%d_b%d", si+1, bi)
+			id := x
+			y := b.Conv(name+"_1x1a", x, w, 1, 1, 0, 1)
+			y = b.BatchNorm(name+"_bna", y)
+			y = b.Relu(name+"_relua", y)
+			y = b.Conv(name+"_3x3", y, w, 3, stride, 1, w/groupWidth)
+			y = b.BatchNorm(name+"_bnb", y)
+			y = b.Relu(name+"_relub", y)
+			y = seBlock(b, name+"_se", y, w/4)
+			y = b.Conv(name+"_1x1b", y, w, 1, 1, 0, 1)
+			y = b.BatchNorm(name+"_bnc", y)
+			if stride != 1 || b.Shape(x).C != w {
+				id = b.Conv(name+"_down", x, w, 1, stride, 0, 1)
+				id = b.BatchNorm(name+"_downbn", id)
+			}
+			y = b.Add(name+"_add", y, id)
+			x = b.Relu(name+"_reluc", y)
+		}
+	}
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flat", x)
+	x = b.FC("fc", x, 1000)
+	return b.Finish(x)
+}
+
+// mbConv appends an EfficientNet MBConv block.
+func mbConv(b *onnx.Builder, name, x string, outC, k, stride, expand int) string {
+	inC := b.Shape(x).C
+	id := x
+	y := x
+	if expand != 1 {
+		y = b.Conv(name+"_expand", y, inC*expand, 1, 1, 0, 1)
+		y = b.BatchNorm(name+"_ebn", y)
+		y = b.Sigmoid(name+"_eswish", y) // SiLU approximated by its sigmoid gate cost
+	}
+	mid := b.Shape(y).C
+	y = b.Conv(name+"_dw", y, mid, k, stride, k/2, mid)
+	y = b.BatchNorm(name+"_dwbn", y)
+	y = b.Sigmoid(name+"_dwswish", y)
+	y = seBlock(b, name+"_se", y, inC/4)
+	y = b.Conv(name+"_project", y, outC, 1, 1, 0, 1)
+	y = b.BatchNorm(name+"_pbn", y)
+	if stride == 1 && inC == outC {
+		y = b.Add(name+"_add", y, id)
+	}
+	return y
+}
+
+// EfficientNetB7 follows the B7 stage layout at ImageNet resolution.
+func EfficientNetB7(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("EfficientNet_B7", imageInput(batch, 224), tensor.F32)
+	x := b.Conv("stem", b.Input(), 64, 3, 2, 1, 1)
+	x = b.BatchNorm("stem_bn", x)
+	x = b.Sigmoid("stem_swish", x)
+	stages := []struct {
+		expand, ch, k, stride, repeat int
+	}{
+		{1, 32, 3, 1, 4},
+		{6, 48, 3, 2, 7},
+		{6, 80, 5, 2, 7},
+		{6, 160, 3, 2, 10},
+		{6, 224, 5, 1, 10},
+		{6, 384, 5, 2, 13},
+		{6, 640, 3, 1, 4},
+	}
+	for si, st := range stages {
+		for r := 0; r < st.repeat; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.stride
+			}
+			x = mbConv(b, fmt.Sprintf("s%d_b%d", si+1, r), x, st.ch, st.k, stride, st.expand)
+		}
+	}
+	x = b.Conv("head", x, 2560, 1, 1, 0, 1)
+	x = b.BatchNorm("head_bn", x)
+	x = b.Sigmoid("head_swish", x)
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flat", x)
+	x = b.FC("fc", x, 1000)
+	return b.Finish(x)
+}
+
+// bottleneck appends a ResNet bottleneck block (1x1, 3x3, 1x1).
+func bottleneck(b *onnx.Builder, name, x string, ch, stride, dil int) string {
+	id := x
+	y := b.Conv(name+"_1x1a", x, ch, 1, 1, 0, 1)
+	y = b.BatchNorm(name+"_bna", y)
+	y = b.Relu(name+"_relua", y)
+	if dil > 1 {
+		y = b.DilatedConv(name+"_3x3", y, ch, 3, stride, dil, dil)
+	} else {
+		y = b.Conv(name+"_3x3", y, ch, 3, stride, 1, 1)
+	}
+	y = b.BatchNorm(name+"_bnb", y)
+	y = b.Relu(name+"_relub", y)
+	y = b.Conv(name+"_1x1b", y, ch*4, 1, 1, 0, 1)
+	y = b.BatchNorm(name+"_bnc", y)
+	if stride != 1 || b.Shape(x).C != ch*4 {
+		id = b.Conv(name+"_down", x, ch*4, 1, stride, 0, 1)
+		id = b.BatchNorm(name+"_downbn", id)
+	}
+	y = b.Add(name+"_add", y, id)
+	return b.Relu(name+"_reluc", y)
+}
+
+// FasterRCNN models the detector's dense path: a bottleneck backbone, an FPN
+// lateral layer and the RPN head (the region-proposal stage dominating the
+// primitive-layer mix).
+func FasterRCNN(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("Faster_R-CNN", imageInput(batch, 224), tensor.F32)
+	x := b.Conv("conv1", b.Input(), 64, 7, 2, 3, 1)
+	x = b.BatchNorm("bn1", x)
+	x = b.Relu("relu1", x)
+	x = b.MaxPool("pool1", x, 3, 2, 1)
+	depths := []int{2, 2, 2, 2}
+	widths := []int{64, 128, 256, 512}
+	for si, d := range depths {
+		for bi := 0; bi < d; bi++ {
+			stride := 1
+			if bi == 0 && si > 0 {
+				stride = 2
+			}
+			x = bottleneck(b, fmt.Sprintf("layer%d_%d", si+1, bi), x, widths[si], stride, 1)
+		}
+	}
+	// FPN lateral + output convs.
+	lat := b.Conv("fpn_lateral", x, 256, 1, 1, 0, 1)
+	fpn := b.Conv("fpn_output", lat, 256, 3, 1, 1, 1)
+	// RPN head: shared 3x3 then objectness and box regression 1x1s.
+	h := b.Conv("rpn_conv", fpn, 256, 3, 1, 1, 1)
+	h = b.Relu("rpn_relu", h)
+	cls := b.Conv("rpn_cls", h, 3, 1, 1, 0, 1)
+	cls = b.Sigmoid("rpn_sig", cls)
+	reg := b.Conv("rpn_reg", h, 12, 1, 1, 0, 1)
+	out := b.Concat("rpn_out", cls, reg)
+	return b.Finish(out)
+}
+
+// SSD300 is the single-shot detector: a VGG backbone, extra feature layers
+// and per-source multibox heads at 300x300 input.
+func SSD300(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("SSD300", imageInput(batch, 300), tensor.F32)
+	x := b.Input()
+	type headSrc struct {
+		tensor string
+		boxes  int
+	}
+	var srcs []headSrc
+	cfg := []struct {
+		convs, ch int
+		pool      bool
+	}{{2, 64, true}, {2, 128, true}, {3, 256, true}, {3, 512, true}, {3, 512, false}}
+	for si, stage := range cfg {
+		for ci := 0; ci < stage.convs; ci++ {
+			name := fmt.Sprintf("conv%d_%d", si+1, ci+1)
+			x = b.Conv(name, x, stage.ch, 3, 1, 1, 1)
+			x = b.Relu(name+"_relu", x)
+		}
+		if si == 3 {
+			srcs = append(srcs, headSrc{x, 4}) // conv4_3 feature map
+		}
+		if stage.pool {
+			x = b.MaxPool(fmt.Sprintf("pool%d", si+1), x, 2, 2, 0)
+		}
+	}
+	x = b.MaxPool("pool5", x, 3, 1, 1)
+	x = b.DilatedConv("conv6", x, 1024, 3, 1, 6, 6)
+	x = b.Relu("conv6_relu", x)
+	x = b.Conv("conv7", x, 1024, 1, 1, 0, 1)
+	x = b.Relu("conv7_relu", x)
+	srcs = append(srcs, headSrc{x, 6})
+	extras := []struct {
+		mid, out, stride, pad int
+	}{{256, 512, 2, 1}, {128, 256, 2, 1}, {128, 256, 1, 0}, {128, 256, 1, 0}}
+	for ei, e := range extras {
+		name := fmt.Sprintf("extra%d", ei+8)
+		x = b.Conv(name+"_1", x, e.mid, 1, 1, 0, 1)
+		x = b.Relu(name+"_1relu", x)
+		x = b.Conv(name+"_2", x, e.out, 3, e.stride, e.pad, 1)
+		x = b.Relu(name+"_2relu", x)
+		srcs = append(srcs, headSrc{x, 6})
+	}
+	// Multibox heads: loc (4 coords) and conf (21 classes) per source.
+	var heads []string
+	for i, s := range srcs {
+		loc := b.Conv(fmt.Sprintf("loc%d", i), s.tensor, s.boxes*4, 3, 1, 1, 1)
+		conf := b.Conv(fmt.Sprintf("conf%d", i), s.tensor, s.boxes*21, 3, 1, 1, 1)
+		heads = append(heads, b.Flatten(fmt.Sprintf("loc%d_flat", i), loc))
+		heads = append(heads, b.Flatten(fmt.Sprintf("conf%d_flat", i), conf))
+	}
+	out := heads[0]
+	for i := 1; i < len(heads); i++ {
+		out = b.Concat(fmt.Sprintf("cat%d", i), out, heads[i])
+	}
+	return b.Finish(out)
+}
+
+// FCN is the fully-convolutional segmenter: a dilated bottleneck backbone
+// with a dense prediction head and bilinear upsampling.
+func FCN(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("FCN", imageInput(batch, 224), tensor.F32)
+	x := b.Conv("conv1", b.Input(), 64, 7, 2, 3, 1)
+	x = b.BatchNorm("bn1", x)
+	x = b.Relu("relu1", x)
+	x = b.MaxPool("pool1", x, 3, 2, 1)
+	x = bottleneck(b, "layer1_0", x, 64, 1, 1)
+	x = bottleneck(b, "layer2_0", x, 128, 2, 1)
+	x = bottleneck(b, "layer3_0", x, 256, 1, 2) // dilated, stride kept
+	x = bottleneck(b, "layer4_0", x, 512, 1, 4)
+	x = b.Conv("head_conv", x, 512, 3, 1, 1, 1)
+	x = b.BatchNorm("head_bn", x)
+	x = b.Relu("head_relu", x)
+	x = b.Conv("classifier", x, 21, 1, 1, 0, 1)
+	x = b.Resize("upsample", x, 8)
+	return b.Finish(x)
+}
+
+// UNet is the encoder-decoder segmenter with skip connections.
+func UNet(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("UNet", tensor.Shape{N: batch, C: 3, H: 256, W: 256}, tensor.F32)
+	double := func(name, x string, ch int) string {
+		y := b.Conv(name+"_conv1", x, ch, 3, 1, 1, 1)
+		y = b.BatchNorm(name+"_bn1", y)
+		y = b.Relu(name+"_relu1", y)
+		y = b.Conv(name+"_conv2", y, ch, 3, 1, 1, 1)
+		y = b.BatchNorm(name+"_bn2", y)
+		return b.Relu(name+"_relu2", y)
+	}
+	enc1 := double("enc1", b.Input(), 64)
+	x := b.MaxPool("pool1", enc1, 2, 2, 0)
+	enc2 := double("enc2", x, 128)
+	x = b.MaxPool("pool2", enc2, 2, 2, 0)
+	enc3 := double("enc3", x, 256)
+	x = b.MaxPool("pool3", enc3, 2, 2, 0)
+	enc4 := double("enc4", x, 512)
+	x = b.MaxPool("pool4", enc4, 2, 2, 0)
+	x = double("bottleneck", x, 1024)
+	skips := []string{enc4, enc3, enc2, enc1}
+	chans := []int{512, 256, 128, 64}
+	for i, skip := range skips {
+		name := fmt.Sprintf("dec%d", i+1)
+		x = b.Resize(name+"_up", x, 2)
+		x = b.Conv(name+"_upconv", x, chans[i], 1, 1, 0, 1)
+		x = b.Concat(name+"_cat", skip, x)
+		x = double(name, x, chans[i])
+	}
+	x = b.Conv("final", x, 2, 1, 1, 0, 1)
+	return b.Finish(x)
+}
+
+// encoderBlock appends one transformer encoder block over tokens
+// (N, 1, seq, dim). preNorm selects pre-LN (ViT/Swin) vs post-LN (SwinV2).
+func encoderBlock(b *onnx.Builder, name, x string, dim int, preNorm bool) string {
+	attnIn := x
+	if preNorm {
+		attnIn = b.LayerNorm(name+"_ln1", x)
+	}
+	q := b.MatMulParam(name+"_q", attnIn, dim)
+	k := b.MatMulParam(name+"_k", attnIn, dim)
+	v := b.MatMulParam(name+"_v", attnIn, dim)
+	scores := b.MatMul(name+"_qk", q, k, true)
+	probs := b.Softmax(name+"_softmax", scores)
+	ctx := b.MatMul(name+"_ctxv", probs, v, false)
+	proj := b.MatMulParam(name+"_proj", ctx, dim)
+	if !preNorm {
+		proj = b.LayerNorm(name+"_ln1", proj)
+	}
+	x = b.Add(name+"_attnadd", x, proj)
+	mlpIn := x
+	if preNorm {
+		mlpIn = b.LayerNorm(name+"_ln2", x)
+	}
+	h := b.MatMulParam(name+"_mlp1", mlpIn, dim*4)
+	h = b.Gelu(name+"_gelu", h)
+	h = b.MatMulParam(name+"_mlp2", h, dim)
+	if !preNorm {
+		h = b.LayerNorm(name+"_ln2", h)
+	}
+	return b.Add(name+"_mlpadd", x, h)
+}
+
+// ViTB16 is the base vision transformer with 16x16 patches: exactly one
+// primitive-library layer (the patch-embedding convolution), everything else
+// BLAS GEMMs.
+func ViTB16(batch int) (*onnx.Graph, error) {
+	b := onnx.NewBuilder("VIT_B_16", imageInput(batch, 224), tensor.F32)
+	const dim = 768
+	x := b.Conv("patch_embed", b.Input(), dim, 16, 16, 0, 1)
+	x = b.Tokens("tokens", x)
+	for i := 0; i < 12; i++ {
+		x = encoderBlock(b, fmt.Sprintf("block%d", i), x, dim, true)
+	}
+	x = b.LayerNorm("final_ln", x)
+	x = b.MatMulParam("head", x, 1000)
+	return b.Finish(x)
+}
+
+func swinLike(name string, batch int, preNorm bool) (*onnx.Graph, error) {
+	b := onnx.NewBuilder(name, imageInput(batch, 224), tensor.F32)
+	x := b.Conv("patch_embed", b.Input(), 128, 4, 4, 0, 1)
+	x = b.Tokens("tokens", x)
+	dims := []int{128, 256, 512, 1024}
+	depths := []int{2, 2, 6, 2} // shortened 3rd stage keeps simulation nimble
+	for si, d := range depths {
+		for bi := 0; bi < d; bi++ {
+			x = encoderBlock(b, fmt.Sprintf("s%d_b%d", si+1, bi), x, dims[si], preNorm)
+		}
+		if si < len(depths)-1 {
+			x = b.PatchMerge(fmt.Sprintf("merge%d", si+1), x)
+			x = b.MatMulParam(fmt.Sprintf("merge%d_proj", si+1), x, dims[si+1])
+		}
+	}
+	x = b.LayerNorm("final_ln", x)
+	x = b.MatMulParam("head", x, 1000)
+	return b.Finish(x)
+}
+
+// SwinB is the hierarchical windowed transformer (pre-norm).
+func SwinB(batch int) (*onnx.Graph, error) { return swinLike("Swin_B", batch, true) }
+
+// SwinV2B is the V2 variant (post-norm residual blocks).
+func SwinV2B(batch int) (*onnx.Graph, error) { return swinLike("Swin_V2_B", batch, false) }

@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/experiments"
+	"pask/internal/sim"
+)
+
+// FleetConfig drives the autoscaling router.
+type FleetConfig struct {
+	Policy Policy
+	// KeepAlive reaps instances idle longer than this (0: never reap) —
+	// the keep-alive policy whose misses cause serverless cold starts.
+	KeepAlive time.Duration
+	// MaxInstances caps concurrent instances (0: unlimited). Requests
+	// arriving with every instance busy at the cap wait for a free one.
+	MaxInstances int
+}
+
+// FleetStats extends Stats with autoscaling activity.
+type FleetStats struct {
+	Stats
+	Spawned       int // instances created (each pays a cold start)
+	Reaped        int // instances destroyed by keep-alive expiry
+	MaxConcurrent int
+}
+
+// fleetInstance wraps an Instance with scheduling state.
+type fleetInstance struct {
+	inst     *Instance
+	busy     bool
+	idleFrom time.Duration
+}
+
+// ServeFleet routes a request trace across an autoscaled pool: each arrival
+// goes to a warm idle instance when one exists, otherwise a fresh instance
+// cold-starts (subject to MaxInstances); instances idle past KeepAlive are
+// reaped. Request latencies include any wait for a free slot.
+func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*FleetStats, error) {
+	env := sim.NewEnv()
+	stats := &FleetStats{}
+	var pool []*fleetInstance
+	freed := sim.NewSignal(env)
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	reap := func(now time.Duration) {
+		if cfg.KeepAlive <= 0 {
+			return
+		}
+		kept := pool[:0]
+		for _, fi := range pool {
+			if !fi.busy && fi.inst.Warm() && now-fi.idleFrom > cfg.KeepAlive {
+				fi.inst.pr.GPU.CloseAll()
+				stats.Reaped++
+				continue
+			}
+			kept = append(kept, fi)
+		}
+		pool = kept
+	}
+
+	// pick returns an idle instance, spawning one if allowed; it blocks the
+	// dispatcher (in virtual time) when the pool is saturated.
+	pick := func(p *sim.Proc) *fleetInstance {
+		for {
+			for _, fi := range pool {
+				if !fi.busy {
+					return fi
+				}
+			}
+			if cfg.MaxInstances <= 0 || len(pool) < cfg.MaxInstances {
+				fi := &fleetInstance{inst: NewInstance(env, ms, cfg.Policy)}
+				pool = append(pool, fi)
+				stats.Spawned++
+				if len(pool) > stats.MaxConcurrent {
+					stats.MaxConcurrent = len(pool)
+				}
+				return fi
+			}
+			// Saturated: wait for a completion, then retry.
+			sig := freed
+			sig.Wait(p)
+			if !freed.Fired() {
+				continue
+			}
+			freed = sim.NewSignal(env)
+		}
+	}
+
+	latencies := make([]time.Duration, len(trace))
+	pending := len(trace)
+	done := sim.NewSignal(env)
+
+	env.Spawn("dispatcher", func(p *sim.Proc) {
+		for i, req := range trace {
+			p.SleepUntil(req.At)
+			reap(p.Now())
+			fi := pick(p)
+			if firstErr != nil {
+				break
+			}
+			fi.busy = true
+			wasCold := !fi.inst.Warm()
+			arrived := req.At
+			i := i
+			env.Spawn(fmt.Sprintf("req-%d", i), func(rp *sim.Proc) {
+				defer func() {
+					fi.busy = false
+					fi.idleFrom = rp.Now()
+					old := freed
+					freed = sim.NewSignal(env)
+					old.Fire()
+					pending--
+					if pending == 0 {
+						done.Fire()
+					}
+				}()
+				if _, err := fi.inst.Serve(rp); err != nil {
+					fail(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+				// End-to-end latency from arrival: queueing + service.
+				latencies[i] = rp.Now() - arrived
+				if wasCold {
+					stats.ColdStarts++
+				}
+			})
+		}
+	})
+	env.Spawn("closer", func(p *sim.Proc) {
+		done.Wait(p)
+		for _, fi := range pool {
+			fi.inst.pr.GPU.CloseAll()
+		}
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.Latencies = latencies
+	return stats, nil
+}

@@ -1,0 +1,334 @@
+// Package serving models the deployment scenarios that make DNN cold start
+// unavoidable (paper §I): serverless scale-out, preemptible spot instances
+// and resource-constrained edge devices. An Instance is one warm process
+// serving inference requests for a model; a Fleet manages instances under a
+// keep-alive policy and routes a request trace to them, spawning cold
+// instances on demand.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/experiments"
+	"pask/internal/sim"
+)
+
+// Policy configures how instances execute requests.
+type Policy struct {
+	// Scheme is the cold-start execution strategy.
+	Scheme core.Scheme
+	// Options passes the PASK §VI extensions through.
+	Options core.Options
+	// BackgroundLoad uses idle gaps between requests to load previously
+	// skipped solutions (paper §VI).
+	BackgroundLoad bool
+}
+
+// Instance is one process serving one model. The first request on a fresh
+// (or evicted) instance is a cold start; later requests reuse the warm
+// state.
+type Instance struct {
+	ms     *experiments.ModelSetup
+	pr     *experiments.Process
+	policy Policy
+
+	cache       core.Cache
+	initialized bool
+	served      int
+	skipped     []SkippedLoad
+	lastResult  *core.Result
+}
+
+// SkippedLoad records one avoided solution load for background loading.
+type SkippedLoad struct {
+	Key string
+}
+
+// NewInstance creates a cold instance inside env.
+func NewInstance(env *sim.Env, ms *experiments.ModelSetup, policy Policy) *Instance {
+	return &Instance{ms: ms, pr: ms.NewProcessIn(env), policy: policy}
+}
+
+// Served returns the number of requests completed.
+func (in *Instance) Served() int { return in.served }
+
+// Warm reports whether the instance has completed its first request.
+func (in *Instance) Warm() bool { return in.served > 0 }
+
+// initProcess performs process bring-up (GPU context + library open) once.
+func (in *Instance) initProcess(p *sim.Proc) error {
+	if in.initialized {
+		return nil
+	}
+	in.pr.Runner.RT.InitContext(p)
+	if err := in.pr.Runner.Lib.LoadResidents(p); err != nil {
+		return err
+	}
+	switch in.policy.Scheme {
+	case core.SchemePaSKR:
+		c := core.NewNaiveCache()
+		core.SeedResidents(c, in.pr.Runner.Lib)
+		in.cache = c
+	default:
+		c := core.NewCategoricalCache()
+		core.SeedResidents(c, in.pr.Runner.Lib)
+		in.cache = c
+	}
+	in.initialized = true
+	return nil
+}
+
+// Serve executes one inference request and returns its latency.
+func (in *Instance) Serve(p *sim.Proc) (time.Duration, error) {
+	if err := in.initProcess(p); err != nil {
+		return 0, err
+	}
+	model := in.ms.Model
+	if in.policy.Scheme == core.SchemeNNV12 {
+		model = in.ms.Uniform
+	}
+	start := p.Now()
+	var err error
+	switch {
+	case in.Warm() && (in.policy.Scheme == core.SchemePaSK || in.policy.Scheme == core.SchemePaSKR):
+		// Subsequent requests keep following Algorithm 1 against the warm
+		// cache, with the parsed program retained (paper §VI).
+		in.lastResult, err = core.RunWarmReuse(p, in.pr.Runner, model, in.cache)
+	case in.Warm():
+		err = in.pr.Runner.RunHot(p, model)
+	case in.policy.Scheme == core.SchemeBaseline:
+		err = in.pr.Runner.RunBaseline(p, model)
+	case in.policy.Scheme == core.SchemeIdeal:
+		if err := in.pr.Runner.PreloadAll(p, model); err != nil {
+			return 0, err
+		}
+		start = p.Now()
+		_, err = core.RunInterleaved(p, in.pr.Runner, model, core.NewCategoricalCache(), false, core.Options{})
+	case in.policy.Scheme == core.SchemeNNV12 || in.policy.Scheme == core.SchemePaSKI:
+		_, err = core.RunInterleaved(p, in.pr.Runner, model, core.NewCategoricalCache(), false, in.policy.Options)
+	case in.policy.Scheme == core.SchemePaSKR:
+		in.lastResult, err = core.RunSequentialReuse(p, in.pr.Runner, model, in.cache)
+	default: // PaSK
+		in.lastResult, err = core.RunInterleaved(p, in.pr.Runner, model, in.cache, true, in.policy.Options)
+	}
+	if err != nil {
+		return 0, err
+	}
+	in.served++
+	return p.Now() - start, nil
+}
+
+// Idle lets the instance use an idle interval. Under a background-loading
+// policy it loads the solutions skipped by earlier requests (§VI); it
+// returns the number of objects loaded.
+func (in *Instance) Idle(p *sim.Proc, budget time.Duration) (int, error) {
+	if !in.policy.BackgroundLoad || in.lastResult == nil {
+		return 0, nil
+	}
+	n, err := core.BackgroundLoad(p, in.pr.Runner, in.cache, in.lastResult.Skipped, budget)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Evict models memory-pressure eviction on edge devices: every loaded code
+// object and the model weights are dropped, but the process survives. The
+// next request pays the cold path again.
+func (in *Instance) Evict() {
+	in.pr.RT.UnloadAll()
+	in.pr.Runner.EvictParams(in.ms.Model.Name)
+	in.pr.Runner.EvictParams(in.ms.Uniform.Name)
+	in.served = 0
+	in.initialized = false // reopening the library remaps residents
+	in.lastResult = nil
+}
+
+// Request is one inference arrival.
+type Request struct {
+	At time.Duration
+}
+
+// Trace is a request arrival sequence.
+type Trace []Request
+
+// PoissonTrace draws arrivals with exponential inter-arrival times at the
+// given mean interval, deterministically from seed.
+func PoissonTrace(n int, meanInterval time.Duration, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += time.Duration(rng.ExpFloat64() * float64(meanInterval))
+		tr = append(tr, Request{At: at})
+	}
+	return tr
+}
+
+// BurstTrace produces n simultaneous arrivals at time 0 — the serverless
+// scale-out spike.
+func BurstTrace(n int) Trace {
+	tr := make(Trace, n)
+	return tr
+}
+
+// Stats aggregates request latencies.
+type Stats struct {
+	Latencies  []time.Duration
+	ColdStarts int
+	BGLoads    int
+}
+
+// Percentile returns the q-quantile latency (q in [0,1]).
+func (s *Stats) Percentile(q float64) time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average latency.
+func (s *Stats) Mean() time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range s.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(s.Latencies))
+}
+
+// ServeTrace runs a single-instance scenario: requests arrive per the trace;
+// the instance optionally background-loads in idle gaps. If evictEvery > 0,
+// the instance is evicted after every evictEvery requests (edge memory
+// pressure / suspend), forcing a fresh cold path.
+func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEvery int) (*Stats, error) {
+	env := sim.NewEnv()
+	inst := NewInstance(env, ms, policy)
+	stats := &Stats{}
+	var runErr error
+	env.Spawn("server", func(p *sim.Proc) {
+		defer inst.pr.GPU.CloseAll()
+		for i, req := range trace {
+			if req.At > p.Now() {
+				// Idle until the next arrival; use the gap productively.
+				if gap := req.At - p.Now(); gap > 0 {
+					n, err := inst.Idle(p, gap)
+					if err != nil {
+						runErr = err
+						return
+					}
+					stats.BGLoads += n
+				}
+				p.SleepUntil(req.At)
+			}
+			wasCold := !inst.Warm()
+			lat, err := inst.Serve(p)
+			if err != nil {
+				runErr = fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			stats.Latencies = append(stats.Latencies, lat)
+			if wasCold {
+				stats.ColdStarts++
+			}
+			if evictEvery > 0 && (i+1)%evictEvery == 0 {
+				inst.Evict()
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return stats, nil
+}
+
+// ScaleOut runs the serverless spike scenario: n requests arrive at once and
+// every one lands on a fresh cold instance (its own process and device).
+// It returns per-instance cold-start latencies.
+func ScaleOut(ms *experiments.ModelSetup, policy Policy, n int) (*Stats, error) {
+	env := sim.NewEnv()
+	stats := &Stats{ColdStarts: n}
+	lat := make([]time.Duration, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		inst := NewInstance(env, ms, policy)
+		env.Spawn(fmt.Sprintf("instance-%d", i), func(p *sim.Proc) {
+			defer inst.pr.GPU.CloseAll()
+			lat[i], errs[i] = inst.Serve(p)
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	stats.Latencies = lat
+	return stats, nil
+}
+
+// SpotPreemption runs the preemptible-instance scenario: a trace is served
+// by one instance that is killed and replaced by a fresh process after each
+// preemption point (a request index). Returns the stats and the number of
+// migrations performed.
+func SpotPreemption(ms *experiments.ModelSetup, policy Policy, trace Trace, preemptEvery int) (*Stats, int, error) {
+	if preemptEvery <= 0 {
+		return nil, 0, fmt.Errorf("serving: preemptEvery must be positive")
+	}
+	env := sim.NewEnv()
+	stats := &Stats{}
+	migrations := 0
+	var runErr error
+	env.Spawn("spot", func(p *sim.Proc) {
+		inst := NewInstance(env, ms, policy)
+		defer func() { inst.pr.GPU.CloseAll() }()
+		for i, req := range trace {
+			p.SleepUntil(req.At)
+			wasCold := !inst.Warm()
+			lat, err := inst.Serve(p)
+			if err != nil {
+				runErr = fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			stats.Latencies = append(stats.Latencies, lat)
+			if wasCold {
+				stats.ColdStarts++
+			}
+			if (i+1)%preemptEvery == 0 && i != len(trace)-1 {
+				// Preempted: the replacement instance starts from scratch.
+				inst.pr.GPU.CloseAll()
+				inst = NewInstance(env, ms, policy)
+				migrations++
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		return nil, 0, err
+	}
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	return stats, migrations, nil
+}

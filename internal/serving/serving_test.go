@@ -1,0 +1,281 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+)
+
+func setup(t *testing.T, abbr string) *experiments.ModelSetup {
+	t.Helper()
+	ms, err := experiments.PrepareModel(abbr, 1, device.MI100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestPoissonTraceDeterministicAndMonotonic(t *testing.T) {
+	a := PoissonTrace(50, 100*time.Millisecond, 7)
+	b := PoissonTrace(50, 100*time.Millisecond, 7)
+	if len(a) != 50 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatal("arrivals not monotonic")
+		}
+	}
+	c := PoissonTrace(50, 100*time.Millisecond, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestBurstTraceAllAtZero(t *testing.T) {
+	tr := BurstTrace(5)
+	if len(tr) != 5 {
+		t.Fatalf("burst length %d", len(tr))
+	}
+	for _, r := range tr {
+		if r.At != 0 {
+			t.Fatal("burst arrivals must be simultaneous")
+		}
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	s := &Stats{Latencies: []time.Duration{4, 1, 3, 2, 5}}
+	if s.Percentile(0.5) != 3 {
+		t.Fatalf("p50 = %v", s.Percentile(0.5))
+	}
+	if s.Percentile(1.0) != 5 {
+		t.Fatalf("p100 = %v", s.Percentile(1.0))
+	}
+	if s.Percentile(0.01) != 1 {
+		t.Fatalf("p1 = %v", s.Percentile(0.01))
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	empty := &Stats{}
+	if empty.Percentile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty stats must be zero")
+	}
+}
+
+func TestServeTraceWarmRequestsFaster(t *testing.T) {
+	ms := setup(t, "alex")
+	trace := PoissonTrace(4, 500*time.Millisecond, 1)
+	stats, err := ServeTrace(ms, Policy{Scheme: core.SchemePaSK}, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1", stats.ColdStarts)
+	}
+	if len(stats.Latencies) != 4 {
+		t.Fatalf("latencies = %d", len(stats.Latencies))
+	}
+	cold := stats.Latencies[0]
+	for i, warm := range stats.Latencies[1:] {
+		if warm >= cold {
+			t.Fatalf("warm request %d (%v) not faster than cold (%v)", i+1, warm, cold)
+		}
+	}
+}
+
+func TestBackgroundLoadingImprovesSecondRequest(t *testing.T) {
+	ms := setup(t, "vgg")
+	trace := PoissonTrace(3, 2*time.Second, 2)
+	with, err := ServeTrace(ms, Policy{Scheme: core.SchemePaSK, BackgroundLoad: true}, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ServeTrace(ms, Policy{Scheme: core.SchemePaSK}, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BGLoads == 0 {
+		t.Fatal("background loader idle despite gaps")
+	}
+	if without.BGLoads != 0 {
+		t.Fatal("background loads without the policy")
+	}
+	if with.Latencies[1] > without.Latencies[1] {
+		t.Fatalf("background loading should not slow request 2: %v vs %v",
+			with.Latencies[1], without.Latencies[1])
+	}
+}
+
+func TestEvictionForcesColdPath(t *testing.T) {
+	ms := setup(t, "alex")
+	trace := PoissonTrace(4, 300*time.Millisecond, 3)
+	stats, err := ServeTrace(ms, Policy{Scheme: core.SchemePaSK}, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ColdStarts != 2 {
+		t.Fatalf("cold starts = %d, want 2 (evicted after request 2)", stats.ColdStarts)
+	}
+	// Request 3 (first after eviction) is slower than request 2 (warm).
+	if stats.Latencies[2] <= stats.Latencies[1] {
+		t.Fatalf("post-eviction request (%v) should be slower than warm (%v)",
+			stats.Latencies[2], stats.Latencies[1])
+	}
+}
+
+func TestScaleOutColdStartsAcrossSchemes(t *testing.T) {
+	ms := setup(t, "res")
+	base, err := ScaleOut(ms, Policy{Scheme: core.SchemeBaseline}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pask, err := ScaleOut(ms, Policy{Scheme: core.SchemePaSK}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ColdStarts != 3 || pask.ColdStarts != 3 {
+		t.Fatal("every scale-out instance must cold start")
+	}
+	if pask.Mean() >= base.Mean() {
+		t.Fatalf("PaSK scale-out (%v) not faster than baseline (%v)", pask.Mean(), base.Mean())
+	}
+	// Instances are independent: cold latencies are identical per scheme.
+	for _, l := range base.Latencies[1:] {
+		if l != base.Latencies[0] {
+			t.Fatal("independent instances should have identical cold latency")
+		}
+	}
+}
+
+func TestSpotPreemptionCausesRepeatedColdStarts(t *testing.T) {
+	ms := setup(t, "alex")
+	trace := PoissonTrace(6, 200*time.Millisecond, 4)
+	stats, migrations, err := SpotPreemption(ms, Policy{Scheme: core.SchemePaSK}, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrations != 2 {
+		t.Fatalf("migrations = %d, want 2", migrations)
+	}
+	if stats.ColdStarts != 3 {
+		t.Fatalf("cold starts = %d, want 3 (initial + per migration)", stats.ColdStarts)
+	}
+	if _, _, err := SpotPreemption(ms, Policy{Scheme: core.SchemePaSK}, trace, 0); err == nil {
+		t.Fatal("preemptEvery=0 must error")
+	}
+}
+
+func TestIdealInstanceServesFastestColdStart(t *testing.T) {
+	ms := setup(t, "alex")
+	trace := BurstTrace(1)
+	var results = map[core.Scheme]time.Duration{}
+	for _, sch := range []core.Scheme{core.SchemeBaseline, core.SchemePaSK, core.SchemeIdeal} {
+		stats, err := ServeTrace(ms, Policy{Scheme: sch}, trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[sch] = stats.Latencies[0]
+	}
+	if !(results[core.SchemeIdeal] <= results[core.SchemePaSK] &&
+		results[core.SchemePaSK] < results[core.SchemeBaseline]) {
+		t.Fatalf("ordering violated: %v", results)
+	}
+}
+
+func TestFleetReusesWarmInstance(t *testing.T) {
+	ms := setup(t, "alex")
+	// Sparse arrivals: one instance handles everything warm.
+	trace := PoissonTrace(5, time.Second, 11)
+	stats, err := ServeFleet(ms, FleetConfig{Policy: Policy{Scheme: core.SchemePaSK}, KeepAlive: time.Minute}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spawned != 1 || stats.ColdStarts != 1 {
+		t.Fatalf("spawned=%d cold=%d, want 1/1", stats.Spawned, stats.ColdStarts)
+	}
+	if stats.Reaped != 0 {
+		t.Fatalf("reaped=%d, want 0 under long keep-alive", stats.Reaped)
+	}
+	for i, l := range stats.Latencies[1:] {
+		if l >= stats.Latencies[0] {
+			t.Fatalf("warm request %d (%v) not faster than cold (%v)", i+1, l, stats.Latencies[0])
+		}
+	}
+}
+
+func TestFleetScalesOutOnBurst(t *testing.T) {
+	ms := setup(t, "alex")
+	stats, err := ServeFleet(ms, FleetConfig{Policy: Policy{Scheme: core.SchemePaSK}}, BurstTrace(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spawned != 4 || stats.ColdStarts != 4 || stats.MaxConcurrent != 4 {
+		t.Fatalf("burst should spawn one instance per request: %+v", stats)
+	}
+}
+
+func TestFleetKeepAliveExpiryCausesColdStart(t *testing.T) {
+	ms := setup(t, "alex")
+	trace := Trace{{At: 0}, {At: 3 * time.Second}}
+	stats, err := ServeFleet(ms, FleetConfig{
+		Policy: Policy{Scheme: core.SchemePaSK}, KeepAlive: time.Second,
+	}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reaped != 1 || stats.Spawned != 2 || stats.ColdStarts != 2 {
+		t.Fatalf("keep-alive expiry should force a new cold instance: %+v", stats)
+	}
+}
+
+func TestFleetCapQueuesRequests(t *testing.T) {
+	ms := setup(t, "alex")
+	stats, err := ServeFleet(ms, FleetConfig{
+		Policy: Policy{Scheme: core.SchemeBaseline}, MaxInstances: 1,
+	}, BurstTrace(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spawned != 1 || stats.MaxConcurrent != 1 {
+		t.Fatalf("cap violated: %+v", stats)
+	}
+	// Queued requests wait: later latencies strictly exceed earlier ones.
+	if !(stats.Latencies[0] < stats.Latencies[1] && stats.Latencies[1] < stats.Latencies[2]) {
+		t.Fatalf("queueing not reflected in latencies: %v", stats.Latencies)
+	}
+	// Only the first request is cold; the rest are served warm in order.
+	if stats.ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1", stats.ColdStarts)
+	}
+}
+
+func TestFleetPaSKBeatsBaselineOnBurst(t *testing.T) {
+	ms := setup(t, "res")
+	base, err := ServeFleet(ms, FleetConfig{Policy: Policy{Scheme: core.SchemeBaseline}}, BurstTrace(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pask, err := ServeFleet(ms, FleetConfig{Policy: Policy{Scheme: core.SchemePaSK}}, BurstTrace(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pask.Percentile(0.99) >= base.Percentile(0.99) {
+		t.Fatalf("PaSK fleet p99 (%v) not better than baseline (%v)",
+			pask.Percentile(0.99), base.Percentile(0.99))
+	}
+}

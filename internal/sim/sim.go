@@ -1,0 +1,250 @@
+// Package sim implements a deterministic, cooperative, process-based
+// discrete-event simulation engine in virtual time.
+//
+// The engine is the substrate for the whole PASK reproduction: host threads
+// (parser / loader / issuer), the GPU command streams, the storage backend and
+// the inference server are all sim processes. Exactly one goroutine (either
+// the scheduler or the currently running process) executes at any instant, so
+// runs are fully deterministic: events at equal timestamps are ordered by
+// creation sequence.
+//
+// A process is an ordinary function receiving a *Proc handle. It advances
+// virtual time with Proc.Sleep and synchronizes with other processes through
+// Signal, Resource and Chan, all of which block in virtual time only.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  time.Duration
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// yieldMsg is the handoff from a process goroutine back to the scheduler.
+type yieldMsg struct {
+	p     *Proc
+	done  bool
+	panic any
+	stack []byte
+}
+
+// Env is a simulation environment: a virtual clock plus an event calendar.
+// The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now     time.Duration
+	seq     int64
+	q       eventHeap
+	yield   chan yieldMsg
+	procs   map[*Proc]struct{}
+	running bool
+	stopped bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan yieldMsg),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// nextSeq hands out monotonically increasing sequence numbers used to break
+// ties between events scheduled for the same instant.
+func (e *Env) nextSeq() int64 {
+	e.seq++
+	return e.seq
+}
+
+// Proc is the handle a process uses to interact with the environment. A Proc
+// is only valid inside the function it was passed to; sharing it with another
+// process is a programming error.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	parked bool // blocked with no scheduled event; woken only by unpark
+	dead   bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Spawn registers fn as a new process that starts at the current virtual
+// time. It may be called before Run or from inside a running process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt registers fn as a new process that starts at time t, which must not
+// be in the past.
+func (e *Env) SpawnAt(t time.Duration, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", t, e.now))
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			m := yieldMsg{p: p, done: true}
+			if r := recover(); r != nil {
+				m.panic = r
+				m.stack = debug.Stack()
+			}
+			e.yield <- m
+		}()
+		fn(p)
+	}()
+	e.q.pushEvent(event{at: t, seq: e.nextSeq(), p: p})
+	return p
+}
+
+// yieldToScheduler transfers control from the running process back to the
+// scheduler and blocks until the scheduler resumes this process.
+func (p *Proc) yieldToScheduler() {
+	p.env.yield <- yieldMsg{p: p}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time. d must be non-negative;
+// Sleep(0) yields to other processes scheduled at the same instant.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep(%v) negative duration", d))
+	}
+	e := p.env
+	e.q.pushEvent(event{at: e.now + d, seq: e.nextSeq(), p: p})
+	p.yieldToScheduler()
+}
+
+// SleepUntil advances the process to absolute virtual time t (no-op if t is
+// not after the current time).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t <= p.env.now {
+		return
+	}
+	p.Sleep(t - p.env.now)
+}
+
+// park blocks the process until another process calls unpark on it. Used by
+// the synchronization primitives in this package.
+func (p *Proc) park() {
+	p.parked = true
+	p.yieldToScheduler()
+}
+
+// unpark schedules a parked process to resume at the current time. It must
+// only be called for a process that is parked (or about to park in the same
+// scheduling step, which cannot happen because execution is cooperative).
+func (e *Env) unpark(p *Proc) {
+	if !p.parked {
+		panic("sim: unpark of process " + p.name + " that is not parked")
+	}
+	p.parked = false
+	e.q.pushEvent(event{at: e.now, seq: e.nextSeq(), p: p})
+}
+
+// DeadlockError reports that the event calendar drained while processes were
+// still blocked on synchronization primitives.
+type DeadlockError struct {
+	At      time.Duration
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: blocked processes %v", d.At, d.Blocked)
+}
+
+// PanicError wraps a panic raised inside a process.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", p.Proc, p.Value, p.Stack)
+}
+
+// Run executes events until the calendar is empty. It returns a
+// *DeadlockError if blocked processes remain, or a *PanicError if a process
+// panicked.
+func (e *Env) Run() error { return e.run(-1) }
+
+// RunUntil executes events up to and including virtual time horizon, then
+// advances the clock to horizon and returns. Processes scheduled later stay
+// scheduled; a subsequent Run or RunUntil continues them.
+func (e *Env) RunUntil(horizon time.Duration) error { return e.run(horizon) }
+
+func (e *Env) run(horizon time.Duration) error {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.q.Len() > 0 {
+		if horizon >= 0 && e.q.peek().at > horizon {
+			e.now = horizon
+			return nil
+		}
+		ev := e.q.popEvent()
+		if ev.p.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.p.resume <- struct{}{}
+		m := <-e.yield
+		if m.done {
+			m.p.dead = true
+			delete(e.procs, m.p)
+			if m.panic != nil {
+				return &PanicError{Proc: m.p.name, Value: m.panic, Stack: string(m.stack)}
+			}
+		}
+	}
+	if horizon >= 0 && horizon > e.now {
+		e.now = horizon
+	}
+	if len(e.procs) > 0 {
+		var blocked []string
+		for p := range e.procs {
+			blocked = append(blocked, p.name)
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+// Package tensor provides the minimal dense-tensor data plane used by the
+// functional reference kernels: 4-D shapes, NCHW/NHWC memory layouts, the
+// fp32/fp16/int8 element types that GPU solutions specialize on, and layout /
+// precision transforms (the operations NNV12 eliminates and PASK's solutions
+// bundle as extra kernels).
+//
+// Simulated runs never touch tensor data; functional runs (tests, the
+// `functional` example) use fp32 host buffers regardless of the declared
+// DType, with fp16/int8 semantics applied by value quantization.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// DType identifies the element type a kernel is specialized for.
+type DType uint8
+
+const (
+	F32 DType = iota
+	F16
+	I8
+)
+
+var dtypeNames = [...]string{"f32", "f16", "i8"}
+
+func (d DType) String() string {
+	if int(d) < len(dtypeNames) {
+		return dtypeNames[d]
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case F32:
+		return 4
+	case F16:
+		return 2
+	case I8:
+		return 1
+	}
+	return 4
+}
+
+// ParseDType converts a string produced by DType.String back to a DType.
+func ParseDType(s string) (DType, error) {
+	for i, n := range dtypeNames {
+		if n == s {
+			return DType(i), nil
+		}
+	}
+	return F32, fmt.Errorf("tensor: unknown dtype %q", s)
+}
+
+// Layout identifies the memory layout of a 4-D activation tensor.
+type Layout uint8
+
+const (
+	NCHW Layout = iota
+	NHWC
+)
+
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case NHWC:
+		return "NHWC"
+	}
+	return fmt.Sprintf("layout(%d)", uint8(l))
+}
+
+// ParseLayout converts a string produced by Layout.String back to a Layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "NCHW":
+		return NCHW, nil
+	case "NHWC":
+		return NHWC, nil
+	}
+	return NCHW, fmt.Errorf("tensor: unknown layout %q", s)
+}
+
+// Shape is a 4-D activation shape (batch, channels, height, width). Lower
+// dimensional tensors set trailing spatial dims to 1.
+type Shape struct {
+	N, C, H, W int
+}
+
+// Elems returns the number of elements.
+func (s Shape) Elems() int { return s.N * s.C * s.H * s.W }
+
+// Bytes returns the storage size for the given element type.
+func (s Shape) Bytes(d DType) int64 { return int64(s.Elems()) * int64(d.Size()) }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s.N, s.C, s.H, s.W)
+}
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool { return s.N > 0 && s.C > 0 && s.H > 0 && s.W > 0 }
+
+// Tensor is a dense 4-D fp32 host tensor with an explicit layout tag. Data is
+// always stored in the order implied by Layout.
+type Tensor struct {
+	Shape  Shape
+	Layout Layout
+	Data   []float32
+}
+
+// New allocates a zero tensor of the given shape and layout.
+func New(s Shape, l Layout) *Tensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{Shape: s, Layout: l, Data: make([]float32, s.Elems())}
+}
+
+// index returns the flat offset of (n,c,h,w) honoring the layout.
+func (t *Tensor) index(n, c, h, w int) int {
+	s := t.Shape
+	switch t.Layout {
+	case NCHW:
+		return ((n*s.C+c)*s.H+h)*s.W + w
+	case NHWC:
+		return ((n*s.H+h)*s.W+w)*s.C + c
+	}
+	panic("tensor: bad layout")
+}
+
+// At returns the element at (n,c,h,w).
+func (t *Tensor) At(n, c, h, w int) float32 { return t.Data[t.index(n, c, h, w)] }
+
+// Set stores v at (n,c,h,w).
+func (t *Tensor) Set(n, c, h, w int, v float32) { t.Data[t.index(n, c, h, w)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: t.Shape, Layout: t.Layout, Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// ToLayout returns a copy of t converted to layout l (the data movement a
+// layout-interchange kernel performs). Returns t itself if already in l.
+func (t *Tensor) ToLayout(l Layout) *Tensor {
+	if t.Layout == l {
+		return t
+	}
+	out := New(t.Shape, l)
+	s := t.Shape
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					out.Set(n, c, h, w, t.At(n, c, h, w))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fill sets every element using f(flat index).
+func (t *Tensor) Fill(f func(i int) float32) {
+	for i := range t.Data {
+		t.Data[i] = f(i)
+	}
+}
+
+// Quantize rounds every element through the value grid of dtype d, in place,
+// emulating the precision loss of running a kernel specialized for d.
+func (t *Tensor) Quantize(d DType) {
+	switch d {
+	case F32:
+	case F16:
+		for i, v := range t.Data {
+			t.Data[i] = F16Round(v)
+		}
+	case I8:
+		for i, v := range t.Data {
+			q := math.Round(float64(v) * 127)
+			if q > 127 {
+				q = 127
+			} else if q < -128 {
+				q = -128
+			}
+			t.Data[i] = float32(q / 127)
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// tensors of identical shape (layouts may differ; comparison is logical).
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if a.Shape != b.Shape {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	var m float64
+	s := a.Shape
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					d := math.Abs(float64(a.At(n, c, h, w)) - float64(b.At(n, c, h, w)))
+					if d > m {
+						m = d
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// F16Round rounds an fp32 value to the nearest representable binary16 value
+// (round-to-nearest-even), returning it as fp32. Infinities saturate.
+func F16Round(v float32) float32 {
+	return F16ToF32(F32ToF16(v))
+}
+
+// F32ToF16 converts fp32 to IEEE 754 binary16 bits with round-to-nearest-even.
+func F32ToF16(v float32) uint16 {
+	bits := math.Float32bits(v)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	man := bits & 0x7fffff
+	switch {
+	case int32(bits>>23&0xff) == 0xff: // Inf/NaN
+		if man != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp >= 0x1f: // overflow -> Inf
+		return sign | 0x7c00
+	case exp <= 0: // subnormal or zero
+		if exp < -10 {
+			return sign
+		}
+		man |= 0x800000
+		shift := uint32(14 - exp)
+		half := man >> shift
+		rem := man & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return sign | uint16(half)
+	default:
+		half := uint32(exp)<<10 | man>>13
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return sign | uint16(half)
+	}
+}
+
+// F16ToF32 converts IEEE 754 binary16 bits to fp32.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case exp == 0x1f:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | man<<13)
+	}
+}

@@ -1,0 +1,245 @@
+// Package pask is the public API of the PASK reproduction: a kernel loading
+// and reusing middleware that mitigates DNN inference cold start (Huang et
+// al., "PASK: Cold Start Mitigation for Inference with Proactive and
+// Selective Kernel Loading on GPUs", DAC 2025), together with the full
+// simulated GPU serving stack it runs on.
+//
+// A System bundles one model compiled for one device at one batch size.
+// RunScheme executes a cold start under any of the paper's evaluated
+// schemes and reports timing, GPU utilization, loading activity and PASK's
+// cache statistics:
+//
+//	sys, err := pask.NewSystem(pask.Config{Model: "res", Batch: 1})
+//	...
+//	base, _ := sys.RunScheme(pask.Baseline)
+//	fast, _ := sys.RunScheme(pask.PaSK)
+//	fmt.Printf("cold start speedup: %.2fx\n", base.Seconds()/fast.Seconds())
+package pask
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/metrics"
+	"pask/internal/onnx/zoo"
+	"pask/internal/tensor"
+)
+
+// Scheme selects the execution strategy for a cold start.
+type Scheme string
+
+// The evaluated schemes (paper §IV).
+const (
+	// Baseline is the reactive default workflow: parse everything, then
+	// launch layer by layer with lazy on-demand code-object loading.
+	Baseline Scheme = Scheme(core.SchemeBaseline)
+	// NNV12 selects kernels in one uniform layout (no interchange kernels)
+	// and pipelines loading with execution.
+	NNV12 Scheme = Scheme(core.SchemeNNV12)
+	// Ideal runs with every code object already resident.
+	Ideal Scheme = Scheme(core.SchemeIdeal)
+	// PaSK is the full design: proactive interleaved execution plus
+	// selective reuse through the categorical solution cache.
+	PaSK Scheme = Scheme(core.SchemePaSK)
+	// PaSKI is the interleaving-only ablation.
+	PaSKI Scheme = Scheme(core.SchemePaSKI)
+	// PaSKR is the reuse-only ablation with the naive exhaustive cache.
+	PaSKR Scheme = Scheme(core.SchemePaSKR)
+)
+
+// Schemes returns all schemes in presentation order.
+func Schemes() []Scheme {
+	out := make([]Scheme, 0, len(core.Schemes()))
+	for _, s := range core.Schemes() {
+		out = append(out, Scheme(s))
+	}
+	return out
+}
+
+// Config describes the system to build.
+type Config struct {
+	// Model is a zoo abbreviation (see Models): "alex", "vgg", "res", ...
+	Model string
+	// Batch is the inference batch size (default 1).
+	Batch int
+	// Device is a built-in profile name: "MI100" (default), "A100", "6900XT".
+	Device string
+	// DType is the element type: "f32" (default), "f16" or "i8".
+	DType string
+}
+
+// Options toggles the paper's §VI extensions on PASK runs.
+type Options struct {
+	// BlasScope extends PASK's management to the BLAS library's GEMM
+	// kernels (helps transformer models).
+	BlasScope bool
+	// PrecisionPreference serves reduced-precision layers with resident
+	// full-precision kernels instead of loading low-precision specialists.
+	PrecisionPreference bool
+}
+
+// Report summarizes one cold-start run.
+type Report struct {
+	Scheme Scheme
+	Model  string
+	Batch  int
+
+	// Total is the end-to-end cold-start wall time (virtual).
+	Total time.Duration
+	// GPUBusy is the union of GPU-active intervals inside the run.
+	GPUBusy time.Duration
+	// Loads counts code objects loaded during the run.
+	Loads int
+	// LoadedBytes counts container bytes read and relocated.
+	LoadedBytes int64
+
+	// PASK cache statistics (zero for non-PASK schemes).
+	ReuseQueries int
+	ReuseHits    int
+	Lookups      int
+	SkippedLoads int
+	Milestone    int
+
+	// Breakdown attributes every instant of the run to one category.
+	Breakdown map[string]time.Duration
+}
+
+// Seconds returns the total wall time in seconds.
+func (r *Report) Seconds() float64 { return r.Total.Seconds() }
+
+// Utilization returns the GPU-active fraction of the run (paper Fig 6b).
+func (r *Report) Utilization() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.GPUBusy) / float64(r.Total)
+}
+
+// HitRate returns the cache-query hit fraction (paper Fig 9a).
+func (r *Report) HitRate() float64 {
+	if r.ReuseQueries == 0 {
+		return 0
+	}
+	return float64(r.ReuseHits) / float64(r.ReuseQueries)
+}
+
+// ModelInfo describes one zoo model.
+type ModelInfo struct {
+	Name string // torchvision-style name
+	Abbr string // paper abbreviation
+	Type string // workload category
+}
+
+// Models lists the twelve models of the paper's Table I.
+func Models() []ModelInfo {
+	var out []ModelInfo
+	for _, s := range zoo.Models() {
+		out = append(out, ModelInfo{Name: s.Name, Abbr: s.Abbr, Type: s.Type})
+	}
+	return out
+}
+
+// Devices lists the built-in device profile names.
+func Devices() []string {
+	var out []string
+	for _, p := range device.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// System is one model compiled for one device, ready to run cold starts.
+type System struct {
+	cfg Config
+	ms  *experiments.ModelSetup
+}
+
+// NewSystem compiles the configured model for the configured device and
+// materializes every code object it can load.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("pask: Config.Model is required (one of %v)", abbrs())
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 1
+	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("pask: invalid batch %d", cfg.Batch)
+	}
+	if cfg.Device == "" {
+		cfg.Device = "MI100"
+	}
+	prof, ok := device.ProfileByName(cfg.Device)
+	if !ok {
+		return nil, fmt.Errorf("pask: unknown device %q (one of %v)", cfg.Device, Devices())
+	}
+	dt := tensor.F32
+	if cfg.DType != "" {
+		var err error
+		dt, err = tensor.ParseDType(cfg.DType)
+		if err != nil {
+			return nil, fmt.Errorf("pask: %w", err)
+		}
+	}
+	ms, err := experiments.PrepareModelTyped(cfg.Model, cfg.Batch, prof, dt)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, ms: ms}, nil
+}
+
+func abbrs() []string { return experiments.AllModelAbbrs() }
+
+// Instructions returns the compiled model's instruction count.
+func (s *System) Instructions() int { return s.ms.Model.NumInstructions() }
+
+// PrimitiveLayers returns the number of distinct primitive-library problems
+// (the paper's Table I axis).
+func (s *System) PrimitiveLayers() int { return s.ms.Model.DistinctPrimitiveProblems() }
+
+// RunScheme executes one cold start under the scheme in a fresh simulated
+// process and returns its report.
+func (s *System) RunScheme(scheme Scheme, opts ...Options) (*Report, error) {
+	var o core.Options
+	if len(opts) > 0 {
+		o = core.Options{BlasScope: opts[0].BlasScope, PrecisionPreference: opts[0].PrecisionPreference}
+	}
+	rep, _, err := s.ms.RunScheme(core.Scheme(scheme), o)
+	if err != nil {
+		return nil, err
+	}
+	return convertReport(scheme, rep), nil
+}
+
+// ColdHot measures the first-inference cold time (including process
+// initialization) and the steady-state hot iteration time — the paper's
+// Fig 1(a) quantities.
+func (s *System) ColdHot() (cold, hot time.Duration, err error) {
+	cold, hot, _, err = s.ms.RunColdHot()
+	return cold, hot, err
+}
+
+func convertReport(scheme Scheme, rep *metrics.Report) *Report {
+	bd := make(map[string]time.Duration, len(rep.Breakdown))
+	for k, v := range rep.Breakdown {
+		bd[string(k)] = v
+	}
+	return &Report{
+		Scheme:       scheme,
+		Model:        rep.Model,
+		Batch:        rep.Batch,
+		Total:        rep.Total,
+		GPUBusy:      rep.GPUBusy,
+		Loads:        rep.Loads,
+		LoadedBytes:  rep.LoadedBytes,
+		ReuseQueries: rep.ReuseQueries,
+		ReuseHits:    rep.ReuseHits,
+		Lookups:      rep.Lookups,
+		SkippedLoads: rep.SkippedLoads,
+		Milestone:    rep.Milestone,
+		Breakdown:    bd,
+	}
+}
