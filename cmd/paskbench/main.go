@@ -3,29 +3,47 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background]
+//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128]
+//	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
+//
+// -exp chaos runs the default fault-injection sweep (fault rates x policies);
+// -faults runs a single sweep cell from a combined spec whose fault keys
+// (transient, permanent, spike, disable, seed, burst, spike_ms, reset_ms) feed
+// the plan and whose scenario keys (model, batch, device, requests,
+// interval_ms, evict) shape the trace.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pask/internal/device"
 	"strconv"
 	"strings"
 
 	"pask/internal/experiments"
+	"pask/internal/faults"
+	"pask/internal/serving"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
+	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	flag.Parse()
 	formatCSV = *format == "csv"
+
+	if *faultsFlag != "" {
+		if err := runChaos(*faultsFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	models := experiments.AllModelAbbrs()
 	if *modelsFlag != "" {
@@ -129,6 +147,56 @@ func main() {
 			"benefit is bounded by problem-configuration overlap between the models; foreign specialists at the cache head can add lookups")
 		return show(tbl, nil)
 	})
+	run("chaos", func() error {
+		tbl, err := serving.Chaos(serving.ChaosConfig{})
+		return show(tbl, err)
+	})
+}
+
+// runChaos runs a single fault-injection cell from the combined -faults spec:
+// faults.ParsePlan keeps the plan keys and hands back the scenario keys.
+func runChaos(spec string) error {
+	plan, leftover, err := faults.ParsePlan(spec)
+	if err != nil {
+		return err
+	}
+	cfg := serving.ChaosConfig{
+		Seed:       plan.Seed,
+		Transients: []float64{plan.TransientRate},
+		Permanents: []float64{plan.PermanentRate},
+		Spike:      plan.SpikeRate,
+		SpikeExtra: plan.SpikeExtra,
+		ResetAt:    plan.DeviceResetAt,
+	}
+	for key, val := range leftover {
+		switch key {
+		case "model":
+			cfg.Model = val
+		case "batch":
+			cfg.Batch, err = strconv.Atoi(val)
+		case "device":
+			prof, ok := device.ProfileByName(val)
+			if !ok {
+				return fmt.Errorf("chaos: unknown device %q", val)
+			}
+			cfg.Profile = prof
+		case "requests":
+			cfg.Requests, err = strconv.Atoi(val)
+		case "interval_ms":
+			var f float64
+			f, err = strconv.ParseFloat(val, 64)
+			cfg.MeanInterval = time.Duration(f * float64(time.Millisecond))
+		case "evict":
+			cfg.EvictEvery, err = strconv.Atoi(val)
+		default:
+			return fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("chaos: bad %s=%q: %w", key, val, err)
+		}
+	}
+	tbl, err := serving.Chaos(cfg)
+	return show(tbl, err)
 }
 
 // convOnly filters the selection to the convolution-dominated models (the

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	paskrun -model res -scheme PaSK [-device MI100] [-batch 1] [-width 100]
+//	        [-faults "transient=0.1,permanent=0.02,seed=7"]
+//
+// With -faults the run faces a seeded fault plan (keys: transient, permanent,
+// spike, disable, seed, burst, spike_ms, reset_ms) and the report gains the
+// retry, negative-cache and degradation-ladder counters.
 package main
 
 import (
@@ -17,7 +22,9 @@ import (
 	"pask/internal/core"
 	"pask/internal/device"
 	"pask/internal/experiments"
+	"pask/internal/faults"
 	"pask/internal/metrics"
+	"pask/internal/serving"
 	"pask/internal/sim"
 )
 
@@ -28,6 +35,7 @@ func main() {
 	batch := flag.Int("batch", 1, "inference batch size")
 	width := flag.Int("width", 100, "timeline width in characters")
 	blasScope := flag.Bool("blas-scope", false, "enable the BLAS-scope extension")
+	faultsFlag := flag.String("faults", "", "fault plan, e.g. \"transient=0.1,permanent=0.02,seed=7\"")
 	flag.Parse()
 
 	prof, ok := device.ProfileByName(*devName)
@@ -50,8 +58,26 @@ func main() {
 		fatal(fmt.Errorf("unknown scheme %q (one of %v)", *schemeName, core.Schemes()))
 	}
 
+	var inj *faults.Injector
+	if *faultsFlag != "" {
+		plan, leftover, perr := faults.ParsePlan(*faultsFlag)
+		if perr != nil {
+			fatal(perr)
+		}
+		if len(leftover) > 0 {
+			fatal(fmt.Errorf("unknown fault keys in -faults: %v", leftover))
+		}
+		inj = faults.New(plan)
+		restore := serving.InstallFaults(ms, inj)
+		defer restore()
+	}
+
 	// Run with a retained process so the tracer's spans are available.
 	pr := ms.NewProcess()
+	if inj != nil {
+		pr.RT.LoadFaults = inj
+		inj.ArmReset(pr.Env, pr.RT.UnloadAll)
+	}
 	var spans []metrics.Span
 	var window [2]time.Duration
 	rep, res, err := runWithSpans(ms, pr, scheme, core.Options{BlasScope: *blasScope}, &spans, &window)
@@ -80,6 +106,19 @@ func main() {
 	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
 	for _, it := range items {
 		fmt.Printf("  %-9s %8.2fms  %5.1f%%\n", it.c, it.v/1e6, 100*it.v/float64(rep.Total))
+	}
+
+	if inj != nil {
+		fs := inj.Stats()
+		hs := pr.RT.Stats()
+		fmt.Printf("\nfaults injected: %d transient, %d corrupt reads, %d spikes, %d resets\n",
+			fs.TransientFaults, fs.CorruptReads, fs.LatencySpikes, fs.Resets)
+		fmt.Printf("recovery:        %d load retries, %d permanent failures, %d negative-cache hits\n",
+			hs.TransientRetries, hs.PermanentFailures, hs.NegativeHits)
+		if res != nil {
+			fmt.Printf("degradation:     %d load failures, %d forced reuse, %d ladder fallbacks, %d elided transforms\n",
+				res.LoadFailures, res.ForcedReuse, res.LadderFallbacks, res.ElidedXformFailures)
+		}
 	}
 
 	fmt.Printf("\ntimeline:\n%s", metrics.Timeline(spans, window[0], window[1], *width))

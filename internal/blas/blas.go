@@ -8,6 +8,7 @@
 package blas
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -175,6 +176,10 @@ type SelectHook func(proc *sim.Proc, p *Problem, chosen Instance) Instance
 // dominates transformer cold starts.
 const CoreObjectPath = "blas_core.pko"
 
+// ErrNotApplicable marks a request for an instance that cannot serve the
+// problem — a programming error the degradation ladder must not absorb.
+var ErrNotApplicable = errors.New("blas: instance not applicable")
+
 const coreObjectKernels = 24
 
 // Library is the per-process GEMM library handle.
@@ -182,9 +187,10 @@ type Library struct {
 	RT   *hip.Runtime
 	Hook SelectHook
 
-	kernels []*Kernel
-	find    map[string][]Ranked
-	runs    int
+	kernels   []*Kernel
+	find      map[string][]Ranked
+	runs      int
+	fallbacks int
 }
 
 // NewLibrary binds the GEMM ladder to a process runtime.
@@ -224,6 +230,10 @@ func (l *Library) Find(p *Problem) []Ranked {
 // Runs returns the number of Run invocations.
 func (l *Library) Runs() int { return l.runs }
 
+// Fallbacks returns how many GEMMs ran on a lower-ranked instance after the
+// chosen one failed.
+func (l *Library) Fallbacks() int { return l.fallbacks }
+
 // Materialize builds the code objects of every instance that could serve the
 // given problems into the store (offline compilation), plus the shared core
 // kernel archive.
@@ -257,7 +267,10 @@ func (l *Library) Materialize(store *codeobj.Store, problems []Problem) error {
 
 // Run executes p on the stream: find the best instance, let the hook
 // substitute it, lazily load its code object (the reactive cold-start path),
-// and launch. Returns the completion signal.
+// and launch. When the chosen instance cannot run — typically its code
+// object fails to load — Run degrades down the ranked ladder to the next
+// applicable instance instead of failing the request, mirroring the
+// primitive library's recovery ladder. Returns the completion signal.
 func (l *Library) Run(proc *sim.Proc, stream *device.Stream, p *Problem) (*sim.Signal, error) {
 	ranked := l.Find(p)
 	if len(ranked) == 0 {
@@ -267,7 +280,25 @@ func (l *Library) Run(proc *sim.Proc, stream *device.Stream, p *Problem) (*sim.S
 	if l.Hook != nil {
 		chosen = l.Hook(proc, p, chosen)
 	}
-	return l.RunInstance(proc, stream, p, chosen)
+	sig, err := l.RunInstance(proc, stream, p, chosen)
+	if err == nil {
+		return sig, nil
+	}
+	if errors.Is(err, ErrNotApplicable) {
+		// A bad hook substitution is a programming error, not a fault the
+		// ladder should paper over.
+		return nil, err
+	}
+	for _, r := range ranked {
+		if r.Inst.Path() == chosen.Path() {
+			continue
+		}
+		if sig, ferr := l.RunInstance(proc, stream, p, r.Inst); ferr == nil {
+			l.fallbacks++
+			return sig, nil
+		}
+	}
+	return nil, err
 }
 
 // EnsureCore loads the shared kernel archive if absent — charged on the
@@ -282,7 +313,7 @@ func (l *Library) EnsureCore(proc *sim.Proc) error {
 // instance's own code object.
 func (l *Library) RunInstance(proc *sim.Proc, stream *device.Stream, p *Problem, inst Instance) (*sim.Signal, error) {
 	if !inst.Applicable(l.RT.GPU.Profile, p) {
-		return nil, fmt.Errorf("blas: instance %s not applicable to %s", inst.Path(), p.Key())
+		return nil, fmt.Errorf("%w: %s to %s", ErrNotApplicable, inst.Path(), p.Key())
 	}
 	if err := l.EnsureCore(proc); err != nil {
 		return nil, err

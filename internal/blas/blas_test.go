@@ -235,3 +235,62 @@ func TestRunFunctionalMatchesGemm(t *testing.T) {
 		t.Fatal("invalid problem must error")
 	}
 }
+
+func TestRunFallsBackOnLoadFailure(t *testing.T) {
+	env, lib := newTestLib(t)
+	// Aligned problem: three ranked kernels, room to degrade.
+	p := Problem{M: 256, N: 768, K: 768, Batch: 1, DType: tensor.F32}
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	ranked := lib.Find(&p)
+	if len(ranked) < 2 {
+		t.Fatalf("need at least two kernels, got %d", len(ranked))
+	}
+	if err := lib.RT.Store().Truncate(ranked[0].Inst.Path(), 4); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		if err != nil {
+			t.Errorf("Run did not degrade past the broken object: %v", err)
+			return
+		}
+		sig.Wait(proc)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Fallbacks() != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", lib.Fallbacks())
+	}
+	if !lib.RT.FailedPermanently(ranked[0].Inst.Path()) {
+		t.Fatal("broken object must be negatively cached")
+	}
+}
+
+func TestRunFailsWhenLadderExhausted(t *testing.T) {
+	env, lib := newTestLib(t)
+	// Odd int8 problem: only the naive kernel applies.
+	p := Problem{M: 1, N: 3, K: 5, Batch: 1, TransA: true, DType: tensor.I8}
+	if err := lib.Materialize(lib.RT.Store(), []Problem{p}); err != nil {
+		t.Fatal(err)
+	}
+	ranked := lib.Find(&p)
+	if len(ranked) != 1 {
+		t.Fatalf("want a single-kernel ladder, got %d", len(ranked))
+	}
+	if err := lib.RT.Store().Truncate(ranked[0].Inst.Path(), 4); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("host", func(proc *sim.Proc) {
+		defer lib.RT.GPU.CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err == nil {
+			t.Error("Run succeeded with every applicable object broken")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,8 +21,11 @@ import (
 
 // Format constants.
 const (
-	Magic   = "PKO1"
-	Version = 1
+	Magic = "PKO1"
+	// Version 2 added the per-kernel payload checksum byte that follows each
+	// payload, letting the loader localize corruption to a kernel even when
+	// the container CRC has been re-sealed.
+	Version = 2
 	// maxStringLen bounds length-prefixed strings to catch corrupt headers
 	// before huge allocations.
 	maxStringLen = 1 << 16
@@ -172,7 +175,13 @@ func Build(name, arch string, kernels []KernelSpec) ([]byte, error) {
 			writeString(&buf, key)
 			writeString(&buf, k.Meta[key])
 		}
+		start := buf.Len()
 		writePayload(&buf, k.Name, k.CodeSize)
+		var checksum byte
+		for _, b := range buf.Bytes()[start:] {
+			checksum ^= b
+		}
+		buf.WriteByte(checksum)
 	}
 	sum := crc32.ChecksumIEEE(buf.Bytes())
 	binary.LittleEndian.PutUint32(u32[:], sum)
@@ -244,6 +253,10 @@ func Parse(data []byte) (*Object, error) {
 			return nil, ErrTruncated
 		}
 		k.CodeSize = int(binary.LittleEndian.Uint32(u32[:]))
+		if k.CodeSize > r.Len() {
+			// A corrupt size field must not drive a huge allocation below.
+			return nil, fmt.Errorf("codeobj: kernel %q code size %d exceeds remaining %d bytes: %w", k.Name, k.CodeSize, r.Len(), ErrTruncated)
+		}
 		if _, err := readFull(r, u32[:]); err != nil {
 			return nil, ErrTruncated
 		}
@@ -265,7 +278,8 @@ func Parse(data []byte) (*Object, error) {
 				k.Meta[key] = val
 			}
 		}
-		// "Relocate": walk the payload like a loader patching addresses.
+		// "Relocate": walk the payload like a loader patching addresses,
+		// verifying the per-kernel checksum byte stored after it.
 		payload := make([]byte, k.CodeSize)
 		if _, err := readFull(r, payload); err != nil {
 			return nil, ErrTruncated
@@ -274,7 +288,13 @@ func Parse(data []byte) (*Object, error) {
 		for _, b := range payload {
 			checksum ^= b
 		}
-		_ = checksum
+		want, err := r.ReadByte()
+		if err != nil {
+			return nil, ErrTruncated
+		}
+		if checksum != want {
+			return nil, fmt.Errorf("codeobj: kernel %q payload checksum mismatch: %w", k.Name, ErrChecksum)
+		}
 		if _, dup := o.symbols[k.Name]; dup {
 			return nil, fmt.Errorf("codeobj: duplicate symbol %q in object %q", k.Name, name)
 		}

@@ -1,9 +1,32 @@
 package codeobj
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 )
+
+// Store error classification: loaders retry transient errors and treat the
+// rest (missing objects, parse failures) as permanent.
+var (
+	// ErrIO marks a transient read failure — the storage hiccup a loader
+	// should retry rather than memoize.
+	ErrIO = errors.New("codeobj: transient I/O error")
+	// ErrNotFound marks an object absent from the store (permanent).
+	ErrNotFound = errors.New("not found in store")
+)
+
+// IsTransient reports whether a store/load error is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrIO) }
+
+// FaultHook intercepts Store reads for failure injection. It may pass the
+// bytes through, substitute corrupted ones, or fail the read outright
+// (wrapping ErrIO for transient faults). A nil hook costs nothing.
+type FaultHook interface {
+	StoreGet(path string, data []byte) ([]byte, error)
+}
 
 // Store is the simulated on-disk registry of compiled code objects — the
 // directory of shared libraries and binary blobs the primitive library loads
@@ -11,7 +34,11 @@ import (
 // are charged by the hip runtime when a load happens.
 type Store struct {
 	objects map[string][]byte
+	fault   FaultHook
 }
+
+// SetFaultHook installs (or, with nil, removes) the read interceptor.
+func (s *Store) SetFaultHook(h FaultHook) { s.fault = h }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -35,11 +62,16 @@ func (s *Store) PutBuilt(path, arch string, kernels []KernelSpec) error {
 	return nil
 }
 
-// Get returns the bytes stored under path.
+// Get returns the bytes stored under path. When a fault hook is installed
+// the read goes through it, so injected failures surface exactly where real
+// storage errors would.
 func (s *Store) Get(path string) ([]byte, error) {
 	data, ok := s.objects[path]
 	if !ok {
-		return nil, fmt.Errorf("codeobj: object %q not found in store", path)
+		return nil, fmt.Errorf("codeobj: object %q %w", path, ErrNotFound)
+	}
+	if s.fault != nil {
+		return s.fault.StoreGet(path, data)
 	}
 	return data, nil
 }
@@ -88,6 +120,26 @@ func (s *Store) Corrupt(path string, offset int) error {
 		return fmt.Errorf("codeobj: offset %d out of range for %q (%d bytes)", offset, path, len(data))
 	}
 	data[offset] ^= 0xff
+	return nil
+}
+
+// CorruptSealed flips one byte of the stored object and re-seals the
+// container CRC trailer, so the damage is only detectable by the per-kernel
+// payload checksum. Offsets inside the 4-byte trailer are rejected.
+func (s *Store) CorruptSealed(path string, offset int) error {
+	data, ok := s.objects[path]
+	if !ok {
+		return fmt.Errorf("codeobj: object %q not found in store", path)
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("codeobj: object %q too short to re-seal", path)
+	}
+	if offset < 0 || offset >= len(data)-4 {
+		return fmt.Errorf("codeobj: offset %d out of sealed range for %q (%d bytes)", offset, path, len(data))
+	}
+	data[offset] ^= 0xff
+	crc := crc32.ChecksumIEEE(data[:len(data)-4])
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc)
 	return nil
 }
 

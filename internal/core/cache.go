@@ -42,6 +42,11 @@ type Cache interface {
 	// GetSub returns a loaded substitute applicable to p for the wanted
 	// instance, charging one applicability check per candidate examined.
 	GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool)
+	// GetSubAny is the degraded-mode query used when the wanted instance's
+	// code object cannot load: unlike GetSub it scans every category, skips
+	// the wanted instance itself, and only returns candidates whose modules
+	// are verifiably resident (forced reuse must not trigger another load).
+	GetSubAny(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool)
 	// Stats returns the accumulated counters.
 	Stats() CacheStats
 	// Len returns the number of cached instances.
@@ -119,6 +124,37 @@ func (c *CategoricalCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miop
 	return miopen.Instance{}, false
 }
 
+// GetSubAny extends GetSub across every pattern list — the wanted pattern
+// first (most likely to hold a fit), then the remaining categories in
+// stable declaration order. Costs are charged like GetSub: one fixed query
+// plus one applicability check per candidate examined.
+func (c *CategoricalCache) GetSubAny(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	c.stats.Queries++
+	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	pats := []miopen.Pattern{want.Sol.Pattern()}
+	for _, pat := range miopen.Patterns() {
+		if pat != pats[0] {
+			pats = append(pats, pat)
+		}
+	}
+	for _, pat := range pats {
+		list := c.lists[pat]
+		for i := range list {
+			if list[i].Key() == want.Key() || !lib.IsLoaded(list[i]) {
+				continue
+			}
+			c.stats.Lookups++
+			if lib.CheckApplicable(proc, list[i], p) {
+				inst := list[i]
+				c.lists[pat] = promote(list, i)
+				c.stats.Hits++
+				return inst, true
+			}
+		}
+	}
+	return miopen.Instance{}, false
+}
+
 // Stats returns the accumulated counters.
 func (c *CategoricalCache) Stats() CacheStats { return c.stats }
 
@@ -171,6 +207,35 @@ func (c *NaiveCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Ins
 	best := -1
 	var bestEst time.Duration
 	for i := range c.list {
+		c.stats.Lookups++
+		if !lib.CheckApplicable(proc, c.list[i], p) {
+			continue
+		}
+		est := miopen.EstimateTime(lib.Reg.Ctx().Dev, c.list[i].Sol, p)
+		if best < 0 || est < bestEst {
+			best, bestEst = i, est
+		}
+	}
+	if best < 0 {
+		return miopen.Instance{}, false
+	}
+	inst := c.list[best]
+	c.list = promote(c.list, best)
+	c.stats.Hits++
+	return inst, true
+}
+
+// GetSubAny scans the flat list like GetSub but skips the unloadable wanted
+// instance and any entry whose module is no longer resident.
+func (c *NaiveCache) GetSubAny(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	c.stats.Queries++
+	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	best := -1
+	var bestEst time.Duration
+	for i := range c.list {
+		if c.list[i].Key() == want.Key() || !lib.IsLoaded(c.list[i]) {
+			continue
+		}
 		c.stats.Lookups++
 		if !lib.CheckApplicable(proc, c.list[i], p) {
 			continue

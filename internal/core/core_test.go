@@ -491,7 +491,9 @@ func TestInterleavedErrorPropagates(t *testing.T) {
 	var runErr error
 	env.Spawn("main", func(p *sim.Proc) {
 		defer gpu.CloseAll()
-		_, runErr = RunInterleaved(p, runner, h.model, NewCategoricalCache(), true, Options{})
+		// NoDegradation pins the historical fail-fast semantics; the default
+		// path now absorbs load failures (TestDegradationSurvivesLoadFailure).
+		_, runErr = RunInterleaved(p, runner, h.model, NewCategoricalCache(), true, Options{NoDegradation: true})
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)

@@ -47,6 +47,10 @@ type Options struct {
 	// instead of loading unconditionally before the milestone (design
 	// ablation of §III-A's milestone rule).
 	NoEagerPhase bool
+	// NoDegradation restores fail-fast semantics: a code-object load
+	// failure aborts the run instead of engaging the recovery ladder
+	// (forced reuse, generality fallback, transform elision).
+	NoDegradation bool
 }
 
 // Result carries PASK's run statistics.
@@ -64,7 +68,18 @@ type Result struct {
 	Skipped []miopen.Instance
 	// BLAS-scope statistics (§VI extension).
 	BlasQueries, BlasHits, BlasSkipped int
+
+	// Degradation-ladder statistics (fault recovery).
+	LoadFailures        int // chosen-solution load failures absorbed by the ladder
+	ForcedReuse         int // layers served by an already-loaded substitute after a failure
+	LadderFallbacks     int // layers served by loading a more generic alternative
+	ElidedXformFailures int // interchange kernels dropped because their object failed to load
+	// Substitutions records every degraded layer decision for auditing.
+	Substitutions []Substitution
 }
+
+// Degraded reports how many layers ran on a substitute because of a fault.
+func (r *Result) Degraded() int { return r.ForcedReuse + r.LadderFallbacks }
 
 // issueItem is the message the loading thread sends to the issuing thread.
 type issueItem struct {
@@ -86,6 +101,10 @@ type pipeline struct {
 	parseDone bool
 	res       Result
 	err       error
+
+	// forceAgnostic is set when an interchange kernel's load failed and the
+	// transform was elided: the next primitive must run layout-agnostic.
+	forceAgnostic bool
 
 	blasList []blas.Instance
 }
@@ -133,6 +152,15 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 				return
 			}
 			if _, err := pl.r.RT.ModuleLoad(sp, tr.XformPath); err != nil {
+				if !pl.opts.NoDegradation {
+					// Degrade: drop the interchange and force the consuming
+					// primitive onto a layout-agnostic instance. Data stays
+					// in curLayout, so downstream tracking remains sound.
+					pl.res.ElidedXformFailures++
+					pl.res.SkippedTransforms++
+					pl.forceAgnostic = true
+					return
+				}
 				pl.fail(err)
 				return
 			}
@@ -191,9 +219,8 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 					pl.fail(err)
 					continue
 				}
-				pref, agnostic := inst.Sol.PreferredLayout(prob)
 				if pending != nil {
-					if usedSub && agnostic && !pl.opts.NoTransformElision {
+					if _, ag := inst.Sol.PreferredLayout(prob); usedSub && ag && !pl.opts.NoTransformElision {
 						// The substitute runs in the incoming layout: the
 						// planned transform (and its load) is unnecessary.
 						pl.res.SkippedTransforms++
@@ -202,6 +229,20 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 						flushPending(lp)
 					}
 				}
+				if pl.forceAgnostic {
+					// The transform feeding this primitive was elided after a
+					// load failure: re-check the decision in the incoming
+					// layout.
+					pl.forceAgnostic = false
+					sub, changed, aerr := agnosticSubstitute(lp, pl.r, pl.cache, &pl.res, instr.Name, inst, prob)
+					if aerr != nil {
+						pl.fail(aerr)
+						continue
+					}
+					inst = sub
+					usedSub = usedSub || changed
+				}
+				pref, agnostic := inst.Sol.PreferredLayout(prob)
 				if !usedSub && !agnostic {
 					curLayout = pref
 				}
@@ -266,7 +307,13 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 	if !selectivePhase {
 		pl.res.Milestone++
 		if err := lib.EnsureLoaded(lp, sInst); err != nil {
-			return miopen.Instance{}, prob, false, err
+			if pl.opts.NoDegradation {
+				return miopen.Instance{}, prob, false, err
+			}
+			if sub, ok := recoverLoadFailure(lp, pl.r, pl.cache, &pl.res, instr.Name, sInst, prob); ok {
+				return sub, prob, true, nil
+			}
+			return miopen.Instance{}, prob, false, wrapNoUsable(instr.Name, err)
 		}
 		pl.cache.Insert(sInst)
 		return sInst, prob, false, nil
@@ -300,7 +347,13 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 		return sub, prob, true, nil
 	}
 	if err := lib.EnsureLoaded(lp, sInst); err != nil {
-		return miopen.Instance{}, prob, false, err
+		if pl.opts.NoDegradation {
+			return miopen.Instance{}, prob, false, err
+		}
+		if sub, ok := recoverLoadFailure(lp, pl.r, pl.cache, &pl.res, instr.Name, sInst, prob); ok {
+			return sub, prob, true, nil
+		}
+		return miopen.Instance{}, prob, false, wrapNoUsable(instr.Name, err)
 	}
 	pl.cache.Insert(sInst)
 	return sInst, prob, false, nil
@@ -387,15 +440,25 @@ func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache
 	}
 	r.CopyParams(p, m)
 	var pending *graphx.Instruction
+	forceAgnostic := false
+	// runTransformSeq executes an interchange kernel, degrading on a load
+	// failure the same way the interleaved loader does: drop the transform
+	// and force the consuming primitive onto a layout-agnostic instance.
+	runTransformSeq := func(tr *graphx.Instruction) error {
+		if _, err := r.ExecInstr(p, tr); err != nil {
+			res.ElidedXformFailures++
+			res.SkippedTransforms++
+			forceAgnostic = true
+		}
+		return nil
+	}
 	flushPending := func() error {
 		if pending == nil {
 			return nil
 		}
-		if _, err := r.ExecInstr(p, pending); err != nil {
-			return err
-		}
+		tr := pending
 		pending = nil
-		return nil
+		return runTransformSeq(tr)
 	}
 	for i := range m.Instrs {
 		instr := &m.Instrs[i]
@@ -408,7 +471,7 @@ func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache
 				pending = instr
 				continue
 			}
-			if _, err := r.ExecInstr(p, instr); err != nil {
+			if err := runTransformSeq(instr); err != nil {
 				return res, err
 			}
 
@@ -431,10 +494,16 @@ func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache
 					run = sub
 					usedSub = true
 				} else {
-					if err := r.Lib.EnsureLoaded(p, sInst); err != nil {
-						return res, err
+					if lerr := r.Lib.EnsureLoaded(p, sInst); lerr != nil {
+						fsub, fok := recoverLoadFailure(p, r, cache, res, instr.Name, sInst, &instr.Problem)
+						if !fok {
+							return res, wrapNoUsable(instr.Name, lerr)
+						}
+						run = fsub
+						usedSub = true
+					} else {
+						cache.Insert(sInst)
 					}
-					cache.Insert(sInst)
 				}
 			}
 			if pending != nil {
@@ -445,6 +514,15 @@ func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache
 				} else if err := flushPending(); err != nil {
 					return res, err
 				}
+			}
+			if forceAgnostic {
+				forceAgnostic = false
+				sub, changed, aerr := agnosticSubstitute(p, r, cache, res, instr.Name, run, &instr.Problem)
+				if aerr != nil {
+					return res, aerr
+				}
+				run = sub
+				usedSub = usedSub || changed
 			}
 			if _, err := r.ExecPrimitive(p, instr, run); err != nil {
 				return res, err

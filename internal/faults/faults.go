@@ -1,0 +1,332 @@
+// Package faults is a deterministic, seeded fault injector for the PASK
+// loading pipeline. A declarative Plan names the failure modes to exercise —
+// transient store I/O errors, permanently corrupt code objects, load-latency
+// spikes, solution-discovery outages, and a device reset at a chosen virtual
+// time — and an Injector turns it into byte-level misbehaviour at the same
+// seams real faults enter: codeobj.Store reads, hip module-load latency, and
+// the MIOpen find path.
+//
+// Every decision is a pure hash of (seed, fault kind, path, access count),
+// so a fixed plan replays identically across runs and across policies under
+// test: the chaos experiment's fairness depends on each policy facing the
+// same storm. A nil *Injector is inert, and a disabled rate costs nothing on
+// the production path.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/sim"
+)
+
+// Plan declares which faults to inject and how often. Rates are
+// probabilities in [0,1] evaluated per store access (transient, spike) or
+// per path/ID (permanent, disable).
+type Plan struct {
+	Seed int64 // stream selector; same plan+seed => same faults
+
+	// TransientRate is the per-read probability of a retriable I/O error
+	// (wrapping codeobj.ErrIO). Consecutive failures on one path are capped
+	// by MaxTransientBurst so bounded retry can always win.
+	TransientRate float64
+	// MaxTransientBurst caps consecutive transient failures per path.
+	// Zero means the default of 2.
+	MaxTransientBurst int
+
+	// PermanentRate is the per-path probability that an object's bytes are
+	// corrupt on every read — the stored copy is damaged, not the wire.
+	PermanentRate float64
+
+	// SpikeRate is the per-load probability of an added latency spike of
+	// SpikeExtra (default 2ms) on top of the modeled load time.
+	SpikeRate  float64
+	SpikeExtra time.Duration
+
+	// DisableRate is the per-solution probability that the find path
+	// reports the solution unavailable (a vendor-db outage stand-in).
+	DisableRate float64
+
+	// DeviceResetAt, when positive, unloads every module at that virtual
+	// time — the driver-level device reset / preemption event.
+	DeviceResetAt time.Duration
+}
+
+func (p Plan) burst() int {
+	if p.MaxTransientBurst > 0 {
+		return p.MaxTransientBurst
+	}
+	return 2
+}
+
+func (p Plan) spike() time.Duration {
+	if p.SpikeExtra > 0 {
+		return p.SpikeExtra
+	}
+	return 2 * time.Millisecond
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	TransientFaults int // reads failed with a retriable error
+	CorruptReads    int // reads answered with corrupted bytes
+	LatencySpikes   int // loads slowed by SpikeExtra
+	Resets          int // device resets fired
+}
+
+// Injector implements the fault plan. It satisfies codeobj.FaultHook (store
+// reads) and hip.LoadFaultInjector (latency spikes). A nil Injector is safe
+// to call and injects nothing.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	exempt map[string]bool
+	readN  map[string]int // store accesses per path
+	burstN map[string]int // consecutive transient failures per path
+	loadN  map[string]int // latency-spike rolls per path
+	armed  bool
+	stats  Stats
+}
+
+// New builds an injector for the plan. Rates are clamped to [0,1].
+func New(plan Plan) *Injector {
+	clamp := func(r *float64) {
+		if *r < 0 {
+			*r = 0
+		}
+		if *r > 1 {
+			*r = 1
+		}
+	}
+	clamp(&plan.TransientRate)
+	clamp(&plan.PermanentRate)
+	clamp(&plan.SpikeRate)
+	clamp(&plan.DisableRate)
+	return &Injector{
+		plan:   plan,
+		exempt: make(map[string]bool),
+		readN:  make(map[string]int),
+		burstN: make(map[string]int),
+		loadN:  make(map[string]int),
+	}
+}
+
+// Plan returns the (clamped) plan the injector runs.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Exempt shields paths from corruption and transient faults — used for
+// objects that ship inside the engine binary and never cross storage.
+func (inj *Injector) Exempt(paths ...string) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, p := range paths {
+		inj.exempt[p] = true
+	}
+}
+
+// roll maps (seed, kind, key, n) to a uniform float64 in [0,1).
+func (inj *Injector) roll(kind, key string, n int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", inj.plan.Seed, kind, key, n)
+	// 53 bits of hash → uniform in [0,1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// StoreGet implements codeobj.FaultHook. It never mutates data: corrupted
+// reads return a damaged copy, because the store is shared across instances
+// and the "disk" copy of an exempt-free path stays pristine.
+func (inj *Injector) StoreGet(path string, data []byte) ([]byte, error) {
+	if inj == nil {
+		return data, nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.exempt[path] {
+		return data, nil
+	}
+	n := inj.readN[path]
+	inj.readN[path] = n + 1
+	if inj.plan.TransientRate > 0 && inj.burstN[path] < inj.plan.burst() &&
+		inj.roll("io", path, n) < inj.plan.TransientRate {
+		inj.burstN[path]++
+		inj.stats.TransientFaults++
+		return nil, fmt.Errorf("faults: injected I/O error reading %q (access %d): %w", path, n, codeobj.ErrIO)
+	}
+	inj.burstN[path] = 0
+	if inj.permanentLocked(path) {
+		inj.stats.CorruptReads++
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		if len(cp) > 0 {
+			cp[len(cp)/2] ^= 0xff
+		}
+		return cp, nil
+	}
+	return data, nil
+}
+
+func (inj *Injector) permanentLocked(path string) bool {
+	return inj.plan.PermanentRate > 0 && inj.roll("perm", path, 0) < inj.plan.PermanentRate
+}
+
+// PermanentlyCorrupt reports whether the plan damages this path's bytes on
+// every read — exposed so tests and experiments can predict outcomes.
+func (inj *Injector) PermanentlyCorrupt(path string) bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return !inj.exempt[path] && inj.permanentLocked(path)
+}
+
+// ExtraLoadLatency implements hip.LoadFaultInjector: the extra virtual time
+// a module load spends when a spike fires.
+func (inj *Injector) ExtraLoadLatency(path string) time.Duration {
+	if inj == nil || inj.plan.SpikeRate <= 0 {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	n := inj.loadN[path]
+	inj.loadN[path] = n + 1
+	if inj.roll("spike", path, n) < inj.plan.SpikeRate {
+		inj.stats.LatencySpikes++
+		return inj.plan.spike()
+	}
+	return 0
+}
+
+// DisabledIDs returns the seeded subset of solution IDs the find path must
+// report unavailable. Callers copy the result into miopen's Ctx.Disabled.
+func (inj *Injector) DisabledIDs(ids []string) []string {
+	if inj == nil || inj.plan.DisableRate <= 0 {
+		return nil
+	}
+	var out []string
+	for _, id := range ids {
+		if inj.roll("disable", id, 0) < inj.plan.DisableRate {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArmReset spawns a watcher that fires the plan's device reset (calling
+// reset, typically Runtime.UnloadAll) at DeviceResetAt. Arming is
+// idempotent: one watcher per injector regardless of instance churn.
+func (inj *Injector) ArmReset(env *sim.Env, reset func()) {
+	if inj == nil || inj.plan.DeviceResetAt <= 0 {
+		return
+	}
+	inj.mu.Lock()
+	if inj.armed {
+		inj.mu.Unlock()
+		return
+	}
+	inj.armed = true
+	at := inj.plan.DeviceResetAt
+	inj.mu.Unlock()
+	env.Spawn("fault-reset", func(p *sim.Proc) {
+		p.SleepUntil(at)
+		inj.mu.Lock()
+		inj.stats.Resets++
+		inj.mu.Unlock()
+		reset()
+	})
+}
+
+// Stats returns a snapshot of injected-fault counts.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// ParsePlan decodes a comma-separated fault spec such as
+//
+//	"transient=0.1,permanent=0.02,seed=7,burst=2,spike=0.05,spike_ms=3,reset_ms=40,disable=0.1"
+//
+// Keys the plan does not own are returned in leftover for the caller —
+// command-line tools piggyback scenario keys (model=..., requests=...) on
+// the same flag.
+func ParsePlan(spec string) (Plan, map[string]string, error) {
+	var p Plan
+	leftover := make(map[string]string)
+	if strings.TrimSpace(spec) == "" {
+		return p, leftover, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return p, nil, fmt.Errorf("faults: bad spec element %q (want key=value)", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		rate := func() (float64, error) {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("faults: %s=%q is not a rate in [0,1]", key, val)
+			}
+			return f, nil
+		}
+		ms := func() (time.Duration, error) {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return 0, fmt.Errorf("faults: %s=%q is not a millisecond count", key, val)
+			}
+			return time.Duration(f * float64(time.Millisecond)), nil
+		}
+		var err error
+		switch key {
+		case "transient":
+			p.TransientRate, err = rate()
+		case "permanent":
+			p.PermanentRate, err = rate()
+		case "spike":
+			p.SpikeRate, err = rate()
+		case "disable":
+			p.DisableRate, err = rate()
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faults: seed=%q is not an integer", val)
+			}
+		case "burst":
+			var b int
+			b, err = strconv.Atoi(val)
+			if err != nil || b < 0 {
+				err = fmt.Errorf("faults: burst=%q is not a non-negative integer", val)
+			}
+			p.MaxTransientBurst = b
+		case "spike_ms":
+			p.SpikeExtra, err = ms()
+		case "reset_ms":
+			p.DeviceResetAt, err = ms()
+		default:
+			leftover[key] = val
+		}
+		if err != nil {
+			return p, nil, err
+		}
+	}
+	return p, leftover, nil
+}

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/sim"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	data := []byte{1, 2, 3}
+	got, err := inj.StoreGet("a.pko", data)
+	if err != nil || &got[0] != &data[0] {
+		t.Fatalf("nil injector altered read: %v %v", got, err)
+	}
+	if inj.ExtraLoadLatency("a.pko") != 0 {
+		t.Fatal("nil injector injected latency")
+	}
+	if inj.DisabledIDs([]string{"x"}) != nil {
+		t.Fatal("nil injector disabled solutions")
+	}
+	if inj.PermanentlyCorrupt("a.pko") {
+		t.Fatal("nil injector corrupted")
+	}
+	inj.Exempt("a.pko")
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats %+v", s)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 7, TransientRate: 0.3, PermanentRate: 0.1, SpikeRate: 0.2}
+	run := func() ([]bool, []bool, []bool) {
+		inj := New(plan)
+		data := []byte("payload-bytes")
+		var ioFail, corrupt, spiked []bool
+		for i := 0; i < 200; i++ {
+			path := "obj" + string(rune('a'+i%7)) + ".pko"
+			got, err := inj.StoreGet(path, data)
+			ioFail = append(ioFail, err != nil)
+			corrupt = append(corrupt, err == nil && got[len(got)/2] != data[len(data)/2])
+			spiked = append(spiked, inj.ExtraLoadLatency(path) > 0)
+		}
+		return ioFail, corrupt, spiked
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] || c1[i] != c2[i] {
+			t.Fatalf("replay diverged at access %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	mask := func(seed int64) (m uint64) {
+		inj := New(Plan{Seed: seed, TransientRate: 0.5})
+		for i := 0; i < 64; i++ {
+			if _, err := inj.StoreGet("x.pko", []byte{0}); err != nil {
+				m |= 1 << i
+			}
+		}
+		return m
+	}
+	if mask(1) == mask(2) {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestTransientBurstCap(t *testing.T) {
+	// TransientRate 1.0 would fail forever without the burst cap.
+	inj := New(Plan{Seed: 1, TransientRate: 1.0, MaxTransientBurst: 2})
+	fails := 0
+	for i := 0; i < 9; i++ {
+		_, err := inj.StoreGet("x.pko", []byte{0})
+		if err != nil {
+			if !codeobj.IsTransient(err) {
+				t.Fatalf("injected error %v is not transient", err)
+			}
+			fails++
+		} else {
+			if fails != 2 {
+				t.Fatalf("burst of %d before success, want 2", fails)
+			}
+			fails = 0
+		}
+	}
+}
+
+func TestPermanentCorruptionIsSticky(t *testing.T) {
+	inj := New(Plan{Seed: 3, PermanentRate: 1.0})
+	data := []byte("pristine-object-bytes")
+	for i := 0; i < 3; i++ {
+		got, err := inj.StoreGet("x.pko", data)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if &got[0] == &data[0] {
+			t.Fatal("corrupted read aliases the stored bytes")
+		}
+		if got[len(got)/2] == data[len(data)/2] {
+			t.Fatalf("read %d not corrupted", i)
+		}
+	}
+	if string(data) != "pristine-object-bytes" {
+		t.Fatal("injector mutated the shared store copy")
+	}
+	if !inj.PermanentlyCorrupt("x.pko") {
+		t.Fatal("PermanentlyCorrupt disagrees with StoreGet")
+	}
+}
+
+func TestExemptPathsAreUntouched(t *testing.T) {
+	inj := New(Plan{Seed: 1, TransientRate: 1.0, PermanentRate: 1.0})
+	inj.Exempt("safe.pko")
+	data := []byte{9, 9, 9}
+	for i := 0; i < 5; i++ {
+		got, err := inj.StoreGet("safe.pko", data)
+		if err != nil || &got[0] != &data[0] {
+			t.Fatalf("exempt path faulted: %v %v", got, err)
+		}
+	}
+	if inj.PermanentlyCorrupt("safe.pko") {
+		t.Fatal("exempt path reported corrupt")
+	}
+}
+
+func TestDisabledIDsSeededSubset(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	inj := New(Plan{Seed: 5, DisableRate: 0.5})
+	a := inj.DisabledIDs(ids)
+	b := inj.DisabledIDs(ids)
+	if len(a) == 0 || len(a) == len(ids) {
+		t.Fatalf("disable subset size %d not a strict subset", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic subset: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic subset: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestArmResetFiresOnce(t *testing.T) {
+	inj := New(Plan{Seed: 1, DeviceResetAt: 10 * time.Millisecond})
+	env := sim.NewEnv()
+	resets := 0
+	inj.ArmReset(env, func() { resets++ })
+	inj.ArmReset(env, func() { resets++ }) // second arm must be a no-op
+	env.Spawn("work", func(p *sim.Proc) { p.Sleep(20 * time.Millisecond) })
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resets != 1 {
+		t.Fatalf("reset fired %d times, want 1", resets)
+	}
+	if inj.Stats().Resets != 1 {
+		t.Fatalf("stats resets = %d", inj.Stats().Resets)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, left, err := ParsePlan("transient=0.1, permanent=0.02,seed=7,burst=3,spike=0.05,spike_ms=3,reset_ms=40,disable=0.1,model=res,requests=50")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.TransientRate != 0.1 || p.PermanentRate != 0.02 || p.Seed != 7 ||
+		p.MaxTransientBurst != 3 || p.SpikeRate != 0.05 ||
+		p.SpikeExtra != 3*time.Millisecond || p.DeviceResetAt != 40*time.Millisecond ||
+		p.DisableRate != 0.1 {
+		t.Fatalf("plan mismatch: %+v", p)
+	}
+	if left["model"] != "res" || left["requests"] != "50" || len(left) != 2 {
+		t.Fatalf("leftover mismatch: %v", left)
+	}
+	if _, _, err := ParsePlan("transient=2"); err == nil {
+		t.Fatal("rate >1 accepted")
+	}
+	if _, _, err := ParsePlan("junk"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if p, left, err := ParsePlan(""); err != nil || len(left) != 0 || p != (Plan{}) {
+		t.Fatalf("empty spec: %+v %v %v", p, left, err)
+	}
+}
+
+func TestClampedRates(t *testing.T) {
+	inj := New(Plan{TransientRate: -1, PermanentRate: 2})
+	if pl := inj.Plan(); pl.TransientRate != 0 || pl.PermanentRate != 1 {
+		t.Fatalf("rates not clamped: %+v", pl)
+	}
+}
+
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	inj := New(Plan{Seed: 1, TransientRate: 1.0})
+	_, err := inj.StoreGet("x.pko", []byte{0})
+	if !errors.Is(err, codeobj.ErrIO) {
+		t.Fatalf("injected error %v does not wrap codeobj.ErrIO", err)
+	}
+}

@@ -41,12 +41,38 @@ func (f *Function) Name() string { return f.Kernel.Name }
 
 // Stats aggregates the runtime's loading activity.
 type Stats struct {
-	ModuleLoads   int           // completed loads (cache misses)
-	LoadHits      int           // ModuleLoad calls satisfied by the registry
-	BytesLoaded   int64         // container bytes read and relocated
-	LoadTimeTotal time.Duration // virtual time spent inside loads
-	FailedLoads   int
-	Evictions     int // modules dropped under code-memory pressure
+	ModuleLoads       int           // completed loads (cache misses)
+	LoadHits          int           // ModuleLoad calls satisfied by the registry
+	BytesLoaded       int64         // container bytes read and relocated
+	LoadTimeTotal     time.Duration // virtual time spent inside loads
+	FailedLoads       int
+	Evictions         int // modules dropped under code-memory pressure
+	TransientRetries  int // load attempts repeated after a retriable error
+	PermanentFailures int // loads negatively cached (parse/arch/missing)
+	NegativeHits      int // ModuleLoad calls answered from the negative cache
+}
+
+// IsTransient reports whether a load error is retriable (a store I/O
+// hiccup) rather than permanent (missing object, parse failure, arch
+// mismatch). Only permanent errors are negatively cached.
+func IsTransient(err error) bool { return codeobj.IsTransient(err) }
+
+// RetryPolicy bounds the transient-error retry loop inside ModuleLoad.
+type RetryPolicy struct {
+	MaxRetries int           // extra attempts after the first; negative disables retry
+	Backoff    time.Duration // virtual-time sleep before the first retry
+	MaxBackoff time.Duration // cap for the doubling backoff
+}
+
+// DefaultRetryPolicy returns the policy a zero-valued Runtime.Retry uses.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 200 * time.Microsecond, MaxBackoff: time.Millisecond}
+}
+
+// LoadFaultInjector adds latency to module loads — the seam the faults
+// package uses for load-time spikes. A nil injector costs nothing.
+type LoadFaultInjector interface {
+	ExtraLoadLatency(path string) time.Duration
 }
 
 // Runtime is the per-process host runtime.
@@ -58,9 +84,16 @@ type Runtime struct {
 	store      *codeobj.Store
 	modules    map[string]*Module
 	inflight   map[string]*loadState
+	failed     map[string]error // negative cache: permanent failures only
 	driverLock *sim.Resource
 	ctxReady   bool
 	stats      Stats
+
+	// Retry bounds transient-error retries; the zero value means
+	// DefaultRetryPolicy, MaxRetries < 0 disables retrying.
+	Retry RetryPolicy
+	// LoadFaults, when set, injects extra load latency (fault plans).
+	LoadFaults LoadFaultInjector
 
 	// OnLoad, when set, observes every completed module load (for the
 	// metrics tracer). start/end are virtual times.
@@ -83,8 +116,20 @@ func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *c
 		store:      store,
 		modules:    make(map[string]*Module),
 		inflight:   make(map[string]*loadState),
+		failed:     make(map[string]error),
 		driverLock: sim.NewResource(env, 1),
 	}
+}
+
+// retryPolicy resolves the effective retry policy.
+func (rt *Runtime) retryPolicy() RetryPolicy {
+	if rt.Retry.MaxRetries < 0 {
+		return RetryPolicy{}
+	}
+	if rt.Retry == (RetryPolicy{}) {
+		return DefaultRetryPolicy()
+	}
+	return rt.Retry
 }
 
 // Store returns the backing code-object store.
@@ -120,10 +165,19 @@ func (rt *Runtime) NumLoaded() int { return len(rt.modules) }
 // charges the device profile's load time. Concurrent loads of the same path
 // coalesce: later callers wait on the first. Distinct loads serialize on the
 // driver lock, as real drivers do.
+//
+// Transient store errors are retried with capped doubling backoff (see
+// Retry); permanent errors (missing object, parse failure, arch mismatch)
+// are negatively cached so repeat callers fail fast without re-reading a
+// known-bad object.
 func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	if m, ok := rt.modules[path]; ok {
 		rt.stats.LoadHits++
 		return m, nil
+	}
+	if err, ok := rt.failed[path]; ok {
+		rt.stats.NegativeHits++
+		return nil, err
 	}
 	if st, ok := rt.inflight[path]; ok {
 		st.done.Wait(p)
@@ -133,9 +187,7 @@ func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	rt.inflight[path] = st
 
 	start := p.Now()
-	rt.driverLock.Acquire(p)
-	st.mod, st.err = rt.loadLocked(p, path)
-	rt.driverLock.Release()
+	st.mod, st.err = rt.loadWithRetry(p, path)
 
 	delete(rt.inflight, path)
 	if st.err == nil {
@@ -145,6 +197,10 @@ func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 		rt.stats.BytesLoaded += int64(st.mod.Object.Size())
 	} else {
 		rt.stats.FailedLoads++
+		if !IsTransient(st.err) {
+			rt.failed[path] = st.err
+			rt.stats.PermanentFailures++
+		}
 	}
 	rt.stats.LoadTimeTotal += p.Now() - start
 	if rt.OnLoad != nil {
@@ -152,6 +208,45 @@ func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	}
 	st.done.Fire()
 	return st.mod, st.err
+}
+
+// loadWithRetry drives loadLocked through the retry policy, holding the
+// driver lock only per attempt so backoff sleeps don't stall other loads.
+func (rt *Runtime) loadWithRetry(p *sim.Proc, path string) (*Module, error) {
+	pol := rt.retryPolicy()
+	backoff := pol.Backoff
+	for attempt := 0; ; attempt++ {
+		rt.driverLock.Acquire(p)
+		m, err := rt.loadLocked(p, path)
+		rt.driverLock.Release()
+		if err == nil || !IsTransient(err) || attempt >= pol.MaxRetries {
+			return m, err
+		}
+		rt.stats.TransientRetries++
+		if backoff > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+}
+
+// ForgetFailure drops path from the negative cache — operators repair
+// objects in place and the next ModuleLoad should try again.
+func (rt *Runtime) ForgetFailure(path string) bool {
+	if _, ok := rt.failed[path]; !ok {
+		return false
+	}
+	delete(rt.failed, path)
+	return true
+}
+
+// FailedPermanently reports whether path is negatively cached.
+func (rt *Runtime) FailedPermanently(path string) bool {
+	_, ok := rt.failed[path]
+	return ok
 }
 
 // loadLocked performs the actual read + validate + relocate under the driver
@@ -162,6 +257,11 @@ func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
 		// A failed open still costs the fixed driver overhead.
 		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
 		return nil, fmt.Errorf("hip: ModuleLoad: %w", err)
+	}
+	if rt.LoadFaults != nil {
+		if d := rt.LoadFaults.ExtraLoadLatency(path); d > 0 {
+			p.Sleep(d)
+		}
 	}
 	obj, perr := codeobj.Parse(data)
 	if perr != nil {
@@ -231,7 +331,20 @@ func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
 	if m, ok := rt.modules[path]; ok {
 		return m, nil
 	}
+	pol := rt.retryPolicy()
+	backoff := pol.Backoff
 	data, err := rt.store.Get(path)
+	for attempt := 0; err != nil && IsTransient(err) && attempt < pol.MaxRetries; attempt++ {
+		rt.stats.TransientRetries++
+		if backoff > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		data, err = rt.store.Get(path)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("hip: RegisterResident: %w", err)
 	}

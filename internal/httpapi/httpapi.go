@@ -6,6 +6,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -13,11 +14,14 @@ import (
 	"sync"
 	"time"
 
+	"pask/internal/codeobj"
 	"pask/internal/core"
 	"pask/internal/device"
 	"pask/internal/experiments"
+	"pask/internal/faults"
 	"pask/internal/metrics"
 	"pask/internal/onnx/zoo"
+	"pask/internal/serving"
 )
 
 // Server is the HTTP handler set. Model setups are compiled once per
@@ -35,7 +39,25 @@ func New() *Server {
 	s.mux.HandleFunc("GET /devices", s.handleDevices)
 	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /coldstart", s.handleColdStart)
+	s.mux.HandleFunc("GET /serve", s.handleServe)
 	return s
+}
+
+// statusFromErr maps the stack's typed sentinels to HTTP statuses: a missed
+// deadline is a gateway timeout, a crashed instance or an exhausted
+// degradation ladder is service unavailability, a missing code object is a
+// 404, and anything unrecognized stays a blanket 500.
+func statusFromErr(err error) int {
+	switch {
+	case errors.Is(err, serving.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, serving.ErrInstanceCrashed), errors.Is(err, core.ErrNoUsableSolution):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, codeobj.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -152,17 +174,160 @@ func (s *Server) handleColdStart(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, _, err := ms.RunScheme(scheme, core.Options{})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, statusFromErr(err), err)
 		return
 	}
 	resp := toResponse(model, schemeName, devName, batch, rep)
 	if q.Get("compare") == "1" && scheme != core.SchemeBaseline {
 		base, _, err := ms.RunScheme(core.SchemeBaseline, core.Options{})
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, statusFromErr(err), err)
 			return
 		}
 		resp.SpeedupVsBase = float64(base.Total) / float64(rep.Total)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ServeResponse is the /serve reply: the outcome of a short request trace
+// served under a fault-tolerance policy, optionally against a fault plan.
+type ServeResponse struct {
+	Model    string `json:"model"`
+	Scheme   string `json:"scheme"`
+	Device   string `json:"device"`
+	Batch    int    `json:"batch"`
+	Requests int    `json:"requests"`
+
+	Served         int            `json:"served"`
+	Failed         int            `json:"failed"`
+	Retries        int            `json:"retries"`
+	Crashes        int            `json:"crashes"`
+	Recovered      int            `json:"recovered"`
+	DeadlineMisses int            `json:"deadline_misses"`
+	DegradedLayers int            `json:"degraded_layers"`
+	P50Ms          float64        `json:"p50_ms"`
+	P99Ms          float64        `json:"p99_ms"`
+	Failures       map[int]string `json:"failures,omitempty"`
+}
+
+// handleServe runs ?model=res&requests=20 through a serving trace. Optional
+// knobs: scheme, device, batch; faults= takes a fault-plan spec
+// (transient=0.1,permanent=0.02,seed=7,...); retries=, deadline_ms= and
+// continue=1 set the fault-tolerance policy. Without continue=1 a failed
+// request aborts the trace and the typed error picks the HTTP status.
+func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	model := q.Get("model")
+	if model == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing model parameter"))
+		return
+	}
+	schemeName := q.Get("scheme")
+	if schemeName == "" {
+		schemeName = string(core.SchemePaSK)
+	}
+	scheme := core.Scheme(schemeName)
+	valid := false
+	for _, sch := range core.Schemes() {
+		if sch == scheme {
+			valid = true
+		}
+	}
+	if !valid {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", schemeName))
+		return
+	}
+	devName := q.Get("device")
+	if devName == "" {
+		devName = "MI100"
+	}
+	prof, ok := device.ProfileByName(devName)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", devName))
+		return
+	}
+	batch := 1
+	if b := q.Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", b))
+			return
+		}
+		batch = v
+	}
+	requests := 20
+	if n := q.Get("requests"); n != "" {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 || v > 10000 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad requests %q", n))
+			return
+		}
+		requests = v
+	}
+
+	pol := serving.Policy{Scheme: scheme}
+	var plan faults.Plan
+	if spec := q.Get("faults"); spec != "" {
+		var leftover map[string]string
+		var err error
+		plan, leftover, err = faults.ParsePlan(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(leftover) > 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown fault keys %v", leftover))
+			return
+		}
+		pol.Faults = faults.New(plan)
+	}
+	if v := q.Get("retries"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad retries %q", v))
+			return
+		}
+		pol.FT.MaxRetries = n
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad deadline_ms %q", v))
+			return
+		}
+		pol.FT.Deadline = time.Duration(f * float64(time.Millisecond))
+	}
+	pol.FT.ContinueOnError = q.Get("continue") == "1"
+
+	ms, err := s.setup(model, batch, prof)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	trace := serving.PoissonTrace(requests, 2*time.Millisecond, plan.Seed)
+	stats, err := serving.ServeTrace(ms, pol, trace, 10)
+	if err != nil {
+		writeErr(w, statusFromErr(err), err)
+		return
+	}
+	resp := &ServeResponse{
+		Model: model, Scheme: schemeName, Device: devName, Batch: batch,
+		Requests:       requests,
+		Served:         len(stats.Latencies),
+		Failed:         stats.Failed,
+		Retries:        stats.Retries,
+		Crashes:        stats.Crashes,
+		Recovered:      stats.Recovered,
+		DeadlineMisses: stats.DeadlineMisses,
+		DegradedLayers: stats.DegradedLayers,
+		P50Ms:          float64(stats.Percentile(0.5)) / float64(time.Millisecond),
+		P99Ms:          float64(stats.Percentile(0.99)) / float64(time.Millisecond),
+	}
+	if len(stats.FailedRequests) > 0 {
+		resp.Failures = make(map[int]string, len(stats.FailedRequests))
+		for idx, ferr := range stats.FailedRequests {
+			resp.Failures[idx] = ferr.Error()
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 )
 
@@ -92,6 +93,76 @@ func TestColdStartDefaultsAndCache(t *testing.T) {
 	_, body2 := get(t, srv, "/coldstart?model=alex")
 	if string(body1) != string(body2) {
 		t.Fatal("repeated identical queries differ")
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := get(t, srv, "/serve?model=alex&requests=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ServeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Served != 5 || out.Failed != 0 || out.P50Ms <= 0 {
+		t.Fatalf("response implausible: %+v", out)
+	}
+}
+
+func TestServeFaultedResilient(t *testing.T) {
+	srv := New()
+	path := "/serve?model=alex&requests=10&retries=2&continue=1&faults=" +
+		url.QueryEscape("transient=0.2,seed=4")
+	resp, body := get(t, srv, path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ServeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Served+out.Failed != 10 {
+		t.Fatalf("accounting broken: %+v", out)
+	}
+}
+
+// TestServeStatusMapping checks that typed serving failures pick the right
+// HTTP status instead of a blanket 500.
+func TestServeStatusMapping(t *testing.T) {
+	srv := New()
+	// A microsecond-scale deadline no request can meet: gateway timeout.
+	resp, body := get(t, srv, "/serve?model=alex&requests=3&deadline_ms=0.001")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline miss: status %d, want 504: %s", resp.StatusCode, body)
+	}
+	// Every non-protected object corrupt under a fail-fast Baseline with
+	// retries but no ladder: the instance crashes, service unavailable.
+	path := "/serve?model=alex&requests=3&scheme=Baseline&retries=1&faults=" +
+		url.QueryEscape("permanent=1,seed=1")
+	resp, body = get(t, srv, path)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("instance crash: status %d, want 503: %s", resp.StatusCode, body)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	srv := New()
+	cases := []string{
+		"/serve",                          // missing model
+		"/serve?model=alex&requests=0",    // bad requests
+		"/serve?model=alex&scheme=Turbo",  // unknown scheme
+		"/serve?model=alex&retries=-1",    // bad retries
+		"/serve?model=alex&deadline_ms=x", // bad deadline
+		"/serve?model=alex&faults=" + url.QueryEscape("transient=2"), // bad rate
+		"/serve?model=alex&faults=" + url.QueryEscape("warp=0.5"),    // unknown key
+	}
+	for _, path := range cases {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ const (
 	CatOverhead  Category = "overhead" // PASK cache queries / applicability checks
 	CatSync      Category = "sync"     // host-device synchronization
 	CatTransform Category = "xform"    // layout interchange kernels
+	CatRecovery  Category = "recovery" // fault handling: substitute search, ladder fallback
 	CatOther     Category = "other"
 )
 
@@ -79,7 +80,7 @@ func (t *Tracer) Count(cat Category) int {
 // work that keeps the GPU busy first (compute, then DMA), then loading, then
 // the host bookkeeping categories.
 func DefaultPriority() []Category {
-	return []Category{CatExec, CatCopy, CatLoad, CatTransform, CatOverhead, CatLaunch, CatParse, CatSync}
+	return []Category{CatExec, CatCopy, CatLoad, CatTransform, CatOverhead, CatRecovery, CatLaunch, CatParse, CatSync}
 }
 
 // Breakdown attributes every instant of [t0, t1] to exactly one category:

@@ -28,7 +28,7 @@ func Timeline(spans []Span, t0, t1 time.Duration, width int) string {
 		}
 		lanes[s.Cat] = append(lanes[s.Cat], s)
 	}
-	order := []Category{CatParse, CatLoad, CatOverhead, CatLaunch, CatCopy, CatExec, CatSync}
+	order := []Category{CatParse, CatLoad, CatOverhead, CatRecovery, CatLaunch, CatCopy, CatExec, CatSync}
 	var cats []Category
 	seen := map[Category]bool{}
 	for _, c := range order {

@@ -1,0 +1,297 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/faults"
+	"pask/internal/graphx"
+	"pask/internal/sim"
+)
+
+var (
+	resOnce sync.Once
+	resMS   *experiments.ModelSetup
+	resErr  error
+)
+
+// resSetup builds the shared ResNet34 setup once: fault tests only install
+// injector hooks, never mutate the store, so sharing is safe.
+func resSetup(t *testing.T) *experiments.ModelSetup {
+	t.Helper()
+	resOnce.Do(func() {
+		resMS, resErr = experiments.PrepareModel("res", 1, device.MI100())
+	})
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	return resMS
+}
+
+// probeLoadedChosen runs one clean cold PASK request and returns the
+// statically chosen, non-protected primitive objects that run actually
+// loaded. Only corrupting one of these can force the degradation ladder —
+// objects absorbed by ordinary selective reuse are never read at all.
+func probeLoadedChosen(t *testing.T, ms *experiments.ModelSetup) []string {
+	t.Helper()
+	protected := make(map[string]bool)
+	for _, p := range ProtectedPaths(ms) {
+		protected[p] = true
+	}
+	chosen := make(map[string]bool)
+	for i := range ms.Model.Instrs {
+		in := &ms.Model.Instrs[i]
+		if in.Kind != graphx.KindPrimitive {
+			continue
+		}
+		inst, err := in.Instance(ms.Reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := inst.Path(); !protected[p] {
+			chosen[p] = true
+		}
+	}
+	env := sim.NewEnv()
+	inst := NewInstance(env, ms, Policy{Scheme: core.SchemePaSK})
+	var loaded []string
+	env.Spawn("probe", func(p *sim.Proc) {
+		defer inst.pr.GPU.CloseAll()
+		if _, err := inst.Serve(p); err != nil {
+			t.Error(err)
+			return
+		}
+		for path := range chosen {
+			if inst.pr.RT.Loaded(path) {
+				loaded = append(loaded, path)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) == 0 {
+		t.Fatal("clean cold run loaded no chosen objects")
+	}
+	sort.Strings(loaded)
+	return loaded
+}
+
+// findHostileSeed returns a seed whose permanent-corruption roll damages at
+// least one chosen primitive object that a clean cold run really loads — so
+// both fail-fast and resilient policies must face the fault — while leaving
+// BLAS objects alone (their single-kernel ladders make some problems
+// unrecoverable by construction, which is not what this sweep measures).
+func findHostileSeed(t *testing.T, ms *experiments.ModelSetup, plan faults.Plan) int64 {
+	t.Helper()
+	loaded := probeLoadedChosen(t, ms)
+	for seed := int64(1); seed < 500; seed++ {
+		plan.Seed = seed
+		inj := faults.New(plan)
+		inj.Exempt(ProtectedPaths(ms)...)
+		hit, blasHit := false, false
+		for _, p := range loaded {
+			if inj.PermanentlyCorrupt(p) {
+				hit = true
+			}
+		}
+		for _, p := range ms.Store.Paths() {
+			if strings.HasPrefix(p, "blas_") && inj.PermanentlyCorrupt(p) {
+				blasHit = true
+			}
+		}
+		if hit && !blasHit {
+			return seed
+		}
+	}
+	t.Fatal("no hostile seed found in 500 tries")
+	return 0
+}
+
+// storeDigest hashes every object in the store — fault injection must never
+// mutate the shared "disk" copies.
+func storeDigest(t *testing.T, store *codeobj.Store) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	for _, path := range store.Paths() {
+		data, err := store.Get(path)
+		if err != nil {
+			t.Fatalf("digest %s: %v", path, err)
+		}
+		fmt.Fprintf(h, "%s|%d|", path, len(data))
+		h.Write(data)
+	}
+	return h.Sum64()
+}
+
+// TestChaosAcceptanceResNet is the PR's acceptance criterion: with 10%
+// transient and 2% permanent fault rates on ResNet34, resilient PASK serves
+// at least 99% of the trace while the fail-fast baseline aborts.
+func TestChaosAcceptanceResNet(t *testing.T) {
+	ms := resSetup(t)
+	plan := faults.Plan{TransientRate: 0.1, PermanentRate: 0.02}
+	plan.Seed = findHostileSeed(t, ms, plan)
+	const n = 100
+	trace := PoissonTrace(n, 2*time.Millisecond, 11)
+
+	ff := Policy{Scheme: core.SchemeBaseline, Faults: faults.New(plan)}
+	if _, err := ServeTrace(ms, ff, trace, 10); err == nil {
+		t.Fatal("fail-fast baseline survived a permanently corrupt chosen object")
+	}
+
+	res := Policy{
+		Scheme: core.SchemePaSK,
+		FT:     FaultTolerance{MaxRetries: 2, ContinueOnError: true},
+		Faults: faults.New(plan),
+	}
+	stats, err := ServeTrace(ms, res, trace, 10)
+	if err != nil {
+		t.Fatalf("resilient trace aborted: %v", err)
+	}
+	if served := len(stats.Latencies); served < 99 {
+		t.Fatalf("resilient PASK served %d/%d; failures: %v", served, n, stats.FailedRequests)
+	}
+	if stats.DegradedLayers == 0 {
+		t.Fatal("a corrupt chosen object must force at least one degraded layer")
+	}
+}
+
+// TestFaultedServingNeverSilentlyFails is the property test: under any
+// seeded fault plan every request either completes or is recorded with a
+// typed error — the env never deadlocks or panics, accounting always adds
+// up, and the shared store is bit-identical afterwards (injected corruption
+// must stay confined to the read path). Numeric preservation under forced
+// substitution is proven separately by graphx's functional-equivalence
+// tests plus the applicability assertions in core's recovery tests.
+func TestFaultedServingNeverSilentlyFails(t *testing.T) {
+	ms := resSetup(t)
+	snap := storeDigest(t, ms.Store)
+	for _, seed := range []int64{1, 2, 3} {
+		plan := faults.Plan{Seed: seed, TransientRate: 0.2, PermanentRate: 0.05, SpikeRate: 0.05}
+		pol := Policy{
+			Scheme: core.SchemePaSK,
+			FT:     FaultTolerance{MaxRetries: 1, ContinueOnError: true},
+			Faults: faults.New(plan),
+		}
+		const n = 30
+		stats, err := ServeTrace(ms, pol, PoissonTrace(n, 2*time.Millisecond, seed), 7)
+		if err != nil {
+			t.Fatalf("seed %d: trace aborted: %v", seed, err)
+		}
+		if got := len(stats.Latencies) + stats.Failed; got != n {
+			t.Fatalf("seed %d: %d served + %d failed != %d requests", seed, len(stats.Latencies), stats.Failed, n)
+		}
+		for idx, ferr := range stats.FailedRequests {
+			if !errors.Is(ferr, ErrInstanceCrashed) && !errors.Is(ferr, ErrDeadlineExceeded) {
+				t.Fatalf("seed %d: request %d failed with untyped error: %v", seed, idx, ferr)
+			}
+		}
+		if d := storeDigest(t, ms.Store); d != snap {
+			t.Fatalf("seed %d: fault injection mutated the shared store", seed)
+		}
+	}
+}
+
+func TestDeadlineExceededTyped(t *testing.T) {
+	ms := resSetup(t)
+	pol := Policy{
+		Scheme: core.SchemePaSK,
+		FT:     FaultTolerance{Deadline: time.Microsecond, ContinueOnError: true},
+	}
+	const n = 5
+	stats, err := ServeTrace(ms, pol, PoissonTrace(n, time.Millisecond, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadlineMisses != n || stats.Failed != n || len(stats.Latencies) != 0 {
+		t.Fatalf("misses=%d failed=%d served=%d, want all %d missed",
+			stats.DeadlineMisses, stats.Failed, len(stats.Latencies), n)
+	}
+	for idx, ferr := range stats.FailedRequests {
+		if !errors.Is(ferr, ErrDeadlineExceeded) {
+			t.Fatalf("request %d: %v does not wrap ErrDeadlineExceeded", idx, ferr)
+		}
+	}
+}
+
+// TestDeviceResetRecovery fires the plan's device reset mid-trace: every
+// module is dropped, and the instance must reload its way back without
+// losing requests (the store is pristine in this plan).
+func TestDeviceResetRecovery(t *testing.T) {
+	ms := resSetup(t)
+	inj := faults.New(faults.Plan{DeviceResetAt: 5 * time.Millisecond})
+	pol := Policy{
+		Scheme: core.SchemePaSK,
+		FT:     FaultTolerance{MaxRetries: 1, ContinueOnError: true},
+		Faults: inj,
+	}
+	const n = 20
+	stats, err := ServeTrace(ms, pol, PoissonTrace(n, 2*time.Millisecond, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().Resets != 1 {
+		t.Fatalf("resets = %d, want 1", inj.Stats().Resets)
+	}
+	if got := len(stats.Latencies) + stats.Failed; got != n {
+		t.Fatalf("%d served + %d failed != %d", len(stats.Latencies), stats.Failed, n)
+	}
+	if len(stats.Latencies) != n {
+		t.Fatalf("reset with a pristine store lost %d requests: %v", stats.Failed, stats.FailedRequests)
+	}
+}
+
+func TestScaleOutWithFaults(t *testing.T) {
+	ms := resSetup(t)
+	pol := Policy{
+		Scheme: core.SchemePaSK,
+		FT:     FaultTolerance{MaxRetries: 1, ContinueOnError: true},
+		Faults: faults.New(faults.Plan{Seed: 2, TransientRate: 0.3}),
+	}
+	const n = 4
+	stats, err := ScaleOut(ms, pol, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(stats.Latencies) + stats.Failed; got != n {
+		t.Fatalf("%d served + %d failed != %d", len(stats.Latencies), stats.Failed, n)
+	}
+	if len(stats.Latencies) != n {
+		t.Fatalf("pure-transient storm lost requests: %v", stats.FailedRequests)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Model:      "alex",
+		Requests:   10,
+		Transients: []float64{0.1},
+		Permanents: []float64{0.02},
+		Seed:       3,
+	}
+	t1, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Rows, t2.Rows) {
+		t.Fatalf("chaos table not deterministic:\n%v\nvs\n%v", t1.Rows, t2.Rows)
+	}
+	if len(t1.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per policy", len(t1.Rows))
+	}
+}

@@ -27,9 +27,9 @@ type FleetStats struct {
 	MaxConcurrent int
 }
 
-// fleetInstance wraps an Instance with scheduling state.
+// fleetInstance wraps an instance server with scheduling state.
 type fleetInstance struct {
-	inst     *Instance
+	srv      *ftServer
 	busy     bool
 	idleFrom time.Duration
 }
@@ -37,9 +37,13 @@ type fleetInstance struct {
 // ServeFleet routes a request trace across an autoscaled pool: each arrival
 // goes to a warm idle instance when one exists, otherwise a fresh instance
 // cold-starts (subject to MaxInstances); instances idle past KeepAlive are
-// reaped. Request latencies include any wait for a free slot.
+// reaped. Request latencies include any wait for a free slot. The policy's
+// fault tolerance applies per request; with ContinueOnError failed requests
+// are recorded in the stats and dropped from the latency distribution.
 func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*FleetStats, error) {
 	env := sim.NewEnv()
+	restore := InstallFaults(ms, cfg.Policy.Faults)
+	defer restore()
 	stats := &FleetStats{}
 	var pool []*fleetInstance
 	freed := sim.NewSignal(env)
@@ -56,8 +60,8 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 		}
 		kept := pool[:0]
 		for _, fi := range pool {
-			if !fi.busy && fi.inst.Warm() && now-fi.idleFrom > cfg.KeepAlive {
-				fi.inst.pr.GPU.CloseAll()
+			if !fi.busy && fi.srv.inst.Warm() && now-fi.idleFrom > cfg.KeepAlive {
+				fi.srv.close()
 				stats.Reaped++
 				continue
 			}
@@ -76,7 +80,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 				}
 			}
 			if cfg.MaxInstances <= 0 || len(pool) < cfg.MaxInstances {
-				fi := &fleetInstance{inst: NewInstance(env, ms, cfg.Policy)}
+				fi := &fleetInstance{srv: newFTServer(env, ms, cfg.Policy, &stats.Stats)}
 				pool = append(pool, fi)
 				stats.Spawned++
 				if len(pool) > stats.MaxConcurrent {
@@ -95,6 +99,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 	}
 
 	latencies := make([]time.Duration, len(trace))
+	served := make([]bool, len(trace))
 	pending := len(trace)
 	done := sim.NewSignal(env)
 
@@ -107,7 +112,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 				break
 			}
 			fi.busy = true
-			wasCold := !fi.inst.Warm()
+			wasCold := !fi.srv.inst.Warm()
 			arrived := req.At
 			i := i
 			env.Spawn(fmt.Sprintf("req-%d", i), func(rp *sim.Proc) {
@@ -122,14 +127,18 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 						done.Fire()
 					}
 				}()
-				if _, err := fi.inst.Serve(rp); err != nil {
-					fail(fmt.Errorf("request %d: %w", i, err))
+				if _, err := fi.srv.serve(rp, i); err != nil {
+					if !cfg.Policy.FT.ContinueOnError {
+						fail(fmt.Errorf("request %d: %w", i, err))
+					}
 					return
 				}
 				// End-to-end latency from arrival: queueing + service.
 				latencies[i] = rp.Now() - arrived
+				served[i] = true
 				if wasCold {
 					stats.ColdStarts++
+					stats.ColdLatencies = append(stats.ColdLatencies, latencies[i])
 				}
 			})
 		}
@@ -137,7 +146,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 	env.Spawn("closer", func(p *sim.Proc) {
 		done.Wait(p)
 		for _, fi := range pool {
-			fi.inst.pr.GPU.CloseAll()
+			fi.srv.close()
 		}
 	})
 	if err := env.Run(); err != nil {
@@ -146,6 +155,10 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	stats.Latencies = latencies
+	for i := range trace {
+		if served[i] {
+			stats.Latencies = append(stats.Latencies, latencies[i])
+		}
+	}
 	return stats, nil
 }

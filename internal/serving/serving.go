@@ -7,6 +7,7 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,8 +16,19 @@ import (
 
 	"pask/internal/core"
 	"pask/internal/experiments"
+	"pask/internal/faults"
 	"pask/internal/sim"
 )
+
+// ErrDeadlineExceeded marks a request whose service time overran the
+// policy's per-request deadline. The work completed, just too late to be
+// useful to the caller.
+var ErrDeadlineExceeded = errors.New("serving: request deadline exceeded")
+
+// ErrInstanceCrashed marks a request that exhausted its retries on one
+// instance; the instance was torn down and replaced. The wrapped cause is
+// the last serve error observed before the teardown.
+var ErrInstanceCrashed = errors.New("serving: instance crashed")
 
 // Policy configures how instances execute requests.
 type Policy struct {
@@ -27,6 +39,45 @@ type Policy struct {
 	// BackgroundLoad uses idle gaps between requests to load previously
 	// skipped solutions (paper §VI).
 	BackgroundLoad bool
+	// FT bounds per-request fault tolerance (deadline, retries, crash
+	// recovery). The zero value keeps the historical fail-fast behavior.
+	FT FaultTolerance
+	// Faults, when set, injects the plan's faults into every instance this
+	// policy creates: store-read faults, module-load latency spikes and the
+	// device reset. Scenario entry points install the store hook and the
+	// find-path outage set for the duration of the run.
+	Faults *faults.Injector
+}
+
+// FaultTolerance is the degradation contract a serving scenario applies per
+// request: an optional latency deadline, bounded same-instance retries with
+// doubling backoff, and — once retries are exhausted — crash recovery that
+// tears the instance down and retries once on a fresh process (the same
+// machinery spot preemption uses). The zero value disables all of it.
+type FaultTolerance struct {
+	// Deadline fails a request with ErrDeadlineExceeded when its service
+	// time exceeds it. Zero means no deadline.
+	Deadline time.Duration
+	// MaxRetries re-runs a failed request on the same instance up to this
+	// many extra times before declaring the instance crashed.
+	MaxRetries int
+	// RetryBackoff is the virtual-time wait before the first retry,
+	// doubling per attempt (default 500µs).
+	RetryBackoff time.Duration
+	// ContinueOnError records failed requests in Stats.FailedRequests and
+	// keeps serving the rest of the trace instead of aborting it.
+	ContinueOnError bool
+}
+
+func (ft FaultTolerance) enabled() bool {
+	return ft.Deadline > 0 || ft.MaxRetries > 0 || ft.ContinueOnError
+}
+
+func (ft FaultTolerance) backoff() time.Duration {
+	if ft.RetryBackoff > 0 {
+		return ft.RetryBackoff
+	}
+	return 500 * time.Microsecond
 }
 
 // Instance is one process serving one model. The first request on a fresh
@@ -49,9 +100,16 @@ type SkippedLoad struct {
 	Key string
 }
 
-// NewInstance creates a cold instance inside env.
+// NewInstance creates a cold instance inside env. A policy with a fault
+// injector wires it into the new process's runtime (load-latency spikes)
+// and arms the plan's device reset against the first instance created.
 func NewInstance(env *sim.Env, ms *experiments.ModelSetup, policy Policy) *Instance {
-	return &Instance{ms: ms, pr: ms.NewProcessIn(env), policy: policy}
+	in := &Instance{ms: ms, pr: ms.NewProcessIn(env), policy: policy}
+	if policy.Faults != nil {
+		in.pr.RT.LoadFaults = policy.Faults
+		policy.Faults.ArmReset(env, in.pr.RT.UnloadAll)
+	}
+	return in
 }
 
 // Served returns the number of requests completed.
@@ -182,6 +240,28 @@ type Stats struct {
 	Latencies  []time.Duration
 	ColdStarts int
 	BGLoads    int
+
+	// ColdLatencies are the latencies of the requests counted in
+	// ColdStarts, kept separate so fault sweeps can report cold-path cost.
+	ColdLatencies []time.Duration
+
+	// Fault-tolerance accounting, populated when Policy.FT is enabled.
+	Failed         int           // requests lost after retries and recovery
+	Retries        int           // serve attempts repeated after an error
+	Crashes        int           // instances declared crashed and replaced
+	Recovered      int           // replacements that then served the request
+	DeadlineMisses int           // requests completing past FT.Deadline
+	DegradedLayers int           // layers served by a forced substitute
+	FailedRequests map[int]error // request index -> final typed error
+}
+
+// recordFailure indexes a request's final error.
+func (s *Stats) recordFailure(idx int, err error) {
+	s.Failed++
+	if s.FailedRequests == nil {
+		s.FailedRequests = make(map[int]error)
+	}
+	s.FailedRequests[idx] = err
 }
 
 // Percentile returns the q-quantile latency (q in [0,1]).
@@ -213,22 +293,122 @@ func (s *Stats) Mean() time.Duration {
 	return sum / time.Duration(len(s.Latencies))
 }
 
+// ftServer owns the live instance of a serving scenario so crash recovery
+// can replace it mid-trace, and funnels every request through the policy's
+// fault-tolerance contract. Without fault tolerance it behaves exactly like
+// calling Instance.Serve directly.
+type ftServer struct {
+	env    *sim.Env
+	ms     *experiments.ModelSetup
+	policy Policy
+	stats  *Stats
+	inst   *Instance
+}
+
+func newFTServer(env *sim.Env, ms *experiments.ModelSetup, policy Policy, stats *Stats) *ftServer {
+	return &ftServer{env: env, ms: ms, policy: policy, stats: stats, inst: NewInstance(env, ms, policy)}
+}
+
+// close tears down the live instance's device state.
+func (s *ftServer) close() { s.inst.pr.GPU.CloseAll() }
+
+// replace tears the live instance down and brings up a fresh cold process —
+// the spot-preemption machinery reused for crash recovery.
+func (s *ftServer) replace() {
+	s.inst.pr.GPU.CloseAll()
+	s.inst = NewInstance(s.env, s.ms, s.policy)
+}
+
+// harvest folds a fresh run result into the degradation counters. prev is
+// the result pointer observed before the serve: schemes that do not produce
+// per-request results leave it unchanged.
+func (s *ftServer) harvest(prev *core.Result) {
+	if res := s.inst.lastResult; res != nil && res != prev {
+		s.stats.DegradedLayers += res.Degraded()
+	}
+}
+
+// serve executes request idx under the policy's fault tolerance and records
+// the outcome in the stats. The returned error is the request's final typed
+// error after retries, recovery and the deadline check.
+func (s *ftServer) serve(p *sim.Proc, idx int) (time.Duration, error) {
+	if !s.policy.FT.enabled() {
+		prev := s.inst.lastResult
+		lat, err := s.inst.Serve(p)
+		if err == nil {
+			s.harvest(prev)
+		}
+		return lat, err
+	}
+	lat, err := s.serveAttempts(p)
+	if err == nil && s.policy.FT.Deadline > 0 && lat > s.policy.FT.Deadline {
+		s.stats.DeadlineMisses++
+		err = fmt.Errorf("%w: served in %v, deadline %v", ErrDeadlineExceeded, lat, s.policy.FT.Deadline)
+	}
+	if err != nil {
+		s.stats.recordFailure(idx, err)
+		return 0, err
+	}
+	return lat, nil
+}
+
+// serveAttempts retries a failing request on the live instance with doubling
+// backoff, then declares the instance crashed, replaces it and makes one
+// final attempt on the fresh process (which also starts with an empty
+// negative load cache).
+func (s *ftServer) serveAttempts(p *sim.Proc) (time.Duration, error) {
+	ft := s.policy.FT
+	backoff := ft.backoff()
+	var err error
+	for attempt := 0; ; attempt++ {
+		prev := s.inst.lastResult
+		lat, serr := s.inst.Serve(p)
+		if serr == nil {
+			s.harvest(prev)
+			return lat, nil
+		}
+		err = serr
+		if attempt >= ft.MaxRetries {
+			break
+		}
+		s.stats.Retries++
+		p.Sleep(backoff)
+		if backoff < 4*ft.backoff() {
+			backoff *= 2
+		}
+	}
+	s.stats.Crashes++
+	s.replace()
+	lat, rerr := s.inst.Serve(p)
+	if rerr != nil {
+		return 0, fmt.Errorf("%w: %v (replacement failed: %w)", ErrInstanceCrashed, err, rerr)
+	}
+	s.stats.Recovered++
+	s.harvest(nil)
+	return lat, nil
+}
+
 // ServeTrace runs a single-instance scenario: requests arrive per the trace;
 // the instance optionally background-loads in idle gaps. If evictEvery > 0,
 // the instance is evicted after every evictEvery requests (edge memory
-// pressure / suspend), forcing a fresh cold path.
+// pressure / suspend), forcing a fresh cold path. With fault tolerance and
+// ContinueOnError set, per-request failures are recorded in the stats and
+// the trace keeps going; otherwise the first failure aborts the run and the
+// partial stats are returned alongside the error.
 func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEvery int) (*Stats, error) {
 	env := sim.NewEnv()
-	inst := NewInstance(env, ms, policy)
+	restore := InstallFaults(ms, policy.Faults)
+	defer restore()
 	stats := &Stats{}
+	srv := newFTServer(env, ms, policy, stats)
 	var runErr error
 	env.Spawn("server", func(p *sim.Proc) {
-		defer inst.pr.GPU.CloseAll()
+		defer func() { srv.close() }()
 		for i, req := range trace {
 			if req.At > p.Now() {
 				// Idle until the next arrival; use the gap productively.
 				if gap := req.At - p.Now(); gap > 0 {
-					n, err := inst.Idle(p, gap)
+					n, err := srv.inst.Idle(p, gap)
 					if err != nil {
 						runErr = err
 						return
@@ -237,18 +417,22 @@ func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEve
 				}
 				p.SleepUntil(req.At)
 			}
-			wasCold := !inst.Warm()
-			lat, err := inst.Serve(p)
+			wasCold := !srv.inst.Warm()
+			lat, err := srv.serve(p, i)
 			if err != nil {
+				if policy.FT.ContinueOnError {
+					continue
+				}
 				runErr = fmt.Errorf("request %d: %w", i, err)
 				return
 			}
 			stats.Latencies = append(stats.Latencies, lat)
 			if wasCold {
 				stats.ColdStarts++
+				stats.ColdLatencies = append(stats.ColdLatencies, lat)
 			}
 			if evictEvery > 0 && (i+1)%evictEvery == 0 {
-				inst.Evict()
+				srv.inst.Evict()
 			}
 		}
 	})
@@ -256,7 +440,7 @@ func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEve
 		return nil, err
 	}
 	if runErr != nil {
-		return nil, runErr
+		return stats, runErr
 	}
 	return stats, nil
 }
@@ -266,15 +450,17 @@ func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEve
 // It returns per-instance cold-start latencies.
 func ScaleOut(ms *experiments.ModelSetup, policy Policy, n int) (*Stats, error) {
 	env := sim.NewEnv()
+	restore := InstallFaults(ms, policy.Faults)
+	defer restore()
 	stats := &Stats{ColdStarts: n}
 	lat := make([]time.Duration, n)
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		i := i
-		inst := NewInstance(env, ms, policy)
+		srv := newFTServer(env, ms, policy, stats)
 		env.Spawn(fmt.Sprintf("instance-%d", i), func(p *sim.Proc) {
-			defer inst.pr.GPU.CloseAll()
-			lat[i], errs[i] = inst.Serve(p)
+			defer srv.close()
+			lat[i], errs[i] = srv.serve(p, i)
 		})
 	}
 	if err := env.Run(); err != nil {
@@ -282,10 +468,14 @@ func ScaleOut(ms *experiments.ModelSetup, policy Policy, n int) (*Stats, error) 
 	}
 	for i, err := range errs {
 		if err != nil {
+			if policy.FT.ContinueOnError {
+				continue
+			}
 			return nil, fmt.Errorf("instance %d: %w", i, err)
 		}
+		stats.Latencies = append(stats.Latencies, lat[i])
+		stats.ColdLatencies = append(stats.ColdLatencies, lat[i])
 	}
-	stats.Latencies = lat
 	return stats, nil
 }
 
@@ -298,28 +488,33 @@ func SpotPreemption(ms *experiments.ModelSetup, policy Policy, trace Trace, pree
 		return nil, 0, fmt.Errorf("serving: preemptEvery must be positive")
 	}
 	env := sim.NewEnv()
+	restore := InstallFaults(ms, policy.Faults)
+	defer restore()
 	stats := &Stats{}
 	migrations := 0
 	var runErr error
 	env.Spawn("spot", func(p *sim.Proc) {
-		inst := NewInstance(env, ms, policy)
-		defer func() { inst.pr.GPU.CloseAll() }()
+		srv := newFTServer(env, ms, policy, stats)
+		defer func() { srv.close() }()
 		for i, req := range trace {
 			p.SleepUntil(req.At)
-			wasCold := !inst.Warm()
-			lat, err := inst.Serve(p)
+			wasCold := !srv.inst.Warm()
+			lat, err := srv.serve(p, i)
 			if err != nil {
+				if policy.FT.ContinueOnError {
+					continue
+				}
 				runErr = fmt.Errorf("request %d: %w", i, err)
 				return
 			}
 			stats.Latencies = append(stats.Latencies, lat)
 			if wasCold {
 				stats.ColdStarts++
+				stats.ColdLatencies = append(stats.ColdLatencies, lat)
 			}
 			if (i+1)%preemptEvery == 0 && i != len(trace)-1 {
 				// Preempted: the replacement instance starts from scratch.
-				inst.pr.GPU.CloseAll()
-				inst = NewInstance(env, ms, policy)
+				srv.replace()
 				migrations++
 			}
 		}
