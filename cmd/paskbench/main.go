@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos]
-//	          [-models alex,vgg,...] [-batches 1,4,16,64,128]
+//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant]
+//	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
 //
+// -exp multitenant compares isolated per-instance GPU runtimes against one
+// shared refcounted runtime and cross-model cache per GPU; -quick shrinks the
+// configuration to the CI smoke size.
 // -exp chaos runs the default fault-injection sweep (fault rates x policies);
 // -faults runs a single sweep cell from a combined spec whose fault keys
 // (transient, permanent, spike, disable, seed, burst, spike_ms, reset_ms) feed
@@ -30,11 +33,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
+	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
 	flag.Parse()
 	formatCSV = *format == "csv"
 
@@ -149,6 +153,15 @@ func main() {
 	})
 	run("chaos", func() error {
 		tbl, err := serving.Chaos(serving.ChaosConfig{})
+		return show(tbl, err)
+	})
+	run("multitenant", func() error {
+		cfg := serving.MultitenantConfig{}
+		if *quick {
+			cfg.PerTenant = 2
+			cfg.Interval = 4 * time.Millisecond
+		}
+		tbl, _, err := serving.Multitenant(cfg)
 		return show(tbl, err)
 	})
 }

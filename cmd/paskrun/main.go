@@ -13,10 +13,11 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"time"
 
 	"pask/internal/core"
@@ -75,7 +76,7 @@ func main() {
 	// Run with a retained process so the tracer's spans are available.
 	pr := ms.NewProcess()
 	if inj != nil {
-		pr.RT.LoadFaults = inj
+		pr.RT.SetLoadFaults(inj)
 		inj.ArmReset(pr.Env, pr.RT.UnloadAll)
 	}
 	var spans []metrics.Span
@@ -103,7 +104,7 @@ func main() {
 	for c, v := range rep.Breakdown {
 		items = append(items, kv{c, float64(v)})
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+	slices.SortFunc(items, func(a, b kv) int { return cmp.Compare(b.v, a.v) })
 	for _, it := range items {
 		fmt.Printf("  %-9s %8.2fms  %5.1f%%\n", it.c, it.v/1e6, 100*it.v/float64(rep.Total))
 	}

@@ -8,9 +8,10 @@
 package blas
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"pask/internal/codeobj"
@@ -217,11 +218,11 @@ func (l *Library) Find(p *Problem) []Ranked {
 		inst := Instance{Kern: k, Binding: k.Binding(p)}
 		out = append(out, Ranked{Inst: inst, Est: l.RT.GPU.Profile.KernelTime(p.Workload(), eff)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Est != out[j].Est {
-			return out[i].Est < out[j].Est
+	slices.SortFunc(out, func(a, b Ranked) int {
+		if a.Est != b.Est {
+			return cmp.Compare(a.Est, b.Est)
 		}
-		return out[i].Inst.Path() < out[j].Inst.Path()
+		return cmp.Compare(a.Inst.Path(), b.Inst.Path())
 	})
 	l.find[p.Key()] = out
 	return out

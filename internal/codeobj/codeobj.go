@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
-	"sort"
+	"slices"
 )
 
 // Format constants.
@@ -168,7 +168,7 @@ func Build(name, arch string, kernels []KernelSpec) ([]byte, error) {
 		for key := range k.Meta {
 			keys = append(keys, key)
 		}
-		sort.Strings(keys)
+		slices.Sort(keys)
 		binary.LittleEndian.PutUint32(u32[:], uint32(len(keys)))
 		buf.Write(u32[:])
 		for _, key := range keys {

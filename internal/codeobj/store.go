@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sort"
+	"slices"
 )
 
 // Store error classification: loaders retry transient errors and treat the
@@ -105,8 +105,25 @@ func (s *Store) Paths() []string {
 	for p := range s.objects {
 		out = append(out, p)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
+}
+
+// Fingerprint returns a checksum over every stored path and its bytes, in
+// sorted path order. Two stores (or one store at two points in time) with
+// byte-identical contents produce equal fingerprints — the multitenant
+// experiment uses this to prove that shared and isolated serving read the
+// same store and that neither mutated it.
+func (s *Store) Fingerprint() uint32 {
+	h := crc32.NewIEEE()
+	var sep [1]byte
+	for _, p := range s.Paths() {
+		h.Write([]byte(p))
+		h.Write(sep[:])
+		h.Write(s.objects[p])
+		h.Write(sep[:])
+	}
+	return h.Sum32()
 }
 
 // Corrupt flips one byte of the stored object at the given offset — a

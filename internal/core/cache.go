@@ -16,6 +16,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"pask/internal/miopen"
@@ -88,9 +89,31 @@ func promote(list []miopen.Instance, i int) []miopen.Instance {
 	return list
 }
 
+// promoteKey moves the entry with the given key to the head of its pattern
+// list, consulting the *current* list. Queries iterate over a snapshot
+// because applicability checks sleep in virtual time — on a shared cache
+// another tenant may reorder the live list during the sleep, so promotion
+// must re-locate the winner by key rather than trust a snapshot index.
+func (c *CategoricalCache) promoteKey(pat miopen.Pattern, key string) {
+	list := c.lists[pat]
+	for i := range list {
+		if list[i].Key() == key {
+			c.lists[pat] = promote(list, i)
+			return
+		}
+	}
+}
+
 // Insert adds or refreshes an instance at the head of its pattern list.
-func (c *CategoricalCache) Insert(inst miopen.Instance) {
-	pat := inst.Sol.Pattern()
+func (c *CategoricalCache) Insert(inst miopen.Instance) { c.insertWith(nil, inst) }
+
+// insertWith is Insert with an optional second stats sink — the seam
+// SharedCacheView uses to attribute activity on the shared cache to one
+// tenant. Counter deltas cannot be measured around calls from the outside
+// because applicability checks sleep in virtual time and other tenants may
+// interleave, so per-view counters are recorded inline.
+func (c *CategoricalCache) insertWith(extra *CacheStats, inst miopen.Instance) {
+	pat := inst.CacheKey()
 	list := c.lists[pat]
 	for i := range list {
 		if list[i].Key() == inst.Key() {
@@ -99,6 +122,9 @@ func (c *CategoricalCache) Insert(inst miopen.Instance) {
 		}
 	}
 	c.stats.Inserts++
+	if extra != nil {
+		extra.Inserts++
+	}
 	c.lists[pat] = append([]miopen.Instance{inst}, list...)
 }
 
@@ -108,17 +134,45 @@ func (c *CategoricalCache) Touch(inst miopen.Instance) { c.Insert(inst) }
 // GetSub scans only the wanted pattern's list in MRU order and returns the
 // first applicable instance, charging one check per candidate.
 func (c *CategoricalCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	return c.getSubWith(nil, false, proc, lib, want, p)
+}
+
+// getSubWith is GetSub with an optional per-view stats sink and, for shared
+// caches, a residency guard: with requireLoaded set, candidates whose code
+// objects are no longer resident (evicted under cross-tenant memory
+// pressure) are skipped instead of handed out stale. The residency probe is
+// a host-side map lookup and charges no applicability check.
+func (c *CategoricalCache) getSubWith(extra *CacheStats, requireLoaded bool, proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
 	c.stats.Queries++
+	if extra != nil {
+		extra.Queries++
+	}
 	proc.Sleep(lib.RT.Host.CacheQueryFixed)
-	pat := want.Sol.Pattern()
-	list := c.lists[pat]
+	pat := want.CacheKey()
+	// Iterate over a snapshot: CheckApplicable sleeps in virtual time, and on
+	// a shared cache another tenant's Insert/promote may shift the live list's
+	// backing array during that sleep. Re-reading list[i] after the check
+	// could hand back a different (inapplicable) instance than was checked.
+	list := slices.Clone(c.lists[pat])
 	for i := range list {
+		cand := list[i]
+		if requireLoaded && !lib.IsLoaded(cand) {
+			continue
+		}
 		c.stats.Lookups++
-		if lib.CheckApplicable(proc, list[i], p) {
-			inst := list[i]
-			c.lists[pat] = promote(list, i)
+		if extra != nil {
+			extra.Lookups++
+		}
+		if lib.CheckApplicable(proc, cand, p) {
+			if requireLoaded && !lib.IsLoaded(cand) {
+				continue // evicted while the check slept
+			}
+			c.promoteKey(pat, cand.Key())
 			c.stats.Hits++
-			return inst, true
+			if extra != nil {
+				extra.Hits++
+			}
+			return cand, true
 		}
 	}
 	return miopen.Instance{}, false
@@ -129,26 +183,47 @@ func (c *CategoricalCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miop
 // stable declaration order. Costs are charged like GetSub: one fixed query
 // plus one applicability check per candidate examined.
 func (c *CategoricalCache) GetSubAny(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
+	return c.getSubAnyWith(nil, proc, lib, want, p)
+}
+
+// getSubAnyWith is GetSubAny with the optional per-view stats sink.
+// GetSubAny already guards residency for every caller (forced reuse must
+// never trigger a load), so no requireLoaded switch is needed.
+func (c *CategoricalCache) getSubAnyWith(extra *CacheStats, proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
 	c.stats.Queries++
+	if extra != nil {
+		extra.Queries++
+	}
 	proc.Sleep(lib.RT.Host.CacheQueryFixed)
-	pats := []miopen.Pattern{want.Sol.Pattern()}
+	pats := []miopen.Pattern{want.CacheKey()}
 	for _, pat := range miopen.Patterns() {
 		if pat != pats[0] {
 			pats = append(pats, pat)
 		}
 	}
 	for _, pat := range pats {
-		list := c.lists[pat]
+		// Snapshot for the same reason as getSubWith: checks sleep, tenants
+		// sharing the cache may reorder the live list meanwhile.
+		list := slices.Clone(c.lists[pat])
 		for i := range list {
-			if list[i].Key() == want.Key() || !lib.IsLoaded(list[i]) {
+			cand := list[i]
+			if cand.Key() == want.Key() || !lib.IsLoaded(cand) {
 				continue
 			}
 			c.stats.Lookups++
-			if lib.CheckApplicable(proc, list[i], p) {
-				inst := list[i]
-				c.lists[pat] = promote(list, i)
+			if extra != nil {
+				extra.Lookups++
+			}
+			if lib.CheckApplicable(proc, cand, p) {
+				if !lib.IsLoaded(cand) {
+					continue // evicted while the check slept
+				}
+				c.promoteKey(pat, cand.Key())
 				c.stats.Hits++
-				return inst, true
+				if extra != nil {
+					extra.Hits++
+				}
+				return cand, true
 			}
 		}
 	}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"pask/internal/graphx"
 	"pask/internal/metrics"
@@ -53,8 +54,8 @@ func recoverLoadFailure(p *sim.Proc, r *graphx.Runner, cache Cache, res *Result,
 	// Nothing resident fits: climb down the generality ladder and try to
 	// load an alternative object for this problem, most generic first.
 	ranked := r.Lib.Reg.Find(prob)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		return ranked[i].Inst.Sol.Specificity() < ranked[j].Inst.Sol.Specificity()
+	slices.SortStableFunc(ranked, func(a, b miopen.Ranked) int {
+		return cmp.Compare(a.Inst.Sol.Specificity(), b.Inst.Sol.Specificity())
 	})
 	for _, cand := range ranked {
 		if cand.Inst.Key() == want.Key() {
@@ -95,8 +96,8 @@ func agnosticSubstitute(p *sim.Proc, r *graphx.Runner, cache Cache, res *Result,
 		}
 	}
 	ranked := r.Lib.Reg.Find(prob)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		return ranked[i].Inst.Sol.Specificity() < ranked[j].Inst.Sol.Specificity()
+	slices.SortStableFunc(ranked, func(a, b miopen.Ranked) int {
+		return cmp.Compare(a.Inst.Sol.Specificity(), b.Inst.Sol.Specificity())
 	})
 	for _, cand := range ranked {
 		if _, agnostic := cand.Inst.Sol.PreferredLayout(prob); !agnostic {

@@ -150,6 +150,40 @@ func (ms *ModelSetup) NewProcessIn(env *sim.Env) *Process {
 	return &Process{Env: env, GPU: gpu, RT: rt, Runner: runner, Tracer: tracer}
 }
 
+// Tenancy is one physical GPU with its shared kernel runtime, onto which
+// multiple model tenants attach. It is the multi-tenant counterpart of
+// NewProcessIn: instead of every instance owning a device and runtime, all
+// instances share one device, one module registry and one code-object store,
+// so residency — and therefore cold-start cost — is a per-GPU property.
+type Tenancy struct {
+	Env  *sim.Env
+	GPU  *device.GPU
+	Root *hip.Runtime // root view; tenants attach refcounted views
+}
+
+// NewTenancy creates a cold shared GPU runtime over the given store.
+func NewTenancy(env *sim.Env, prof device.Profile, store *codeobj.Store) *Tenancy {
+	gpu := device.NewGPU(env, prof)
+	return &Tenancy{Env: env, GPU: gpu, Root: hip.NewRuntime(env, gpu, device.DefaultHost(), store)}
+}
+
+// AttachIn creates a tenant process for this model on the shared GPU: a
+// refcounted view of the shared runtime plus a private stream (device
+// streams are single-producer, so tenants must not share one). The model's
+// setup must have been prepared against the tenancy's store
+// (PrepareModelsShared); attaching a foreign store would desynchronize
+// module residency from object bytes.
+func (ms *ModelSetup) AttachIn(t *Tenancy, name string) *Process {
+	if ms.Store != t.Root.Store() {
+		panic("experiments: AttachIn requires the setup and tenancy to share one code-object store (use PrepareModelsShared)")
+	}
+	rt := t.Root.Attach(name)
+	tracer := &metrics.Tracer{}
+	runner := graphx.NewRunner(rt, miopen.NewLibrary(ms.Reg, rt), blas.NewLibrary(rt), tracer)
+	runner.Stream = t.GPU.NewStream()
+	return &Process{Env: t.Env, GPU: t.GPU, RT: rt, Runner: runner, Tracer: tracer}
+}
+
 // RunScheme executes the model once under the given scheme in a fresh cold
 // process and reports the timed window. Process initialization (GPU context,
 // library open with its resident kernels, and for Ideal the preloading) is

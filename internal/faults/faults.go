@@ -16,7 +16,7 @@ package faults
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -219,7 +219,7 @@ func (inj *Injector) DisabledIDs(ids []string) []string {
 			out = append(out, id)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

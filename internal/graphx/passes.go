@@ -2,7 +2,7 @@ package graphx
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"pask/internal/onnx"
@@ -178,7 +178,7 @@ func cseKey(n *onnx.Node) string {
 	for k := range n.Ints {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s=%d;", k, n.Ints[k])
 	}

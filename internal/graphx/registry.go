@@ -2,7 +2,7 @@ package graphx
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ModelRegistry is the serving framework's model repository (paper §II-A):
@@ -53,7 +53,7 @@ func (r *ModelRegistry) Names() []string {
 	for n := range r.blobs {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

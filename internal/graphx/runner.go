@@ -39,8 +39,13 @@ func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, trac
 	rt.OnLoad = func(path string, start, end time.Duration, err error) {
 		tracer.Add(metrics.CatLoad, path, "loader", start, end)
 	}
-	rt.GPU.OnKernel = func(name string, start, end time.Duration) {
-		tracer.Add(metrics.CatExec, name, "gpu", start, end)
+	// The GPU carries a single kernel hook. When several tenant runners share
+	// one device (multi-tenant serving), only the first attaches its tracer:
+	// kernel spans are a device-level event stream, not a per-tenant one.
+	if rt.GPU.OnKernel == nil {
+		rt.GPU.OnKernel = func(name string, start, end time.Duration) {
+			tracer.Add(metrics.CatExec, name, "gpu", start, end)
+		}
 	}
 	return r
 }

@@ -1,13 +1,20 @@
 // Package hip implements the host GPU runtime of the simulated stack — the
 // analogue of the HIP/CUDA driver API that the paper interposes on. It owns
-// the per-process module registry with the *lazy loading* semantics that
-// cause DNN cold start: a kernel's code object is read, validated and
-// relocated only when something asks for it, and the calling process is
-// charged the full load time (paper §II-A, Fig 3).
+// the per-GPU module registry with the *lazy loading* semantics that cause
+// DNN cold start: a kernel's code object is read, validated and relocated
+// only when something asks for it, and the calling process is charged the
+// full load time (paper §II-A, Fig 3).
 //
-// A Runtime corresponds to one OS process: a fresh Runtime models a cold
-// instance (spot migration, serverless scale-out, edge restart); reusing a
-// Runtime across inferences models a warm instance.
+// Since the multi-tenant refactor the unit of kernel residency is the GPU,
+// not the OS process: NewRuntime creates the *root view* of a shared module
+// registry, and Attach hands out additional refcounted tenant views over the
+// same state. Loaded modules, the in-flight load table (singleflight dedup),
+// the negative cache and the retry policy are shared across views — a code
+// object loaded for one tenant's model is immediately resident for every
+// other tenant on the GPU, the cross-model sharing lever of §III-B/C.
+// Per-view state is limited to attribution: which loads a view initiated and
+// paid for, which it enjoyed for free, and which modules it has pinned
+// against eviction.
 package hip
 
 import (
@@ -19,7 +26,7 @@ import (
 	"pask/internal/sim"
 )
 
-// Module is a loaded code object registered in host memory.
+// Module is a loaded code object registered in device memory.
 type Module struct {
 	Path     string
 	Object   *codeobj.Object
@@ -39,7 +46,7 @@ type Function struct {
 // Name returns the kernel's global symbol name.
 func (f *Function) Name() string { return f.Kernel.Name }
 
-// Stats aggregates the runtime's loading activity.
+// Stats aggregates the shared registry's loading activity across all views.
 type Stats struct {
 	ModuleLoads       int           // completed loads (cache misses)
 	LoadHits          int           // ModuleLoad calls satisfied by the registry
@@ -50,6 +57,25 @@ type Stats struct {
 	TransientRetries  int // load attempts repeated after a retriable error
 	PermanentFailures int // loads negatively cached (parse/arch/missing)
 	NegativeHits      int // ModuleLoad calls answered from the negative cache
+	CoalescedWaits    int // callers that waited on another view's in-flight load
+}
+
+// TenantStats attributes a shared runtime's loading activity to one view —
+// the accounting multi-tenant serving reports per tenant. Loads counts the
+// loads this view initiated and paid for; SharedHits the calls answered by a
+// module already resident (loaded earlier, possibly by another tenant);
+// CoalescedWaits the calls that blocked on another view's in-flight load of
+// the same object and got the result without paying the load itself.
+type TenantStats struct {
+	Tenant         string
+	Loads          int
+	BytesLoaded    int64
+	LoadTime       time.Duration
+	SharedHits     int
+	CoalescedWaits int
+	FailedLoads    int
+	NegativeHits   int
+	Pinned         int // modules currently pinned by this view
 }
 
 // IsTransient reports whether a load error is retriable (a store I/O
@@ -64,7 +90,7 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration // cap for the doubling backoff
 }
 
-// DefaultRetryPolicy returns the policy a zero-valued Runtime.Retry uses.
+// DefaultRetryPolicy returns the policy a zero-valued retry config uses.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 3, Backoff: 200 * time.Microsecond, MaxBackoff: time.Millisecond}
 }
@@ -75,28 +101,42 @@ type LoadFaultInjector interface {
 	ExtraLoadLatency(path string) time.Duration
 }
 
-// Runtime is the per-process host runtime.
+// shared is the per-GPU registry state every view of a Runtime aliases:
+// module residency, singleflight load dedup, the negative cache, retry
+// policy, the driver lock and the aggregate stats.
+type shared struct {
+	store      *codeobj.Store
+	modules    map[string]*Module
+	inflight   map[string]*loadState
+	failed     map[string]error // negative cache: permanent failures only
+	refs       map[string]int   // path -> live tenant pins (eviction guard)
+	driverLock *sim.Resource
+	ctxReady   bool
+	stats      Stats
+	retry      RetryPolicy
+	loadFaults LoadFaultInjector
+	views      []*Runtime // root first, then every Attach in order
+}
+
+// Runtime is one view of a GPU's shared module registry. NewRuntime returns
+// the root view; Attach returns additional tenant views that pin the modules
+// they reference so eviction cannot pull a live tenant's kernels out from
+// under it. All views observe the same residency, negative cache and retry
+// state; OnLoad and the tenant attribution stats are per view.
 type Runtime struct {
 	Env  *sim.Env
 	GPU  *device.GPU
 	Host device.HostProfile
 
-	store      *codeobj.Store
-	modules    map[string]*Module
-	inflight   map[string]*loadState
-	failed     map[string]error // negative cache: permanent failures only
-	driverLock *sim.Resource
-	ctxReady   bool
-	stats      Stats
+	sh *shared
 
-	// Retry bounds transient-error retries; the zero value means
-	// DefaultRetryPolicy, MaxRetries < 0 disables retrying.
-	Retry RetryPolicy
-	// LoadFaults, when set, injects extra load latency (fault plans).
-	LoadFaults LoadFaultInjector
+	tenant   string
+	pinned   map[string]bool // nil for the root view: no pinning
+	tstats   TenantStats
+	detached bool
 
-	// OnLoad, when set, observes every completed module load (for the
-	// metrics tracer). start/end are virtual times.
+	// OnLoad, when set, observes every completed module load this view
+	// initiated (for the metrics tracer). start/end are virtual times.
 	OnLoad func(path string, start, end time.Duration, err error)
 }
 
@@ -106,103 +146,216 @@ type loadState struct {
 	err  error
 }
 
-// NewRuntime creates a cold process runtime over the given device and
-// code-object store.
+// NewRuntime creates a cold runtime over the given device and code-object
+// store and returns its root view.
 func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *codeobj.Store) *Runtime {
-	return &Runtime{
-		Env:        env,
-		GPU:        gpu,
-		Host:       host,
-		store:      store,
-		modules:    make(map[string]*Module),
-		inflight:   make(map[string]*loadState),
-		failed:     make(map[string]error),
-		driverLock: sim.NewResource(env, 1),
+	rt := &Runtime{
+		Env:  env,
+		GPU:  gpu,
+		Host: host,
+		sh: &shared{
+			store:      store,
+			modules:    make(map[string]*Module),
+			inflight:   make(map[string]*loadState),
+			failed:     make(map[string]error),
+			refs:       make(map[string]int),
+			driverLock: sim.NewResource(env, 1),
+		},
 	}
+	rt.sh.views = []*Runtime{rt}
+	return rt
 }
+
+// Attach creates a tenant view named name over this runtime's shared state.
+// The view sees every module already resident, coalesces its loads with
+// other views' in-flight loads, and pins each module it references so
+// eviction under code-memory pressure cannot drop another tenant's live
+// kernels. Detach releases the pins.
+func (rt *Runtime) Attach(name string) *Runtime {
+	v := &Runtime{
+		Env:    rt.Env,
+		GPU:    rt.GPU,
+		Host:   rt.Host,
+		sh:     rt.sh,
+		tenant: name,
+		pinned: make(map[string]bool),
+	}
+	v.tstats.Tenant = name
+	rt.sh.views = append(rt.sh.views, v)
+	return v
+}
+
+// Detach releases every module pin this view holds. Pinned modules stay
+// resident (they are the warm cache the next tenant benefits from) but
+// become evictable under memory pressure. Detaching never unloads a module
+// another view still pins. Detach is idempotent.
+func (rt *Runtime) Detach() {
+	if rt.detached {
+		return
+	}
+	for path := range rt.pinned {
+		if rt.sh.refs[path]--; rt.sh.refs[path] <= 0 {
+			delete(rt.sh.refs, path)
+		}
+	}
+	rt.pinned = nil
+	rt.tstats.Pinned = 0
+	rt.detached = true
+}
+
+// Detached reports whether Detach has been called on this view.
+func (rt *Runtime) Detached() bool { return rt.detached }
+
+// Tenant returns the view's name ("" for the root view).
+func (rt *Runtime) Tenant() string { return rt.tenant }
+
+// pin records that this view references path, guarding the module against
+// eviction. The root view does not pin (preserving the single-tenant LRU
+// behavior); tenant views pin each path once.
+func (rt *Runtime) pin(path string) {
+	if rt.pinned == nil || rt.pinned[path] {
+		return
+	}
+	rt.pinned[path] = true
+	rt.sh.refs[path]++
+	rt.tstats.Pinned++
+}
+
+// Refs returns the number of live tenant pins on path.
+func (rt *Runtime) Refs(path string) int { return rt.sh.refs[path] }
+
+// PinnedPaths returns the paths this view currently pins.
+func (rt *Runtime) PinnedPaths() []string {
+	out := make([]string, 0, len(rt.pinned))
+	for p := range rt.pinned {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SetRetry sets the shared transient-retry policy (MaxRetries < 0 disables
+// retrying; the zero value means DefaultRetryPolicy).
+func (rt *Runtime) SetRetry(p RetryPolicy) { rt.sh.retry = p }
+
+// SetLoadFaults installs (or with nil removes) the shared load-latency fault
+// injector.
+func (rt *Runtime) SetLoadFaults(inj LoadFaultInjector) { rt.sh.loadFaults = inj }
 
 // retryPolicy resolves the effective retry policy.
 func (rt *Runtime) retryPolicy() RetryPolicy {
-	if rt.Retry.MaxRetries < 0 {
+	if rt.sh.retry.MaxRetries < 0 {
 		return RetryPolicy{}
 	}
-	if rt.Retry == (RetryPolicy{}) {
+	if rt.sh.retry == (RetryPolicy{}) {
 		return DefaultRetryPolicy()
 	}
-	return rt.Retry
+	return rt.sh.retry
 }
 
 // Store returns the backing code-object store.
-func (rt *Runtime) Store() *codeobj.Store { return rt.store }
+func (rt *Runtime) Store() *codeobj.Store { return rt.sh.store }
 
-// Stats returns a snapshot of loading statistics.
-func (rt *Runtime) Stats() Stats { return rt.stats }
+// Stats returns a snapshot of the shared loading statistics.
+func (rt *Runtime) Stats() Stats { return rt.sh.stats }
+
+// TenantStats returns this view's attribution counters.
+func (rt *Runtime) TenantStats() TenantStats { return rt.tstats }
+
+// AllTenantStats returns the attribution counters of every view, root first,
+// in attach order (detached views included — their history still counts).
+func (rt *Runtime) AllTenantStats() []TenantStats {
+	out := make([]TenantStats, 0, len(rt.sh.views))
+	for _, v := range rt.sh.views {
+		out = append(out, v.tstats)
+	}
+	return out
+}
+
+// NumViews returns the number of views over the shared state (root
+// included).
+func (rt *Runtime) NumViews() int { return len(rt.sh.views) }
 
 // ContextReady reports whether InitContext has completed.
-func (rt *Runtime) ContextReady() bool { return rt.ctxReady }
+func (rt *Runtime) ContextReady() bool { return rt.sh.ctxReady }
 
 // InitContext creates the GPU context, charging the device's context
-// initialization cost once per process.
+// initialization cost once per shared runtime. Tenants attaching to a warm
+// runtime skip it — the per-GPU daemon already holds the context.
 func (rt *Runtime) InitContext(p *sim.Proc) {
-	if rt.ctxReady {
+	if rt.sh.ctxReady {
 		return
 	}
 	p.Sleep(rt.GPU.Profile.ContextInit)
-	rt.ctxReady = true
+	rt.sh.ctxReady = true
 }
 
 // Loaded reports whether the module at path is resident.
 func (rt *Runtime) Loaded(path string) bool {
-	_, ok := rt.modules[path]
+	_, ok := rt.sh.modules[path]
 	return ok
 }
 
 // NumLoaded returns the number of resident modules.
-func (rt *Runtime) NumLoaded() int { return len(rt.modules) }
+func (rt *Runtime) NumLoaded() int { return len(rt.sh.modules) }
 
 // ModuleLoad returns the module at path, loading it if absent. Loading reads
 // the object from the store, validates it (real parse), resolves symbols and
 // charges the device profile's load time. Concurrent loads of the same path
-// coalesce: later callers wait on the first. Distinct loads serialize on the
-// driver lock, as real drivers do.
+// coalesce — across views too, so two tenants requesting the same .pko pay
+// exactly one load. Distinct loads serialize on the driver lock, as real
+// drivers do.
 //
 // Transient store errors are retried with capped doubling backoff (see
-// Retry); permanent errors (missing object, parse failure, arch mismatch)
+// SetRetry); permanent errors (missing object, parse failure, arch mismatch)
 // are negatively cached so repeat callers fail fast without re-reading a
 // known-bad object.
 func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
-	if m, ok := rt.modules[path]; ok {
-		rt.stats.LoadHits++
+	sh := rt.sh
+	if m, ok := sh.modules[path]; ok {
+		sh.stats.LoadHits++
+		rt.tstats.SharedHits++
+		rt.pin(path)
 		return m, nil
 	}
-	if err, ok := rt.failed[path]; ok {
-		rt.stats.NegativeHits++
+	if err, ok := sh.failed[path]; ok {
+		sh.stats.NegativeHits++
+		rt.tstats.NegativeHits++
 		return nil, err
 	}
-	if st, ok := rt.inflight[path]; ok {
+	if st, ok := sh.inflight[path]; ok {
+		sh.stats.CoalescedWaits++
+		rt.tstats.CoalescedWaits++
 		st.done.Wait(p)
+		if st.err == nil {
+			rt.pin(path)
+		}
 		return st.mod, st.err
 	}
 	st := &loadState{done: sim.NewSignal(p.Env())}
-	rt.inflight[path] = st
+	sh.inflight[path] = st
 
 	start := p.Now()
 	st.mod, st.err = rt.loadWithRetry(p, path)
 
-	delete(rt.inflight, path)
+	delete(sh.inflight, path)
 	if st.err == nil {
 		rt.evictForSpace(int64(st.mod.Object.Size()))
-		rt.modules[path] = st.mod
-		rt.stats.ModuleLoads++
-		rt.stats.BytesLoaded += int64(st.mod.Object.Size())
+		sh.modules[path] = st.mod
+		sh.stats.ModuleLoads++
+		sh.stats.BytesLoaded += int64(st.mod.Object.Size())
+		rt.tstats.Loads++
+		rt.tstats.BytesLoaded += int64(st.mod.Object.Size())
+		rt.pin(path)
 	} else {
-		rt.stats.FailedLoads++
+		sh.stats.FailedLoads++
+		rt.tstats.FailedLoads++
 		if !IsTransient(st.err) {
-			rt.failed[path] = st.err
-			rt.stats.PermanentFailures++
+			sh.failed[path] = st.err
+			sh.stats.PermanentFailures++
 		}
 	}
-	rt.stats.LoadTimeTotal += p.Now() - start
+	sh.stats.LoadTimeTotal += p.Now() - start
+	rt.tstats.LoadTime += p.Now() - start
 	if rt.OnLoad != nil {
 		rt.OnLoad(path, start, p.Now(), st.err)
 	}
@@ -216,13 +369,13 @@ func (rt *Runtime) loadWithRetry(p *sim.Proc, path string) (*Module, error) {
 	pol := rt.retryPolicy()
 	backoff := pol.Backoff
 	for attempt := 0; ; attempt++ {
-		rt.driverLock.Acquire(p)
+		rt.sh.driverLock.Acquire(p)
 		m, err := rt.loadLocked(p, path)
-		rt.driverLock.Release()
+		rt.sh.driverLock.Release()
 		if err == nil || !IsTransient(err) || attempt >= pol.MaxRetries {
 			return m, err
 		}
-		rt.stats.TransientRetries++
+		rt.sh.stats.TransientRetries++
 		if backoff > 0 {
 			p.Sleep(backoff)
 			backoff *= 2
@@ -236,30 +389,41 @@ func (rt *Runtime) loadWithRetry(p *sim.Proc, path string) (*Module, error) {
 // ForgetFailure drops path from the negative cache — operators repair
 // objects in place and the next ModuleLoad should try again.
 func (rt *Runtime) ForgetFailure(path string) bool {
-	if _, ok := rt.failed[path]; !ok {
+	if _, ok := rt.sh.failed[path]; !ok {
 		return false
 	}
-	delete(rt.failed, path)
+	delete(rt.sh.failed, path)
 	return true
+}
+
+// ClearFailures empties the shared negative cache and returns how many
+// entries it dropped. Tenant replacement uses it so a fresh tenant view
+// starts with the same clean slate a fresh isolated process would have.
+func (rt *Runtime) ClearFailures() int {
+	n := len(rt.sh.failed)
+	for path := range rt.sh.failed {
+		delete(rt.sh.failed, path)
+	}
+	return n
 }
 
 // FailedPermanently reports whether path is negatively cached.
 func (rt *Runtime) FailedPermanently(path string) bool {
-	_, ok := rt.failed[path]
+	_, ok := rt.sh.failed[path]
 	return ok
 }
 
 // loadLocked performs the actual read + validate + relocate under the driver
 // lock, charging virtual time proportional to the object size and symbols.
 func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
-	data, err := rt.store.Get(path)
+	data, err := rt.sh.store.Get(path)
 	if err != nil {
 		// A failed open still costs the fixed driver overhead.
 		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
 		return nil, fmt.Errorf("hip: ModuleLoad: %w", err)
 	}
-	if rt.LoadFaults != nil {
-		if d := rt.LoadFaults.ExtraLoadLatency(path); d > 0 {
+	if rt.sh.loadFaults != nil {
+		if d := rt.sh.loadFaults.ExtraLoadLatency(path); d > 0 {
 			p.Sleep(d)
 		}
 	}
@@ -280,15 +444,19 @@ func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
 // evictForSpace drops least-recently-used non-resident modules until a new
 // object of the given size fits into the device's code-memory budget — the
 // memory pressure that forces edge devices to re-pay cold starts (paper §I).
+// Modules pinned by a live tenant view are never victims: eviction may only
+// touch modules no attached tenant references. When only resident or pinned
+// modules remain the budget is allowed to overshoot.
 func (rt *Runtime) evictForSpace(incoming int64) {
 	budget := rt.GPU.Profile.CodeMemory
 	if budget <= 0 {
 		return
 	}
+	sh := rt.sh
 	for rt.LoadedCodeBytes()+incoming > budget {
 		var victim *Module
-		for _, m := range rt.modules {
-			if m.resident {
+		for _, m := range sh.modules {
+			if m.resident || sh.refs[m.Path] > 0 {
 				continue
 			}
 			if victim == nil || m.lastUsed < victim.lastUsed ||
@@ -297,10 +465,10 @@ func (rt *Runtime) evictForSpace(incoming int64) {
 			}
 		}
 		if victim == nil {
-			return // only resident modules remain
+			return // only resident or pinned modules remain
 		}
-		delete(rt.modules, victim.Path)
-		rt.stats.Evictions++
+		delete(sh.modules, victim.Path)
+		sh.stats.Evictions++
 	}
 }
 
@@ -326,16 +494,19 @@ func (rt *Runtime) GetFunction(p *sim.Proc, path, name string) (*Function, error
 
 // RegisterResident maps a code object that ships inside an already-open
 // shared library: the bytes are parsed and the symbols registered, but only
-// the cheap mapping cost is charged (no file read or relocation pass).
+// the cheap mapping cost is charged (no file read or relocation pass). A
+// tenant attaching after another view already mapped the object pays
+// nothing.
 func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
-	if m, ok := rt.modules[path]; ok {
+	if m, ok := rt.sh.modules[path]; ok {
+		rt.pin(path)
 		return m, nil
 	}
 	pol := rt.retryPolicy()
 	backoff := pol.Backoff
-	data, err := rt.store.Get(path)
+	data, err := rt.sh.store.Get(path)
 	for attempt := 0; err != nil && IsTransient(err) && attempt < pol.MaxRetries; attempt++ {
-		rt.stats.TransientRetries++
+		rt.sh.stats.TransientRetries++
 		if backoff > 0 {
 			p.Sleep(backoff)
 			backoff *= 2
@@ -343,7 +514,7 @@ func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
 				backoff = pol.MaxBackoff
 			}
 		}
-		data, err = rt.store.Get(path)
+		data, err = rt.sh.store.Get(path)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("hip: RegisterResident: %w", err)
@@ -354,25 +525,28 @@ func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
 	}
 	p.Sleep(rt.Host.ResidentMap)
 	m := &Module{Path: path, Object: obj, LoadedAt: p.Now(), resident: true}
-	rt.modules[path] = m
+	rt.sh.modules[path] = m
+	rt.pin(path)
 	return m, nil
 }
 
-// Unload evicts a module from the registry (edge/suspend scenarios).
+// Unload evicts a module from the registry (edge/suspend scenarios). It
+// ignores tenant pins — callers model forced device-side eviction.
 func (rt *Runtime) Unload(path string) bool {
-	if _, ok := rt.modules[path]; !ok {
+	if _, ok := rt.sh.modules[path]; !ok {
 		return false
 	}
-	delete(rt.modules, path)
+	delete(rt.sh.modules, path)
 	return true
 }
 
 // UnloadAll evicts every non-resident module, modeling a device reset that
-// keeps the process (and its mapped library binary) alive.
+// keeps the process (and its mapped library binary) alive. Tenant pins
+// survive the reset: they record intent, and the next ModuleLoad re-loads.
 func (rt *Runtime) UnloadAll() {
-	for path, m := range rt.modules {
+	for path, m := range rt.sh.modules {
 		if !m.resident {
-			delete(rt.modules, path)
+			delete(rt.sh.modules, path)
 		}
 	}
 }
@@ -392,7 +566,7 @@ func (rt *Runtime) Preload(p *sim.Proc, paths []string) error {
 // LoadedCodeBytes returns the total container bytes of resident modules.
 func (rt *Runtime) LoadedCodeBytes() int64 {
 	var n int64
-	for _, m := range rt.modules {
+	for _, m := range rt.sh.modules {
 		n += int64(m.Object.Size())
 	}
 	return n

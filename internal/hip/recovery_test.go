@@ -150,7 +150,7 @@ func TestForgetFailureAllowsRepair(t *testing.T) {
 
 func TestTransientRetryCostsBackoffTime(t *testing.T) {
 	env, rt := newTestRuntime(t)
-	rt.Retry = RetryPolicy{MaxRetries: 1, Backoff: 300 * time.Microsecond}
+	rt.SetRetry(RetryPolicy{MaxRetries: 1, Backoff: 300 * time.Microsecond})
 	rt.Store().SetFaultHook(&flakyStore{failsLeft: map[string]int{"conv_b.pko": 1}})
 	var elapsed time.Duration
 	runHost(t, env, rt, func(p *sim.Proc) {
@@ -173,7 +173,7 @@ func TestTransientRetryCostsBackoffTime(t *testing.T) {
 
 func TestRetryDisabled(t *testing.T) {
 	env, rt := newTestRuntime(t)
-	rt.Retry = RetryPolicy{MaxRetries: -1}
+	rt.SetRetry(RetryPolicy{MaxRetries: -1})
 	rt.Store().SetFaultHook(&flakyStore{failsLeft: map[string]int{"conv_a.pko": 1}})
 	runHost(t, env, rt, func(p *sim.Proc) {
 		if _, err := rt.ModuleLoad(p, "conv_a.pko"); !IsTransient(err) {
@@ -188,7 +188,7 @@ func TestRetryDisabled(t *testing.T) {
 func TestLatencySpikeCharged(t *testing.T) {
 	env, rt := newTestRuntime(t)
 	const extra = 5 * time.Millisecond
-	rt.LoadFaults = &spikeOnce{extra: extra}
+	rt.SetLoadFaults(&spikeOnce{extra: extra})
 	var first, second time.Duration
 	runHost(t, env, rt, func(p *sim.Proc) {
 		start := p.Now()

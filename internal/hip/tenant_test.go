@@ -1,0 +1,184 @@
+package hip
+
+import (
+	"testing"
+	"time"
+
+	"pask/internal/device"
+	"pask/internal/sim"
+)
+
+// Multi-tenant sharing: views created with Attach alias one module registry,
+// coalesce loads, pin what they reference and release the pins on Detach.
+
+func TestTenantSharesModulesAcrossViews(t *testing.T) {
+	env, rt := newTestRuntime(t)
+	a := rt.Attach("alpha")
+	b := rt.Attach("beta")
+	runHost(t, env, rt, func(p *sim.Proc) {
+		if _, err := a.ModuleLoad(p, "conv_a.pko"); err != nil {
+			t.Fatal(err)
+		}
+		before := p.Now()
+		if _, err := b.ModuleLoad(p, "conv_a.pko"); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now() != before {
+			t.Errorf("second tenant's load of a shared module consumed %v", p.Now()-before)
+		}
+	})
+	if st := rt.Stats(); st.ModuleLoads != 1 || st.LoadHits != 1 {
+		t.Fatalf("shared stats = %+v", st)
+	}
+	if ts := a.TenantStats(); ts.Loads != 1 || ts.SharedHits != 0 || ts.Pinned != 1 {
+		t.Fatalf("alpha stats = %+v", ts)
+	}
+	if ts := b.TenantStats(); ts.Loads != 0 || ts.SharedHits != 1 || ts.Pinned != 1 {
+		t.Fatalf("beta stats = %+v", ts)
+	}
+	if rt.Refs("conv_a.pko") != 2 {
+		t.Fatalf("refs = %d, want 2", rt.Refs("conv_a.pko"))
+	}
+}
+
+func TestTenantConcurrentLoadsCoalesceAcrossViews(t *testing.T) {
+	env, rt := newTestRuntime(t)
+	a := rt.Attach("alpha")
+	b := rt.Attach("beta")
+	env.Spawn("tenantA", func(p *sim.Proc) {
+		if _, err := a.ModuleLoad(p, "conv_a.pko"); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Spawn("tenantB", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond) // arrive while A's load is in flight
+		defer rt.GPU.CloseAll()
+		if _, err := b.ModuleLoad(p, "conv_a.pko"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.ModuleLoads != 1 {
+		t.Fatalf("same .pko loaded %d times, want exactly 1 (stats %+v)", st.ModuleLoads, st)
+	}
+	if st.CoalescedWaits != 1 {
+		t.Fatalf("CoalescedWaits = %d, want 1", st.CoalescedWaits)
+	}
+	if ts := a.TenantStats(); ts.Loads != 1 || ts.CoalescedWaits != 0 {
+		t.Fatalf("alpha stats = %+v", ts)
+	}
+	if ts := b.TenantStats(); ts.Loads != 0 || ts.CoalescedWaits != 1 || ts.Pinned != 1 {
+		t.Fatalf("beta stats = %+v", ts)
+	}
+}
+
+func TestTenantPinBlocksEviction(t *testing.T) {
+	env := sim.NewEnv()
+	store := testStore(t)
+	prof := testProfile()
+	// Budget fits either object alone but not both: loading the second
+	// forces the evictor to look for a victim.
+	sizeA := int64(store.Size("conv_a.pko"))
+	sizeB := int64(store.Size("conv_b.pko"))
+	prof.CodeMemory = sizeA + sizeB - 1
+	gpu := device.NewGPU(env, prof)
+	rt := NewRuntime(env, gpu, device.DefaultHost(), store)
+	a := rt.Attach("alpha")
+	runHost(t, env, rt, func(p *sim.Proc) {
+		if _, err := a.ModuleLoad(p, "conv_a.pko"); err != nil {
+			t.Fatal(err)
+		}
+		// The root view does not pin, so its load must not evict alpha's
+		// module even under pressure: the budget overshoots instead.
+		if _, err := rt.ModuleLoad(p, "conv_b.pko"); err != nil {
+			t.Fatal(err)
+		}
+		if !rt.Loaded("conv_a.pko") {
+			t.Fatal("pinned module was evicted under memory pressure")
+		}
+		if rt.Stats().Evictions != 0 {
+			t.Fatalf("evictions = %d, want 0", rt.Stats().Evictions)
+		}
+		// After the pinning tenant detaches its module becomes a victim.
+		a.Detach()
+		rt.Unload("conv_b.pko")
+		if _, err := rt.ModuleLoad(p, "conv_b.pko"); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Loaded("conv_a.pko") {
+			t.Fatal("detached tenant's module survived eviction pressure")
+		}
+		if rt.Stats().Evictions != 1 {
+			t.Fatalf("evictions = %d, want 1", rt.Stats().Evictions)
+		}
+	})
+}
+
+func TestTenantDetachIsIdempotent(t *testing.T) {
+	env, rt := newTestRuntime(t)
+	a := rt.Attach("alpha")
+	b := rt.Attach("beta")
+	runHost(t, env, rt, func(p *sim.Proc) {
+		a.ModuleLoad(p, "conv_a.pko")
+		b.ModuleLoad(p, "conv_a.pko")
+	})
+	a.Detach()
+	a.Detach()
+	if got := rt.Refs("conv_a.pko"); got != 1 {
+		t.Fatalf("refs after double detach = %d, want 1 (beta's)", got)
+	}
+	if !a.Detached() || b.Detached() {
+		t.Fatalf("detached flags: a=%v b=%v", a.Detached(), b.Detached())
+	}
+	b.Detach()
+	if got := rt.Refs("conv_a.pko"); got != 0 {
+		t.Fatalf("refs after both detach = %d, want 0", got)
+	}
+	if !rt.Loaded("conv_a.pko") {
+		t.Fatal("detach must not unload the module")
+	}
+}
+
+func TestClearFailuresEmptiesNegativeCache(t *testing.T) {
+	env, rt := newTestRuntime(t)
+	runHost(t, env, rt, func(p *sim.Proc) {
+		if _, err := rt.ModuleLoad(p, "missing.pko"); err == nil {
+			t.Fatal("expected load failure")
+		}
+		if !rt.FailedPermanently("missing.pko") {
+			t.Fatal("missing object should be negatively cached")
+		}
+		if n := rt.ClearFailures(); n != 1 {
+			t.Fatalf("ClearFailures = %d, want 1", n)
+		}
+		if rt.FailedPermanently("missing.pko") {
+			t.Fatal("negative cache entry survived ClearFailures")
+		}
+	})
+}
+
+func TestTenantSkipsContextInitAndResidentMap(t *testing.T) {
+	env, rt := newTestRuntime(t)
+	a := rt.Attach("alpha")
+	b := rt.Attach("beta")
+	runHost(t, env, rt, func(p *sim.Proc) {
+		a.InitContext(p)
+		if _, err := a.RegisterResident(p, "conv_b.pko"); err != nil {
+			t.Fatal(err)
+		}
+		before := p.Now()
+		b.InitContext(p)
+		if _, err := b.RegisterResident(p, "conv_b.pko"); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now() != before {
+			t.Errorf("second tenant paid %v for context+resident map, want 0", p.Now()-before)
+		}
+	})
+	if rt.Refs("conv_b.pko") != 2 {
+		t.Fatalf("resident refs = %d, want 2", rt.Refs("conv_b.pko"))
+	}
+}

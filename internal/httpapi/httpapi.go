@@ -9,8 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +41,7 @@ func New() *Server {
 	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /coldstart", s.handleColdStart)
 	s.mux.HandleFunc("GET /serve", s.handleServe)
+	s.mux.HandleFunc("GET /multitenant", s.handleMultitenant)
 	return s
 }
 
@@ -332,6 +334,112 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// MultitenantTenant is one model's row in the /multitenant reply.
+type MultitenantTenant struct {
+	Model          string  `json:"model"`
+	IsolatedColdMs float64 `json:"isolated_cold_ms"`
+	SharedColdMs   float64 `json:"shared_cold_ms"`
+}
+
+// MultitenantTenantLoad is one shared-arm tenant's load attribution.
+type MultitenantTenantLoad struct {
+	Tenant         string  `json:"tenant"`
+	Loads          int     `json:"loads"`
+	LoadedBytes    int64   `json:"loaded_bytes"`
+	LoadMs         float64 `json:"load_ms"`
+	SharedHits     int     `json:"shared_hits"`
+	CoalescedWaits int     `json:"coalesced_waits"`
+}
+
+// MultitenantResponse is the /multitenant reply: the isolated-vs-shared
+// runtime comparison over an interleaved multi-model trace.
+type MultitenantResponse struct {
+	Models    []string `json:"models"`
+	Device    string   `json:"device"`
+	Batch     int      `json:"batch"`
+	PerTenant int      `json:"requests_per_tenant"`
+
+	IsolatedLoads  int                     `json:"isolated_module_loads"`
+	SharedLoads    int                     `json:"shared_module_loads"`
+	StoreUntouched bool                    `json:"store_untouched"`
+	Tenants        []MultitenantTenant     `json:"tenants"`
+	TenantLoads    []MultitenantTenantLoad `json:"tenant_loads"`
+}
+
+// handleMultitenant runs ?models=res,vgg&requests=4 through the shared-vs-
+// isolated runtime experiment. Optional knobs: device, batch, interval_ms.
+func (s *Server) handleMultitenant(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := serving.MultitenantConfig{}
+	if v := q.Get("models"); v != "" {
+		cfg.Models = strings.Split(v, ",")
+	}
+	if v := q.Get("device"); v != "" {
+		prof, ok := device.ProfileByName(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", v))
+			return
+		}
+		cfg.Profile = prof
+	}
+	if v := q.Get("batch"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", v))
+			return
+		}
+		cfg.Batch = n
+	}
+	if v := q.Get("requests"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad requests %q", v))
+			return
+		}
+		cfg.PerTenant = n
+	}
+	if v := q.Get("interval_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad interval_ms %q", v))
+			return
+		}
+		cfg.Interval = time.Duration(f * float64(time.Millisecond))
+	}
+	_, res, err := serving.Multitenant(cfg)
+	if err != nil {
+		writeErr(w, statusFromErr(err), err)
+		return
+	}
+	cfg.Fill()
+	resp := &MultitenantResponse{
+		Models: res.Models, Device: cfg.Profile.Name, Batch: cfg.Batch,
+		PerTenant:      cfg.PerTenant,
+		IsolatedLoads:  res.Isolated.ModuleLoads,
+		SharedLoads:    res.Shared.ModuleLoads,
+		StoreUntouched: res.StoreUntouched(),
+	}
+	for _, m := range res.Models {
+		resp.Tenants = append(resp.Tenants, MultitenantTenant{
+			Model:          m,
+			IsolatedColdMs: float64(serving.FirstCold(res.Isolated, m)) / float64(time.Millisecond),
+			SharedColdMs:   float64(serving.FirstCold(res.Shared, m)) / float64(time.Millisecond),
+		})
+	}
+	for _, ts := range res.Shared.TenantLoads {
+		if ts.Tenant == "" { // root view holds no tenant activity
+			continue
+		}
+		resp.TenantLoads = append(resp.TenantLoads, MultitenantTenantLoad{
+			Tenant: ts.Tenant, Loads: ts.Loads, LoadedBytes: ts.BytesLoaded,
+			LoadMs:         float64(ts.LoadTime) / float64(time.Millisecond),
+			SharedHits:     ts.SharedHits,
+			CoalescedWaits: ts.CoalescedWaits,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) setup(model string, batch int, prof device.Profile) (*experiments.ModelSetup, error) {
 	key := fmt.Sprintf("%s/%d/%s", model, batch, prof.Name)
 	s.mu.Lock()
@@ -357,7 +465,7 @@ func toResponse(model, scheme, dev string, batch int, rep *metrics.Report) *Cold
 	for k := range bd {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return &ColdStartResponse{
 		Model: model, Scheme: scheme, Device: dev, Batch: batch,
 		TotalMs:      float64(rep.Total) / float64(time.Millisecond),

@@ -183,3 +183,47 @@ func TestColdStartValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestMultitenantEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := get(t, srv, "/multitenant?requests=2&interval_ms=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mt MultitenantResponse
+	if err := json.Unmarshal(body, &mt); err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", mt.Tenants)
+	}
+	if !mt.StoreUntouched {
+		t.Fatal("store mutated across arms")
+	}
+	if mt.SharedLoads >= mt.IsolatedLoads {
+		t.Fatalf("shared loads %d not below isolated %d", mt.SharedLoads, mt.IsolatedLoads)
+	}
+	second := mt.Tenants[1]
+	if second.SharedColdMs >= second.IsolatedColdMs {
+		t.Fatalf("second tenant %s cold start not improved: shared %.2fms vs isolated %.2fms",
+			second.Model, second.SharedColdMs, second.IsolatedColdMs)
+	}
+	if len(mt.TenantLoads) == 0 {
+		t.Fatal("no per-tenant load attribution")
+	}
+}
+
+func TestMultitenantValidation(t *testing.T) {
+	srv := New()
+	for _, path := range []string{
+		"/multitenant?device=nope",
+		"/multitenant?batch=0",
+		"/multitenant?requests=0",
+		"/multitenant?interval_ms=-1",
+	} {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -7,7 +7,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -108,7 +108,7 @@ func Breakdown(spans []Span, t0, t1 time.Duration, priority []Category) map[Cate
 			edges = append(edges, s.End)
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	slices.Sort(edges)
 	for i := 1; i < len(edges); i++ {
 		lo, hi := edges[i-1], edges[i]
 		if hi <= lo {

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// TenantLoad is one tenant's share of a shared GPU runtime's loading
+// activity — the attribution row multi-tenant serving reports per model
+// instance. Loads/Bytes/LoadTime are loads the tenant initiated and paid
+// for; SharedHits are requests answered by modules some other view loaded
+// first; CoalescedWaits are loads the tenant waited out on another view's
+// in-flight load of the same object.
+type TenantLoad struct {
+	Tenant         string
+	Loads          int
+	BytesLoaded    int64
+	LoadTime       time.Duration
+	SharedHits     int
+	CoalescedWaits int
+}
+
+// TenantLoadHeaders returns the column headers matching TenantLoadRow.
+func TenantLoadHeaders() []string {
+	return []string{"tenant", "loads", "loaded_mb", "load_ms", "shared_hits", "coalesced"}
+}
+
+// TenantLoadRow formats one attribution row for FormatTable/FormatCSV.
+func TenantLoadRow(t TenantLoad) []string {
+	return []string{
+		t.Tenant,
+		fmt.Sprintf("%d", t.Loads),
+		fmt.Sprintf("%.2f", float64(t.BytesLoaded)/(1<<20)),
+		fmt.Sprintf("%.2f", float64(t.LoadTime)/float64(time.Millisecond)),
+		fmt.Sprintf("%d", t.SharedHits),
+		fmt.Sprintf("%d", t.CoalescedWaits),
+	}
+}

@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -43,7 +43,7 @@ func Timeline(spans []Span, t0, t1 time.Duration, width int) string {
 			rest = append(rest, c)
 		}
 	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	slices.Sort(rest)
 	cats = append(cats, rest...)
 
 	scale := float64(width) / float64(t1-t0)

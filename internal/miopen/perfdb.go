@@ -3,7 +3,7 @@ package miopen
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -37,7 +37,7 @@ func (db *PerfDB) Export() ([]byte, error) {
 	for k := range db.m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		rec := perfDBRecord{Problem: k}
 		for _, r := range db.m[k] {

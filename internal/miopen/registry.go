@@ -1,8 +1,9 @@
 package miopen
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"pask/internal/codeobj"
@@ -60,15 +61,14 @@ func (r *Registry) Find(p *Problem) []Ranked {
 		}
 		out = append(out, Ranked{Inst: Bind(s, p), Est: EstimateTime(r.ctx.Dev, s, p)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Est != out[j].Est {
-			return out[i].Est < out[j].Est
+	slices.SortFunc(out, func(a, b Ranked) int {
+		if a.Est != b.Est {
+			return cmp.Compare(a.Est, b.Est)
 		}
-		si, sj := out[i].Inst.Sol.Specificity(), out[j].Inst.Sol.Specificity()
-		if si != sj {
-			return si > sj
+		if sa, sb := a.Inst.Sol.Specificity(), b.Inst.Sol.Specificity(); sa != sb {
+			return cmp.Compare(sb, sa)
 		}
-		return out[i].Inst.Key() < out[j].Inst.Key()
+		return cmp.Compare(a.Inst.Key(), b.Inst.Key())
 	})
 	return out
 }

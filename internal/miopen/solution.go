@@ -114,6 +114,15 @@ func (i Instance) Path() string {
 // Key returns a unique identity for the instance.
 func (i Instance) Key() string { return i.Path() }
 
+// CacheKey returns the category the loaded-solution cache groups this
+// instance under. The key is the solution's algorithmic pattern and nothing
+// else: no model name, registry identity or tenant enters it, so two models
+// (or two tenants on a shared GPU) whose layers bind the same solution fall
+// into the same category and can substitute for each other. Cross-model
+// reuse (paper §III-B/C) and the per-GPU SharedCache both depend on this
+// invariant — keep model-specific state out of Pattern and BindingKey.
+func (i Instance) CacheKey() Pattern { return i.Sol.Pattern() }
+
 // IsApplicable reports whether this loaded instance can solve p: the family
 // constraints must hold and p must bind to the same template parameters.
 func (i Instance) IsApplicable(ctx *Ctx, p *Problem) bool {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pask/internal/experiments"
+	"pask/internal/hip"
 	"pask/internal/sim"
 )
 
@@ -15,36 +16,90 @@ type FleetConfig struct {
 	// the keep-alive policy whose misses cause serverless cold starts.
 	KeepAlive time.Duration
 	// MaxInstances caps concurrent instances (0: unlimited). Requests
-	// arriving with every instance busy at the cap wait for a free one.
+	// arriving with every instance busy at the cap wait for a free one,
+	// unless an idle instance of another model can be swapped out.
 	MaxInstances int
+	// Shared attaches every instance to one per-GPU shared runtime and
+	// cross-model cache instead of giving each its own device. Cold starts
+	// then only pay for modules no earlier tenant loaded.
+	Shared bool
 }
 
-// FleetStats extends Stats with autoscaling activity.
+// FleetStats extends Stats with autoscaling and attribution activity.
 type FleetStats struct {
 	Stats
 	Spawned       int // instances created (each pays a cold start)
 	Reaped        int // instances destroyed by keep-alive expiry
+	Swapped       int // idle instances closed at the cap to admit another model
 	MaxConcurrent int
+
+	// ColdByModel records each model's cold-start latencies in arrival
+	// order; index 0 is the model's first-ever cold start.
+	ColdByModel map[string][]time.Duration
+
+	// ModuleLoads/BytesLoaded total the kernel loading under the fleet. In
+	// shared mode they come from the one GPU runtime and are exact; in
+	// isolated mode they are summed per instance at teardown, so runtimes
+	// discarded mid-flight by crash recovery are not counted.
+	ModuleLoads int
+	BytesLoaded int64
+
+	// TenantLoads attributes shared-runtime loading per tenant view (only
+	// populated in shared mode): who paid for each load, who hit modules
+	// other tenants loaded, and who coalesced onto in-flight loads.
+	TenantLoads []hip.TenantStats
 }
 
 // fleetInstance wraps an instance server with scheduling state.
 type fleetInstance struct {
 	srv      *ftServer
+	model    string
 	busy     bool
 	idleFrom time.Duration
 }
 
-// ServeFleet routes a request trace across an autoscaled pool: each arrival
-// goes to a warm idle instance when one exists, otherwise a fresh instance
-// cold-starts (subject to MaxInstances); instances idle past KeepAlive are
-// reaped. Request latencies include any wait for a free slot. The policy's
-// fault tolerance applies per request; with ContinueOnError failed requests
-// are recorded in the stats and dropped from the latency distribution.
+// ServeFleet routes a single-model trace across an autoscaled pool. It is
+// ServeFleetModels with every request bound to one model.
 func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*FleetStats, error) {
+	const def = "model"
+	return ServeFleetModels(map[string]*experiments.ModelSetup{def: ms}, def, cfg, trace)
+}
+
+// ServeFleetModels routes a heterogeneous request trace across an
+// autoscaled pool of model instances: each arrival goes to an idle instance
+// of its model when one exists, otherwise a fresh instance cold-starts
+// (subject to MaxInstances — at the cap an idle instance of another model
+// is swapped out if possible, else the dispatcher waits); instances idle
+// past KeepAlive are reaped whether or not they ever served successfully,
+// so a permanently faulting instance cannot squat in the pool. Request
+// latencies include any wait for a free slot.
+//
+// With cfg.Shared, instances are tenants of one GPUHost: one device, one
+// module registry, one cross-model cache. The setups must then come from
+// experiments.PrepareModelsShared (one registry and store); this is
+// validated up front. The policy's fault tolerance applies per request;
+// with ContinueOnError failed requests are recorded in the stats and
+// dropped from the latency distribution.
+func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg FleetConfig, trace Trace) (*FleetStats, error) {
+	defSetup, ok := setups[def]
+	if !ok {
+		return nil, fmt.Errorf("serving: fleet default model %q has no setup", def)
+	}
+	for abbr, ms := range setups {
+		if ms.Store != defSetup.Store {
+			return nil, fmt.Errorf("serving: fleet setups must share one code-object store (model %q differs; use PrepareModelsShared)", abbr)
+		}
+	}
 	env := sim.NewEnv()
-	restore := InstallFaults(ms, cfg.Policy.Faults)
+	restore := InstallFaults(defSetup, cfg.Policy.Faults)
 	defer restore()
-	stats := &FleetStats{}
+
+	var host *GPUHost
+	if cfg.Shared {
+		host = NewGPUHost(env, defSetup.Profile, defSetup.Store)
+	}
+
+	stats := &FleetStats{ColdByModel: make(map[string][]time.Duration)}
 	var pool []*fleetInstance
 	freed := sim.NewSignal(env)
 	var firstErr error
@@ -54,14 +109,28 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 		}
 	}
 
+	// closeInst tears an instance down, folding its private runtime's load
+	// totals into the fleet stats first (shared-mode totals come from the
+	// host at the end instead).
+	closeInst := func(fi *fleetInstance) {
+		if !cfg.Shared {
+			st := fi.srv.inst.pr.RT.Stats()
+			stats.ModuleLoads += st.ModuleLoads
+			stats.BytesLoaded += st.BytesLoaded
+		}
+		fi.srv.close()
+	}
+
 	reap := func(now time.Duration) {
 		if cfg.KeepAlive <= 0 {
 			return
 		}
 		kept := pool[:0]
 		for _, fi := range pool {
-			if !fi.busy && fi.srv.inst.Warm() && now-fi.idleFrom > cfg.KeepAlive {
-				fi.srv.close()
+			// Idle past the keep-alive wins a reap regardless of Warm():
+			// an instance whose every serve failed must still age out.
+			if !fi.busy && now-fi.idleFrom > cfg.KeepAlive {
+				closeInst(fi)
 				stats.Reaped++
 				continue
 			}
@@ -70,25 +139,53 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 		pool = kept
 	}
 
-	// pick returns an idle instance, spawning one if allowed; it blocks the
-	// dispatcher (in virtual time) when the pool is saturated.
-	pick := func(p *sim.Proc) *fleetInstance {
+	spawn := func(model string, now time.Duration) *fleetInstance {
+		ms := setups[model]
+		var srv *ftServer
+		if cfg.Shared {
+			tenant := fmt.Sprintf("%s/%d", model, stats.Spawned)
+			srv = newTenantFTServer(host, ms, cfg.Policy, &stats.Stats, tenant)
+		} else {
+			srv = newFTServer(env, ms, cfg.Policy, &stats.Stats)
+		}
+		fi := &fleetInstance{srv: srv, model: model, idleFrom: now}
+		pool = append(pool, fi)
+		stats.Spawned++
+		if len(pool) > stats.MaxConcurrent {
+			stats.MaxConcurrent = len(pool)
+		}
+		return fi
+	}
+
+	// pick returns an idle instance of the request's model, spawning (or
+	// swapping an idle foreign-model instance out at the cap) if needed; it
+	// blocks the dispatcher in virtual time when the pool is saturated.
+	pick := func(p *sim.Proc, model string) *fleetInstance {
 		for {
 			for _, fi := range pool {
-				if !fi.busy {
+				if !fi.busy && fi.model == model {
 					return fi
 				}
 			}
 			if cfg.MaxInstances <= 0 || len(pool) < cfg.MaxInstances {
-				fi := &fleetInstance{srv: newFTServer(env, ms, cfg.Policy, &stats.Stats)}
-				pool = append(pool, fi)
-				stats.Spawned++
-				if len(pool) > stats.MaxConcurrent {
-					stats.MaxConcurrent = len(pool)
-				}
-				return fi
+				return spawn(model, p.Now())
 			}
-			// Saturated: wait for a completion, then retry.
+			// At the cap: evict an idle instance of another model to make
+			// room — the cross-model churn a shared runtime absorbs.
+			swapped := false
+			for i, fi := range pool {
+				if !fi.busy {
+					closeInst(fi)
+					pool = append(pool[:i], pool[i+1:]...)
+					stats.Swapped++
+					swapped = true
+					break
+				}
+			}
+			if swapped {
+				return spawn(model, p.Now())
+			}
+			// Saturated with busy instances: wait for a completion.
 			sig := freed
 			sig.Wait(p)
 			if !freed.Fired() {
@@ -102,20 +199,36 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 	served := make([]bool, len(trace))
 	pending := len(trace)
 	done := sim.NewSignal(env)
+	if pending == 0 {
+		done.Fire()
+	}
 
+	var dispatchErr error
 	env.Spawn("dispatcher", func(p *sim.Proc) {
 		for i, req := range trace {
+			model := req.Model
+			if model == "" {
+				model = def
+			}
+			if _, ok := setups[model]; !ok {
+				dispatchErr = fmt.Errorf("serving: request %d targets unknown model %q", i, model)
+				done.Fire()
+				return
+			}
 			p.SleepUntil(req.At)
 			reap(p.Now())
-			fi := pick(p)
+			fi := pick(p, model)
 			if firstErr != nil {
 				break
 			}
 			fi.busy = true
 			wasCold := !fi.srv.inst.Warm()
 			arrived := req.At
-			i := i
+			i, model := i, model
 			env.Spawn(fmt.Sprintf("req-%d", i), func(rp *sim.Proc) {
+				// Scheduling state resets whether the serve succeeded or
+				// not: a faulted instance returns to idle (and from there
+				// to the reaper) instead of staying busy forever.
 				defer func() {
 					fi.busy = false
 					fi.idleFrom = rp.Now()
@@ -129,7 +242,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 				}()
 				if _, err := fi.srv.serve(rp, i); err != nil {
 					if !cfg.Policy.FT.ContinueOnError {
-						fail(fmt.Errorf("request %d: %w", i, err))
+						fail(fmt.Errorf("request %d (%s): %w", i, model, err))
 					}
 					return
 				}
@@ -139,6 +252,7 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 				if wasCold {
 					stats.ColdStarts++
 					stats.ColdLatencies = append(stats.ColdLatencies, latencies[i])
+					stats.ColdByModel[model] = append(stats.ColdByModel[model], latencies[i])
 				}
 			})
 		}
@@ -146,11 +260,21 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 	env.Spawn("closer", func(p *sim.Proc) {
 		done.Wait(p)
 		for _, fi := range pool {
-			fi.srv.close()
+			closeInst(fi)
+		}
+		if host != nil {
+			st := host.Root().Stats()
+			stats.ModuleLoads = st.ModuleLoads
+			stats.BytesLoaded = st.BytesLoaded
+			stats.TenantLoads = host.Root().AllTenantStats()
+			host.Close()
 		}
 	})
 	if err := env.Run(); err != nil {
 		return nil, err
+	}
+	if dispatchErr != nil {
+		return nil, dispatchErr
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -159,6 +283,92 @@ func ServeFleet(ms *experiments.ModelSetup, cfg FleetConfig, trace Trace) (*Flee
 		if served[i] {
 			stats.Latencies = append(stats.Latencies, latencies[i])
 		}
+	}
+	return stats, nil
+}
+
+// ScaleOutModels runs the heterogeneous serverless spike: len(models)
+// requests arrive at once, each for the named model, each on a fresh cold
+// instance. With shared set, the instances are tenants of one GPU host —
+// their concurrent loads of common objects coalesce into single driver
+// loads — otherwise every instance owns a device, as ScaleOut always did.
+func ScaleOutModels(setups map[string]*experiments.ModelSetup, models []string, policy Policy, shared bool) (*FleetStats, error) {
+	if len(models) == 0 {
+		return &FleetStats{ColdByModel: map[string][]time.Duration{}}, nil
+	}
+	var defSetup *experiments.ModelSetup
+	for _, m := range models {
+		ms, ok := setups[m]
+		if !ok {
+			return nil, fmt.Errorf("serving: scale-out model %q has no setup", m)
+		}
+		if defSetup == nil {
+			defSetup = ms
+		} else if ms.Store != defSetup.Store {
+			return nil, fmt.Errorf("serving: scale-out setups must share one code-object store (use PrepareModelsShared)")
+		}
+	}
+	env := sim.NewEnv()
+	restore := InstallFaults(defSetup, policy.Faults)
+	defer restore()
+
+	var host *GPUHost
+	if shared {
+		host = NewGPUHost(env, defSetup.Profile, defSetup.Store)
+	}
+	stats := &FleetStats{ColdByModel: make(map[string][]time.Duration)}
+	stats.ColdStarts = len(models)
+	lat := make([]time.Duration, len(models))
+	errs := make([]error, len(models))
+	pending := len(models)
+	done := sim.NewSignal(env)
+	for i, m := range models {
+		i, m := i, m
+		var srv *ftServer
+		if shared {
+			srv = newTenantFTServer(host, setups[m], policy, &stats.Stats, fmt.Sprintf("%s/%d", m, i))
+		} else {
+			srv = newFTServer(env, setups[m], policy, &stats.Stats)
+		}
+		env.Spawn(fmt.Sprintf("instance-%d", i), func(p *sim.Proc) {
+			defer func() {
+				if !shared {
+					st := srv.inst.pr.RT.Stats()
+					stats.ModuleLoads += st.ModuleLoads
+					stats.BytesLoaded += st.BytesLoaded
+				}
+				srv.close()
+				pending--
+				if pending == 0 {
+					done.Fire()
+				}
+			}()
+			lat[i], errs[i] = srv.serve(p, i)
+		})
+	}
+	if host != nil {
+		env.Spawn("closer", func(p *sim.Proc) {
+			done.Wait(p)
+			st := host.Root().Stats()
+			stats.ModuleLoads = st.ModuleLoads
+			stats.BytesLoaded = st.BytesLoaded
+			stats.TenantLoads = host.Root().AllTenantStats()
+			host.Close()
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			if policy.FT.ContinueOnError {
+				continue
+			}
+			return nil, fmt.Errorf("instance %d (%s): %w", i, models[i], err)
+		}
+		stats.Latencies = append(stats.Latencies, lat[i])
+		stats.ColdLatencies = append(stats.ColdLatencies, lat[i])
+		stats.ColdByModel[models[i]] = append(stats.ColdByModel[models[i]], lat[i])
 	}
 	return stats, nil
 }

@@ -1,0 +1,179 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/hip"
+	"pask/internal/metrics"
+)
+
+// MultitenantConfig parameterizes the shared-vs-isolated runtime
+// comparison. The zero value compares ResNet34 and VGG16 on MI100 under an
+// interleaved deterministic trace.
+type MultitenantConfig struct {
+	Models    []string       // zoo abbreviations, one tenant each (default res, vgg)
+	Batch     int            // default 1
+	Profile   device.Profile // default MI100
+	PerTenant int            // requests per model (default 4)
+	Interval  time.Duration  // fixed inter-arrival gap (default 2ms)
+	KeepAlive time.Duration  // fleet keep-alive (default 1s: no reaping mid-trace)
+}
+
+// Fill applies the documented defaults to unset fields. Multitenant calls it
+// internally; callers that need the effective configuration (e.g. for
+// reporting) may call it themselves.
+func (c *MultitenantConfig) Fill() {
+	if len(c.Models) == 0 {
+		c.Models = []string{"res", "vgg"}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Profile.Name == "" {
+		c.Profile = device.MI100()
+	}
+	if c.PerTenant <= 0 {
+		c.PerTenant = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.KeepAlive <= 0 {
+		c.KeepAlive = time.Second
+	}
+}
+
+// MultitenantResult carries the raw outcomes of both arms plus the store
+// fingerprints proving the comparison ran against byte-identical state.
+type MultitenantResult struct {
+	Models   []string
+	Isolated *FleetStats
+	Shared   *FleetStats
+
+	// Store fingerprints taken before the isolated arm, between the arms
+	// and after the shared arm. All three must be equal: serving must never
+	// mutate the code-object store, and both arms must read the same bytes.
+	FingerprintBefore  uint32
+	FingerprintBetween uint32
+	FingerprintAfter   uint32
+}
+
+// StoreUntouched reports whether all three fingerprints agree.
+func (r *MultitenantResult) StoreUntouched() bool {
+	return r.FingerprintBefore == r.FingerprintBetween && r.FingerprintBetween == r.FingerprintAfter
+}
+
+// FirstCold returns a model's first cold-start latency in the given arm's
+// stats (0 if the model never cold-started).
+func FirstCold(fs *FleetStats, model string) time.Duration {
+	if lat := fs.ColdByModel[model]; len(lat) > 0 {
+		return lat[0]
+	}
+	return 0
+}
+
+// Multitenant runs the multi-tenancy experiment: the same deterministic
+// interleaved trace over the same models, once with every instance owning a
+// private runtime (today's one-runtime-per-process serving) and once with
+// all instances attached to one shared GPU runtime and cross-model cache.
+// The table reports each tenant's first cold start under both arms — on the
+// shared runtime every tenant after the first starts on a GPU that already
+// holds a context, the mapped residents and every previously loaded module,
+// so its cold start is strictly lower — plus the per-tenant attribution of
+// who paid for which loads.
+func Multitenant(cfg MultitenantConfig) (*experiments.Table, *MultitenantResult, error) {
+	cfg.Fill()
+	setups, err := experiments.PrepareModelsShared(cfg.Models, cfg.Batch, cfg.Profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	def := cfg.Models[0]
+	store := setups[def].Store
+	trace := InterleavedTrace(cfg.Models, cfg.PerTenant, cfg.Interval)
+	fleetCfg := FleetConfig{
+		Policy:    Policy{Scheme: core.SchemePaSK},
+		KeepAlive: cfg.KeepAlive,
+	}
+
+	res := &MultitenantResult{Models: cfg.Models, FingerprintBefore: store.Fingerprint()}
+
+	fleetCfg.Shared = false
+	res.Isolated, err = ServeFleetModels(setups, def, fleetCfg, trace)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serving: multitenant isolated arm: %w", err)
+	}
+	res.FingerprintBetween = store.Fingerprint()
+
+	fleetCfg.Shared = true
+	res.Shared, err = ServeFleetModels(setups, def, fleetCfg, trace)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serving: multitenant shared arm: %w", err)
+	}
+	res.FingerprintAfter = store.Fingerprint()
+
+	table := &experiments.Table{
+		ID: "multitenant",
+		Title: fmt.Sprintf("shared vs isolated GPU runtime, %d tenants (%s) b%d on %s, %d requests each",
+			len(cfg.Models), join(cfg.Models), cfg.Batch, cfg.Profile.Name, cfg.PerTenant),
+		Headers: []string{"tenant", "isolated_cold_ms", "shared_cold_ms", "saved"},
+		Notes: []string{
+			fmt.Sprintf("module loads: isolated=%d shared=%d (same trace, same store)",
+				res.Isolated.ModuleLoads, res.Shared.ModuleLoads),
+			fmt.Sprintf("store fingerprint %08x byte-identical across both arms: %v",
+				res.FingerprintBefore, res.StoreUntouched()),
+		},
+	}
+	for _, m := range cfg.Models {
+		iso := FirstCold(res.Isolated, m)
+		sh := FirstCold(res.Shared, m)
+		saved := "-"
+		if iso > 0 {
+			saved = fmt.Sprintf("%.1f%%", 100*(1-float64(sh)/float64(iso)))
+		}
+		table.Rows = append(table.Rows, []string{m, ms(iso), ms(sh), saved})
+	}
+	for _, ts := range res.Shared.TenantLoads {
+		if ts.Tenant == "" { // root view: no tenant activity of its own
+			continue
+		}
+		table.Notes = append(table.Notes, "shared-arm "+formatTenantLoad(ts))
+	}
+	return table, res, nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "+"
+		}
+		out += s
+	}
+	return out
+}
+
+// formatTenantLoad renders one tenant attribution line using the metrics
+// row format.
+func formatTenantLoad(ts hip.TenantStats) string {
+	row := metrics.TenantLoadRow(metrics.TenantLoad{
+		Tenant: ts.Tenant, Loads: ts.Loads, BytesLoaded: ts.BytesLoaded,
+		LoadTime: ts.LoadTime, SharedHits: ts.SharedHits, CoalescedWaits: ts.CoalescedWaits,
+	})
+	hdr := metrics.TenantLoadHeaders()
+	out := ""
+	for i := range hdr {
+		if i > 0 {
+			out += " "
+		}
+		out += hdr[i] + "=" + row[i]
+	}
+	return out
+}

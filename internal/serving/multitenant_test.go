@@ -1,0 +1,130 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/sim"
+)
+
+// The tentpole acceptance check: under the same deterministic interleaved
+// trace, the second tenant's first cold start on a shared runtime is
+// strictly lower than on an isolated one, the total module loads shrink, and
+// the code-object store is byte-identical across both arms.
+func TestMultitenantSharedImprovesSecondTenant(t *testing.T) {
+	cfg := MultitenantConfig{PerTenant: 2, Interval: 4 * time.Millisecond}
+	_, res, err := Multitenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoreUntouched() {
+		t.Fatalf("store fingerprints diverged: %08x %08x %08x",
+			res.FingerprintBefore, res.FingerprintBetween, res.FingerprintAfter)
+	}
+	second := res.Models[1]
+	iso, sh := FirstCold(res.Isolated, second), FirstCold(res.Shared, second)
+	if iso == 0 || sh == 0 {
+		t.Fatalf("missing cold starts for %s: iso=%v shared=%v", second, iso, sh)
+	}
+	if sh >= iso {
+		t.Fatalf("second tenant %s cold start not improved: shared %v vs isolated %v", second, sh, iso)
+	}
+	if res.Shared.ModuleLoads >= res.Isolated.ModuleLoads {
+		t.Fatalf("shared arm loaded %d modules, isolated %d: sharing saved nothing",
+			res.Shared.ModuleLoads, res.Isolated.ModuleLoads)
+	}
+	// Attribution covers every spawned tenant plus the root view.
+	if len(res.Shared.TenantLoads) != res.Shared.Spawned+1 {
+		t.Fatalf("tenant attribution rows = %d, want %d", len(res.Shared.TenantLoads), res.Shared.Spawned+1)
+	}
+}
+
+// Two tenants cold-starting the same model at the same instant on a shared
+// runtime coalesce onto single loads: each distinct .pko is loaded exactly
+// once, and the laggard tenant records coalesced waits instead of loads.
+func TestScaleOutSharedCoalescesSameModel(t *testing.T) {
+	setups := setupSharedModels(t, "alex")
+	models := []string{"alex", "alex"}
+	pol := Policy{Scheme: core.SchemePaSK}
+	iso, err := ScaleOutModels(setups, models, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := ScaleOutModels(setups, models, pol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*sh.ModuleLoads != iso.ModuleLoads {
+		t.Fatalf("shared loads %d, isolated %d: each object must load exactly once shared",
+			sh.ModuleLoads, iso.ModuleLoads)
+	}
+	coalesced, shared := 0, 0
+	for _, ts := range sh.TenantLoads {
+		coalesced += ts.CoalescedWaits
+		shared += ts.SharedHits
+	}
+	if coalesced == 0 {
+		t.Fatal("no coalesced waits: concurrent identical loads were not deduplicated")
+	}
+	if shared == 0 {
+		t.Fatal("no shared hits recorded")
+	}
+}
+
+// Crash recovery on a shared GPU replaces one tenant without touching the
+// survivors: the dead view detaches, the negative cache clears, and every
+// module a surviving tenant holds stays resident and referenced.
+func TestReplaceTenantPreservesSurvivorModules(t *testing.T) {
+	setups := setupSharedModels(t, "res", "vgg")
+	env := sim.NewEnv()
+	host := NewGPUHost(env, setups["res"].Profile, setups["res"].Store)
+	var stats Stats
+	pol := Policy{Scheme: core.SchemePaSK}
+	a := newTenantFTServer(host, setups["res"], pol, &stats, "res/0")
+	b := newTenantFTServer(host, setups["vgg"], pol, &stats, "vgg/0")
+	env.Spawn("driver", func(p *sim.Proc) {
+		defer host.Close()
+		if _, err := a.serve(p, 0); err != nil {
+			t.Errorf("tenant a serve: %v", err)
+			return
+		}
+		if _, err := b.serve(p, 1); err != nil {
+			t.Errorf("tenant b serve: %v", err)
+			return
+		}
+		pinnedA := a.inst.pr.RT.PinnedPaths()
+		if len(pinnedA) == 0 {
+			t.Error("survivor holds no pinned modules")
+			return
+		}
+		// Detached views stay on the runtime's roster for stats attribution,
+		// so a replacement adds one view rather than swapping in place.
+		views := host.Root().NumViews()
+		b.replaceTenant()
+		if got := host.Root().NumViews(); got != views+1 {
+			t.Errorf("views = %d after replace, want %d", got, views+1)
+		}
+		for _, path := range pinnedA {
+			if !host.Root().Loaded(path) {
+				t.Errorf("survivor module %s evicted by tenant replacement", path)
+			}
+			if host.Root().Refs(path) == 0 {
+				t.Errorf("survivor module %s lost its reference", path)
+			}
+		}
+		if b.inst.Tenant() != "vgg/0#1" {
+			t.Errorf("replacement tenant = %q, want generation suffix", b.inst.Tenant())
+		}
+		// The replacement serves — warm, since the dead tenant's modules are
+		// still resident on the shared GPU.
+		if _, err := b.serve(p, 2); err != nil {
+			t.Errorf("replacement serve: %v", err)
+		}
+		a.close()
+		b.close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

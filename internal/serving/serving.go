@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"pask/internal/core"
@@ -88,6 +88,12 @@ type Instance struct {
 	pr     *experiments.Process
 	policy Policy
 
+	// host and tenant are set for instances attached to a shared GPU
+	// (NewTenantInstance): the process is a refcounted view of the host's
+	// runtime and the cache a tenant view of the host's shared cache.
+	host   *GPUHost
+	tenant string
+
 	cache       core.Cache
 	initialized bool
 	served      int
@@ -106,7 +112,7 @@ type SkippedLoad struct {
 func NewInstance(env *sim.Env, ms *experiments.ModelSetup, policy Policy) *Instance {
 	in := &Instance{ms: ms, pr: ms.NewProcessIn(env), policy: policy}
 	if policy.Faults != nil {
-		in.pr.RT.LoadFaults = policy.Faults
+		in.pr.RT.SetLoadFaults(policy.Faults)
 		policy.Faults.ArmReset(env, in.pr.RT.UnloadAll)
 	}
 	return in
@@ -127,8 +133,17 @@ func (in *Instance) initProcess(p *sim.Proc) error {
 	if err := in.pr.Runner.Lib.LoadResidents(p); err != nil {
 		return err
 	}
-	switch in.policy.Scheme {
-	case core.SchemePaSKR:
+	switch {
+	case in.host != nil:
+		// Shared GPU: every tenant consults the host's cross-model cache
+		// through its own attributing view. The structure is always the
+		// categorical one — a flat PaSK-R scan over every tenant's entries
+		// would charge each tenant for the whole GPU's working set, so the
+		// PaSK-R ablation is only meaningful on isolated instances.
+		v := in.host.Cache.View(in.tenant)
+		core.SeedResidents(v, in.pr.Runner.Lib)
+		in.cache = v
+	case in.policy.Scheme == core.SchemePaSKR:
 		c := core.NewNaiveCache()
 		core.SeedResidents(c, in.pr.Runner.Lib)
 		in.cache = c
@@ -207,13 +222,31 @@ func (in *Instance) Evict() {
 	in.lastResult = nil
 }
 
-// Request is one inference arrival.
+// Request is one inference arrival. Model optionally names the zoo model
+// the request targets ("" means the scenario's default model); multi-model
+// fleets route on it.
 type Request struct {
-	At time.Duration
+	At    time.Duration
+	Model string
 }
 
 // Trace is a request arrival sequence.
 type Trace []Request
+
+// InterleavedTrace alternates requests over the given models round-robin,
+// perModel requests each, at a fixed arrival interval — the deterministic
+// heterogeneous workload the multitenant experiment replays against shared
+// and isolated runtimes.
+func InterleavedTrace(models []string, perModel int, interval time.Duration) Trace {
+	var tr Trace
+	for i := 0; i < perModel*len(models); i++ {
+		tr = append(tr, Request{
+			At:    time.Duration(i) * interval,
+			Model: models[i%len(models)],
+		})
+	}
+	return tr
+}
 
 // PoissonTrace draws arrivals with exponential inter-arrival times at the
 // given mean interval, deterministically from seed.
@@ -253,6 +286,11 @@ type Stats struct {
 	DeadlineMisses int           // requests completing past FT.Deadline
 	DegradedLayers int           // layers served by a forced substitute
 	FailedRequests map[int]error // request index -> final typed error
+
+	// sorted caches the ascending copy of Latencies for Percentile;
+	// sortedN is the Latencies length it was computed at.
+	sorted  []time.Duration
+	sortedN int
 }
 
 // recordFailure indexes a request's final error.
@@ -264,24 +302,39 @@ func (s *Stats) recordFailure(idx int, err error) {
 	s.FailedRequests[idx] = err
 }
 
-// Percentile returns the q-quantile latency (q in [0,1]).
+// Percentile returns the q-quantile latency. q is clamped into [0,1]
+// (callers passing q outside the range get the min/max latency rather than
+// an out-of-bounds index). Like Mean, it ranges over Latencies only —
+// successfully served requests; failed requests never enter the latency
+// distribution and are accounted in Failed/FailedRequests instead. The
+// sorted copy is cached and reused until more latencies are recorded, so
+// sweeps querying several quantiles sort once.
 func (s *Stats) Percentile(q float64) time.Duration {
 	if len(s.Latencies) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.Latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	if s.sorted == nil || s.sortedN != len(s.Latencies) {
+		s.sorted = append(s.sorted[:0], s.Latencies...)
+		slices.Sort(s.sorted)
+		s.sortedN = len(s.Latencies)
+	}
+	idx := int(math.Ceil(q*float64(len(s.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(s.sorted) {
+		idx = len(s.sorted) - 1
 	}
-	return sorted[idx]
+	return s.sorted[idx]
 }
 
-// Mean returns the average latency.
+// Mean returns the average latency over Latencies — the same successful
+// requests Percentile ranges over (failed requests are excluded from both).
 func (s *Stats) Mean() time.Duration {
 	if len(s.Latencies) == 0 {
 		return 0
@@ -303,18 +356,38 @@ type ftServer struct {
 	policy Policy
 	stats  *Stats
 	inst   *Instance
+
+	// host/tenant are set for servers attached to a shared GPU; gen counts
+	// tenant replacements so recovered views get distinguishable names.
+	host   *GPUHost
+	tenant string
+	gen    int
 }
 
 func newFTServer(env *sim.Env, ms *experiments.ModelSetup, policy Policy, stats *Stats) *ftServer {
 	return &ftServer{env: env, ms: ms, policy: policy, stats: stats, inst: NewInstance(env, ms, policy)}
 }
 
-// close tears down the live instance's device state.
-func (s *ftServer) close() { s.inst.pr.GPU.CloseAll() }
+// close tears down the live instance. Isolated instances own their device
+// and close it outright; tenants on a shared GPU only detach their runtime
+// view — the device, its modules and the other tenants stay live.
+func (s *ftServer) close() {
+	if s.host != nil {
+		s.detachTenant()
+		return
+	}
+	s.inst.pr.GPU.CloseAll()
+}
 
-// replace tears the live instance down and brings up a fresh cold process —
-// the spot-preemption machinery reused for crash recovery.
+// replace tears the live instance down and brings up a fresh cold one — the
+// spot-preemption machinery reused for crash recovery. On a shared GPU the
+// replacement must not destroy modules other tenants hold, so only the
+// crashed tenant's view is swapped (see replaceTenant).
 func (s *ftServer) replace() {
+	if s.host != nil {
+		s.replaceTenant()
+		return
+	}
 	s.inst.pr.GPU.CloseAll()
 	s.inst = NewInstance(s.env, s.ms, s.policy)
 }

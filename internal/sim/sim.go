@@ -17,7 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -243,7 +243,7 @@ func (e *Env) run(horizon time.Duration) error {
 		for p := range e.procs {
 			blocked = append(blocked, p.name)
 		}
-		sort.Strings(blocked)
+		slices.Sort(blocked)
 		return &DeadlockError{At: e.now, Blocked: blocked}
 	}
 	return nil
