@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant]
+//	paskbench [-exp all|coldstart|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
+//	          [-trace out.json] [-validate-trace file.json]
 //
 // -exp multitenant compares isolated per-instance GPU runtimes against one
 // shared refcounted runtime and cross-model cache per GPU; -quick shrinks the
@@ -15,6 +16,10 @@
 // (transient, permanent, spike, disable, seed, burst, spike_ms, reset_ms) feed
 // the plan and whose scenario keys (model, batch, device, requests,
 // interval_ms, evict) shape the trace.
+// -exp coldstart runs one PaSK cold start (first -models entry, default res);
+// with -trace it exports the run's full timeline as Chrome trace_event JSON,
+// loadable in ui.perfetto.dev. -validate-trace checks such a file's structural
+// invariants and prints its summary, then exits.
 package main
 
 import (
@@ -27,20 +32,31 @@ import (
 	"strconv"
 	"strings"
 
+	"pask/internal/core"
 	"pask/internal/experiments"
 	"pask/internal/faults"
 	"pask/internal/serving"
+	"pask/internal/trace"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant)")
+	exp := flag.String("exp", "all", "experiment to run (all, coldstart, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
+	traceOut := flag.String("trace", "", "with -exp coldstart: write the run's Chrome trace_event JSON here")
+	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace JSON file, print its summary and exit")
 	flag.Parse()
 	formatCSV = *format == "csv"
+
+	if *validateTrace != "" {
+		if err := runValidateTrace(*validateTrace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *faultsFlag != "" {
 		if err := runChaos(*faultsFlag); err != nil {
@@ -60,6 +76,18 @@ func main() {
 			fatal(fmt.Errorf("bad batch %q: %w", b, err))
 		}
 		batches = append(batches, v)
+	}
+
+	// coldstart is a single traced run, not part of the -exp all sweep.
+	if *exp == "coldstart" {
+		model := "res"
+		if *modelsFlag != "" {
+			model = models[0]
+		}
+		if err := runColdstart(model, batches[0], *traceOut); err != nil {
+			fatal(fmt.Errorf("coldstart: %w", err))
+		}
+		return
 	}
 
 	run := func(name string, fn func() error) {
@@ -210,6 +238,67 @@ func runChaos(spec string) error {
 	}
 	tbl, err := serving.Chaos(cfg)
 	return show(tbl, err)
+}
+
+// runColdstart executes one PaSK cold start and, when traceOut is non-empty,
+// exports the recorded timeline as Chrome trace_event JSON.
+func runColdstart(model string, batch int, traceOut string) error {
+	ms, err := experiments.PrepareModel(model, batch, device.MI100())
+	if err != nil {
+		return err
+	}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+	}
+	rep, res, err := ms.RunSchemeTraced(core.SchemePaSK, core.Options{}, rec)
+	if err != nil {
+		return err
+	}
+	tbl := &experiments.Table{ID: "ColdStart",
+		Title:   fmt.Sprintf("PaSK cold start: %s on MI100 (batch %d)", model, batch),
+		Headers: []string{"metric", "value"},
+		Rows: [][]string{
+			{"cold start", fmt.Sprintf("%.2fms", float64(rep.Total)/1e6)},
+			{"GPU utilization", fmt.Sprintf("%.1f%%", 100*rep.Utilization())},
+			{"code objects loaded", fmt.Sprintf("%d (%.1f MB)", rep.Loads, float64(rep.LoadedBytes)/1e6)},
+			{"reuse", fmt.Sprintf("%d queries, %d hits, %d loads skipped", res.Cache.Queries, res.Cache.Hits, res.SkippedLoads)},
+			{"milestone", fmt.Sprintf("%d", res.Milestone)},
+		}}
+	if err := show(tbl, nil); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// runValidateTrace checks a Chrome trace JSON file's structural invariants
+// and prints its summary.
+func runValidateTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sum, err := trace.ValidateChrome(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: OK — %d events (%d spans, %d counter series) on %d tracks %v, %.2fms span\n",
+		path, sum.Events, sum.Spans, sum.Counters, len(sum.Tracks), sum.Tracks, sum.MaxTs/1e3)
+	return nil
 }
 
 // convOnly filters the selection to the convolution-dominated models (the

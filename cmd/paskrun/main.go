@@ -5,11 +5,15 @@
 // Usage:
 //
 //	paskrun -model res -scheme PaSK [-device MI100] [-batch 1] [-width 100]
-//	        [-faults "transient=0.1,permanent=0.02,seed=7"]
+//	        [-faults "transient=0.1,permanent=0.02,seed=7"] [-trace out.json]
 //
 // With -faults the run faces a seeded fault plan (keys: transient, permanent,
 // spike, disable, seed, burst, spike_ms, reset_ms) and the report gains the
 // retry, negative-cache and degradation-ladder counters.
+//
+// With -trace the run's full timeline — per-thread spans, counter series,
+// registry events — is written as Chrome trace_event JSON, loadable in
+// chrome://tracing and ui.perfetto.dev.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"pask/internal/metrics"
 	"pask/internal/serving"
 	"pask/internal/sim"
+	"pask/internal/trace"
 )
 
 func main() {
@@ -37,6 +42,7 @@ func main() {
 	width := flag.Int("width", 100, "timeline width in characters")
 	blasScope := flag.Bool("blas-scope", false, "enable the BLAS-scope extension")
 	faultsFlag := flag.String("faults", "", "fault plan, e.g. \"transient=0.1,permanent=0.02,seed=7\"")
+	traceOut := flag.String("trace", "", "write the run's Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	prof, ok := device.ProfileByName(*devName)
@@ -79,9 +85,14 @@ func main() {
 		pr.RT.SetLoadFaults(inj)
 		inj.ArmReset(pr.Env, pr.RT.UnloadAll)
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		pr.Record(rec)
+	}
 	var spans []metrics.Span
 	var window [2]time.Duration
-	rep, res, err := runWithSpans(ms, pr, scheme, core.Options{BlasScope: *blasScope}, &spans, &window)
+	rep, res, err := runWithSpans(ms, pr, scheme, core.Options{BlasScope: *blasScope}, rec, &spans, &window)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +134,21 @@ func main() {
 	}
 
 	fmt.Printf("\ntimeline:\n%s", metrics.Timeline(spans, window[0], window[1], *width))
+
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if werr := rec.WriteChrome(f); werr != nil {
+			f.Close()
+			fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("\ntrace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func hitRate(res *core.Result) float64 {
@@ -132,7 +158,7 @@ func hitRate(res *core.Result) float64 {
 	return float64(res.Cache.Hits) / float64(res.Cache.Queries)
 }
 
-func runWithSpans(ms *experiments.ModelSetup, pr *experiments.Process, scheme core.Scheme, opts core.Options, spans *[]metrics.Span, window *[2]time.Duration) (*metrics.Report, *core.Result, error) {
+func runWithSpans(ms *experiments.ModelSetup, pr *experiments.Process, scheme core.Scheme, opts core.Options, rec *trace.Recorder, spans *[]metrics.Span, window *[2]time.Duration) (*metrics.Report, *core.Result, error) {
 	rep := &metrics.Report{}
 	var res *core.Result
 	var runErr error
@@ -154,6 +180,9 @@ func runWithSpans(ms *experiments.ModelSetup, pr *experiments.Process, scheme co
 		busy0 := pr.GPU.BusyTime()
 		loads0 := pr.RT.Stats()
 		t0 := p.Now()
+		rec.Instant("run", "run-start", t0,
+			metrics.Attr{Key: "scheme", Value: string(scheme)},
+			metrics.Attr{Key: "model", Value: ms.Spec.Abbr})
 		switch scheme {
 		case core.SchemeBaseline:
 			runErr = pr.Runner.RunBaseline(p, model)
@@ -169,6 +198,7 @@ func runWithSpans(ms *experiments.ModelSetup, pr *experiments.Process, scheme co
 			res, runErr = core.RunInterleaved(p, pr.Runner, model, c, true, opts)
 		}
 		t1 := p.Now()
+		rec.Instant("run", "run-end", t1)
 		rep.Total = t1 - t0
 		rep.GPUBusy = pr.GPU.BusyTime() - busy0
 		rep.Loads = pr.RT.Stats().ModuleLoads - loads0.ModuleLoads

@@ -2,7 +2,7 @@
 // service for cold-start planning.
 //
 //	pasksrv -addr :8080
-//	curl 'localhost:8080/coldstart?model=res&scheme=PaSK&compare=1'
+//	curl -X POST localhost:8080/v1/coldstart -d '{"model":"res","compare":true}'
 package main
 
 import (
@@ -18,6 +18,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 	fmt.Printf("pasksrv listening on %s\n", *addr)
-	fmt.Println("endpoints: /models /devices /schemes /coldstart?model=&scheme=&device=&batch=&compare=1")
+	fmt.Println("endpoints:")
+	fmt.Println("  GET  /v1/models /v1/devices /v1/schemes")
+	fmt.Println("  POST /v1/coldstart /v1/serve /v1/multitenant   (JSON body)")
+	fmt.Println("  GET  /v1/runs/{id}/trace   (Chrome trace of a past run)")
+	fmt.Println("  GET  /metrics              (Prometheus text format)")
+	fmt.Println("  deprecated GET aliases: /models /devices /schemes /coldstart /serve /multitenant")
 	log.Fatal(http.ListenAndServe(*addr, httpapi.New()))
 }

@@ -115,6 +115,15 @@ func (pl *pipeline) fail(err error) {
 	}
 }
 
+// addGetsub records one cache-query span with its outcome attributes — the
+// per-pattern visibility Fig 9's lookup analysis needs.
+func (pl *pipeline) addGetsub(name, thread string, start, end time.Duration, attrs ...metrics.Attr) {
+	pl.r.Tracer.AddSpan(metrics.Span{
+		Cat: metrics.CatOverhead, Name: "getsub:" + name, Thread: thread,
+		Start: start, End: end, Attrs: attrs,
+	})
+}
+
 // RunInterleaved executes the model with PASK's three-thread pipeline. With
 // selective=true this is full PaSK (Algorithm 1 after the milestone); with
 // selective=false it is PaSK-I / NNV12-style unconditional pipelined loading.
@@ -132,8 +141,11 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 		for i := range m.Instrs {
 			r.ParseOne(pp, &m.Instrs[i])
 			parsed.Send(pp, &m.Instrs[i])
+			r.Rec.Count("pask_parsed_queue", pp.Now(), float64(parsed.Len()))
 		}
 		pl.parseDone = true
+		r.Rec.Instant("pask-parser", "milestone", pp.Now(),
+			metrics.Attr{Key: "eager_layers", Value: fmt.Sprint(pl.res.Milestone)})
 		parsed.Close()
 	})
 
@@ -181,6 +193,8 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 				flushPending(lp)
 				return
 			}
+			r.Rec.Count("pask_parsed_queue", lp.Now(), float64(parsed.Len()))
+			r.Rec.Count("pask_cache_size", lp.Now(), float64(pl.cache.Len()))
 			if pl.err != nil {
 				continue // drain after failure
 			}
@@ -259,6 +273,7 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 			if !ok {
 				break
 			}
+			r.Rec.Count("pask_issue_queue", ip.Now(), float64(issue.Len()))
 			if pl.err != nil {
 				continue
 			}
@@ -331,7 +346,10 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 		f32.DType = tensor.F32
 		if ranked := lib.Reg.Find(&f32); len(ranked) > 0 {
 			if sub32, ok32 := pl.cache.GetSub(lp, lib, ranked[0].Inst, &f32); ok32 {
-				pl.r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, lp.Name(), start, lp.Now())
+				pl.addGetsub(instr.Name, lp.Name(), start, lp.Now(),
+					metrics.Attr{Key: "hit", Value: "true"},
+					metrics.Attr{Key: "solution", Value: sub32.Key()},
+					metrics.Attr{Key: "precision_fallback", Value: "true"})
 				pl.res.SkippedLoads++
 				pl.res.PrecisionFallbacks++
 				pl.res.Skipped = append(pl.res.Skipped, sInst)
@@ -340,12 +358,16 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 			}
 		}
 	}
-	pl.r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, lp.Name(), start, lp.Now())
 	if ok {
+		pl.addGetsub(instr.Name, lp.Name(), start, lp.Now(),
+			metrics.Attr{Key: "hit", Value: "true"},
+			metrics.Attr{Key: "solution", Value: sub.Key()})
 		pl.res.SkippedLoads++
 		pl.res.Skipped = append(pl.res.Skipped, sInst)
 		return sub, prob, true, nil
 	}
+	pl.addGetsub(instr.Name, lp.Name(), start, lp.Now(),
+		metrics.Attr{Key: "hit", Value: "false"})
 	if err := lib.EnsureLoaded(lp, sInst); err != nil {
 		if pl.opts.NoDegradation {
 			return miopen.Instance{}, prob, false, err

@@ -19,6 +19,7 @@ import (
 	"pask/internal/onnx/zoo"
 	"pask/internal/sim"
 	"pask/internal/tensor"
+	"pask/internal/trace"
 )
 
 // ModelSetup bundles one model compiled for one device and batch size,
@@ -132,6 +133,29 @@ type Process struct {
 	RT     *hip.Runtime
 	Runner *graphx.Runner
 	Tracer *metrics.Tracer
+	Rec    *trace.Recorder
+}
+
+// Record attaches rec to every observability seam of this process: the span
+// tracer (so all spans stream into the recorder's tracks), the runtime's
+// registry observer (evictions, coalesced waits, resident-bytes gauges), the
+// runner's counter hook (queue depths, cache size) and the environment's
+// dispatch hook (the "sim_event_queue" series). Passing nil detaches the
+// runner/tracer hooks and turns recording off.
+func (pr *Process) Record(rec *trace.Recorder) {
+	pr.Rec = rec
+	pr.Runner.Rec = rec
+	if rec == nil {
+		pr.Tracer.SetObserver(nil)
+		pr.RT.SetObserver(nil)
+		pr.Env.OnDispatch = nil
+		return
+	}
+	pr.Tracer.SetObserver(rec)
+	pr.RT.SetObserver(rec)
+	pr.Env.OnDispatch = func(at time.Duration, proc string, queueLen int) {
+		rec.Count("sim_event_queue", at, float64(queueLen))
+	}
 }
 
 // NewProcess creates a fresh cold process with its own environment.
@@ -190,7 +214,17 @@ func (ms *ModelSetup) AttachIn(t *Tenancy, name string) *Process {
 // excluded from the window, matching the paper's §V methodology where all
 // schemes share the serving framework's startup.
 func (ms *ModelSetup) RunScheme(scheme core.Scheme, opts core.Options) (*metrics.Report, *core.Result, error) {
+	return ms.RunSchemeTraced(scheme, opts, nil)
+}
+
+// RunSchemeTraced is RunScheme with a trace recorder attached to the whole
+// process (spans, registry events, counters). The timed window is marked
+// with "run-start"/"run-end" instants on the "run" track so exporters and
+// consumers can recover exactly the interval Report.Breakdown covers. A nil
+// rec records nothing.
+func (ms *ModelSetup) RunSchemeTraced(scheme core.Scheme, opts core.Options, rec *trace.Recorder) (*metrics.Report, *core.Result, error) {
 	pr := ms.NewProcess()
+	pr.Record(rec)
 	rep := &metrics.Report{Scheme: string(scheme), Model: ms.Spec.Abbr, Batch: ms.Batch}
 	var res *core.Result
 	var runErr error
@@ -215,6 +249,10 @@ func (ms *ModelSetup) RunScheme(scheme core.Scheme, opts core.Options) (*metrics
 		loads0 := pr.RT.Stats()
 		busy0 := pr.GPU.BusyTime()
 		t0 := p.Now()
+		rec.Instant("run", "run-start", t0,
+			metrics.Attr{Key: "scheme", Value: string(scheme)},
+			metrics.Attr{Key: "model", Value: ms.Spec.Abbr},
+			metrics.Attr{Key: "batch", Value: fmt.Sprint(ms.Batch)})
 
 		switch scheme {
 		case core.SchemeBaseline:
@@ -245,6 +283,7 @@ func (ms *ModelSetup) RunScheme(scheme core.Scheme, opts core.Options) (*metrics
 		}
 
 		t1 := p.Now()
+		rec.Instant("run", "run-end", t1)
 		rep.Total = t1 - t0
 		rep.GPUBusy = pr.GPU.BusyTime() - busy0
 		st := pr.RT.Stats()

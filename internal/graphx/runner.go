@@ -11,6 +11,7 @@ import (
 	"pask/internal/metrics"
 	"pask/internal/miopen"
 	"pask/internal/sim"
+	"pask/internal/trace"
 )
 
 // Runner binds one process's runtime, libraries and tracer together and
@@ -22,6 +23,11 @@ type Runner struct {
 	Blas   *blas.Library
 	Tracer *metrics.Tracer
 	Stream *device.Stream
+
+	// Rec, when non-nil, receives the counter series and instants the span
+	// tracer cannot express (queue depths, cache sizes, milestones). All
+	// trace.Recorder methods are nil-safe, so executors use it unguarded.
+	Rec *trace.Recorder
 
 	// paramsResident tracks models whose weights are already on the device:
 	// a warm process serving a second request does not copy them again.
@@ -37,7 +43,13 @@ func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, trac
 		paramsResident: make(map[string]bool),
 	}
 	rt.OnLoad = func(path string, start, end time.Duration, err error) {
-		tracer.Add(metrics.CatLoad, path, "loader", start, end)
+		s := metrics.Span{Cat: metrics.CatLoad, Name: path, Thread: "loader", Start: start, End: end}
+		if err == nil {
+			s.Attrs = append(s.Attrs, metrics.Attr{Key: "bytes", Value: fmt.Sprint(rt.ModuleBytes(path))})
+		} else {
+			s.Attrs = append(s.Attrs, metrics.Attr{Key: "error", Value: err.Error()})
+		}
+		tracer.AddSpan(s)
 	}
 	// The GPU carries a single kernel hook. When several tenant runners share
 	// one device (multi-tenant serving), only the first attaches its tracer:
@@ -95,7 +107,11 @@ func (r *Runner) ExecPrimitiveAs(p *sim.Proc, name string, prob *miopen.Problem,
 	if err != nil {
 		return nil, err
 	}
-	r.Tracer.Add(metrics.CatLaunch, "issue:"+name, p.Name(), start, p.Now())
+	r.Tracer.AddSpan(metrics.Span{
+		Cat: metrics.CatLaunch, Name: "issue:" + name, Thread: p.Name(),
+		Start: start, End: p.Now(),
+		Attrs: []metrics.Attr{{Key: "solution", Value: inst.Key()}},
+	})
 	return sig, nil
 }
 

@@ -101,6 +101,16 @@ type LoadFaultInjector interface {
 	ExtraLoadLatency(path string) time.Duration
 }
 
+// RegistryObserver receives the shared registry's notable moments — the seam
+// the trace recorder implements. RegistryEvent marks instants (kind is one of
+// "evict", "coalesced_wait", "negative_hit", "transient_retry", "unload",
+// "reset"); RegistrySample carries gauge samples ("hip_resident_bytes",
+// "hip_resident_modules"). Both are called with the registry's virtual time.
+type RegistryObserver interface {
+	RegistryEvent(kind, path string, at time.Duration)
+	RegistrySample(name string, at time.Duration, value float64)
+}
+
 // shared is the per-GPU registry state every view of a Runtime aliases:
 // module residency, singleflight load dedup, the negative cache, retry
 // policy, the driver lock and the aggregate stats.
@@ -115,7 +125,26 @@ type shared struct {
 	stats      Stats
 	retry      RetryPolicy
 	loadFaults LoadFaultInjector
+	obs        RegistryObserver
 	views      []*Runtime // root first, then every Attach in order
+}
+
+// observe emits an instant event to the shared observer, if any.
+func (sh *shared) observe(env *sim.Env, kind, path string) {
+	if sh.obs != nil {
+		sh.obs.RegistryEvent(kind, path, env.Now())
+	}
+}
+
+// sampleResidency emits the resident-bytes/modules gauges after any change
+// to the module map.
+func (rt *Runtime) sampleResidency() {
+	if rt.sh.obs == nil {
+		return
+	}
+	now := rt.Env.Now()
+	rt.sh.obs.RegistrySample("hip_resident_bytes", now, float64(rt.LoadedCodeBytes()))
+	rt.sh.obs.RegistrySample("hip_resident_modules", now, float64(len(rt.sh.modules)))
 }
 
 // Runtime is one view of a GPU's shared module registry. NewRuntime returns
@@ -241,6 +270,11 @@ func (rt *Runtime) SetRetry(p RetryPolicy) { rt.sh.retry = p }
 // injector.
 func (rt *Runtime) SetLoadFaults(inj LoadFaultInjector) { rt.sh.loadFaults = inj }
 
+// SetObserver installs (or with nil removes) the shared registry observer.
+// Like the retry policy it is registry-wide: every view's activity is
+// reported to the same observer.
+func (rt *Runtime) SetObserver(o RegistryObserver) { rt.sh.obs = o }
+
 // retryPolicy resolves the effective retry policy.
 func (rt *Runtime) retryPolicy() RetryPolicy {
 	if rt.sh.retry.MaxRetries < 0 {
@@ -320,11 +354,13 @@ func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	if err, ok := sh.failed[path]; ok {
 		sh.stats.NegativeHits++
 		rt.tstats.NegativeHits++
+		sh.observe(rt.Env, "negative_hit", path)
 		return nil, err
 	}
 	if st, ok := sh.inflight[path]; ok {
 		sh.stats.CoalescedWaits++
 		rt.tstats.CoalescedWaits++
+		sh.observe(rt.Env, "coalesced_wait", path)
 		st.done.Wait(p)
 		if st.err == nil {
 			rt.pin(path)
@@ -356,6 +392,9 @@ func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	}
 	sh.stats.LoadTimeTotal += p.Now() - start
 	rt.tstats.LoadTime += p.Now() - start
+	if st.err == nil {
+		rt.sampleResidency()
+	}
 	if rt.OnLoad != nil {
 		rt.OnLoad(path, start, p.Now(), st.err)
 	}
@@ -376,6 +415,7 @@ func (rt *Runtime) loadWithRetry(p *sim.Proc, path string) (*Module, error) {
 			return m, err
 		}
 		rt.sh.stats.TransientRetries++
+		rt.sh.observe(rt.Env, "transient_retry", path)
 		if backoff > 0 {
 			p.Sleep(backoff)
 			backoff *= 2
@@ -469,6 +509,7 @@ func (rt *Runtime) evictForSpace(incoming int64) {
 		}
 		delete(sh.modules, victim.Path)
 		sh.stats.Evictions++
+		sh.observe(rt.Env, "evict", victim.Path)
 	}
 }
 
@@ -527,6 +568,7 @@ func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
 	m := &Module{Path: path, Object: obj, LoadedAt: p.Now(), resident: true}
 	rt.sh.modules[path] = m
 	rt.pin(path)
+	rt.sampleResidency()
 	return m, nil
 }
 
@@ -537,6 +579,8 @@ func (rt *Runtime) Unload(path string) bool {
 		return false
 	}
 	delete(rt.sh.modules, path)
+	rt.sh.observe(rt.Env, "unload", path)
+	rt.sampleResidency()
 	return true
 }
 
@@ -549,6 +593,8 @@ func (rt *Runtime) UnloadAll() {
 			delete(rt.sh.modules, path)
 		}
 	}
+	rt.sh.observe(rt.Env, "reset", "")
+	rt.sampleResidency()
 }
 
 // Preload loads every listed module, stopping at the first error. Used to
@@ -561,6 +607,15 @@ func (rt *Runtime) Preload(p *sim.Proc, paths []string) error {
 		}
 	}
 	return nil
+}
+
+// ModuleBytes returns the container size of the resident module at path
+// (0 when the module is not resident).
+func (rt *Runtime) ModuleBytes(path string) int64 {
+	if m, ok := rt.sh.modules[path]; ok {
+		return int64(m.Object.Size())
+	}
+	return 0
 }
 
 // LoadedCodeBytes returns the total container bytes of resident modules.

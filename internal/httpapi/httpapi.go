@@ -2,6 +2,15 @@
 // service: clients ask "what would a cold start of model X under scheme Y on
 // device Z cost?" and receive the full report. It powers cmd/pasksrv and
 // gives capacity planners a programmatic what-if interface.
+//
+// The API is versioned under /v1. Run-triggering endpoints are POST with a
+// JSON body; every v1 run is recorded and its Chrome trace retrievable at
+// GET /v1/runs/{id}/trace; GET /metrics serves a Prometheus text snapshot.
+// The original unversioned GET endpoints remain as deprecated aliases: they
+// answer exactly as before but carry a Deprecation header pointing at their
+// /v1 successor. Errors use a uniform envelope
+// {"error":{"code":..., "message":...}} mapped from the stack's typed
+// sentinels.
 package httpapi
 
 import (
@@ -23,26 +32,66 @@ import (
 	"pask/internal/metrics"
 	"pask/internal/onnx/zoo"
 	"pask/internal/serving"
+	"pask/internal/trace"
 )
+
+// maxStoredRuns bounds the per-server run history (trace retention).
+const maxStoredRuns = 64
+
+// runRecord is one completed v1 run: its recorder (for the trace endpoint)
+// and its report (for /metrics).
+type runRecord struct {
+	id  string
+	rec *trace.Recorder
+	rep *metrics.Report
+}
 
 // Server is the HTTP handler set. Model setups are compiled once per
 // (model, device, batch) and cached; runs themselves are deterministic.
 type Server struct {
-	mu     sync.Mutex
-	setups map[string]*experiments.ModelSetup
-	mux    *http.ServeMux
+	mu      sync.Mutex
+	setups  map[string]*experiments.ModelSetup
+	mux     *http.ServeMux
+	runs    map[string]*runRecord
+	runIDs  []string // insertion order, oldest first
+	nextRun int
 }
 
 // New returns a ready-to-serve handler.
 func New() *Server {
-	s := &Server{setups: make(map[string]*experiments.ModelSetup), mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /models", s.handleModels)
-	s.mux.HandleFunc("GET /devices", s.handleDevices)
-	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
-	s.mux.HandleFunc("GET /coldstart", s.handleColdStart)
-	s.mux.HandleFunc("GET /serve", s.handleServe)
-	s.mux.HandleFunc("GET /multitenant", s.handleMultitenant)
+	s := &Server{
+		setups: make(map[string]*experiments.ModelSetup),
+		runs:   make(map[string]*runRecord),
+		mux:    http.NewServeMux(),
+	}
+	// v1: reads are GET, run triggers are POST with a JSON body.
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("POST /v1/coldstart", s.handleColdStartV1)
+	s.mux.HandleFunc("POST /v1/serve", s.handleServeV1)
+	s.mux.HandleFunc("POST /v1/multitenant", s.handleMultitenantV1)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Deprecated unversioned aliases: same behavior, plus a Deprecation
+	// header naming the successor route.
+	s.mux.HandleFunc("GET /models", deprecated("/v1/models", s.handleModels))
+	s.mux.HandleFunc("GET /devices", deprecated("/v1/devices", s.handleDevices))
+	s.mux.HandleFunc("GET /schemes", deprecated("/v1/schemes", s.handleSchemes))
+	s.mux.HandleFunc("GET /coldstart", deprecated("/v1/coldstart", s.handleColdStartLegacy))
+	s.mux.HandleFunc("GET /serve", deprecated("/v1/serve", s.handleServeLegacy))
+	s.mux.HandleFunc("GET /multitenant", deprecated("/v1/multitenant", s.handleMultitenantLegacy))
 	return s
+}
+
+// deprecated wraps a legacy handler with the Deprecation header (RFC 9745)
+// and a Link to the successor version.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // statusFromErr maps the stack's typed sentinels to HTTP statuses: a missed
@@ -62,6 +111,28 @@ func statusFromErr(err error) int {
 	}
 }
 
+// codeFromErr names the error for the machine-readable envelope field.
+func codeFromErr(err error, status int) string {
+	switch {
+	case errors.Is(err, serving.ErrDeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, serving.ErrInstanceCrashed):
+		return "instance_crashed"
+	case errors.Is(err, core.ErrNoUsableSolution):
+		return "no_usable_solution"
+	case errors.Is(err, codeobj.ErrNotFound):
+		return "object_not_found"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	default:
+		return "internal"
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -71,11 +142,66 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// ErrorBody is the machine-readable error in the v1 envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-// ModelInfo is one /models entry.
+// ErrorEnvelope is the uniform error response shape.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:    codeFromErr(err, status),
+		Message: err.Error(),
+	}})
+}
+
+// badRequest is the 400 shortcut every validator uses.
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeErr(w, http.StatusBadRequest, fmt.Errorf(format, args...))
+}
+
+// decodeBody parses a v1 JSON request body into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(dst); err != nil {
+		badRequest(w, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// storeRun registers a completed run and returns its id. Oldest runs are
+// dropped past maxStoredRuns.
+func (s *Server) storeRun(rec *trace.Recorder, rep *metrics.Report) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextRun++
+	id := fmt.Sprintf("run-%d", s.nextRun)
+	s.runs[id] = &runRecord{id: id, rec: rec, rep: rep}
+	s.runIDs = append(s.runIDs, id)
+	for len(s.runIDs) > maxStoredRuns {
+		delete(s.runs, s.runIDs[0])
+		s.runIDs = s.runIDs[1:]
+	}
+	return id
+}
+
+// snapshotRuns returns the stored runs oldest-first.
+func (s *Server) snapshotRuns() []*runRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*runRecord, 0, len(s.runIDs))
+	for _, id := range s.runIDs {
+		out = append(out, s.runs[id])
+	}
+	return out
+}
+
+// ModelInfo is one /v1/models entry.
 type ModelInfo struct {
 	Abbr string `json:"abbr"`
 	Name string `json:"name"`
@@ -106,7 +232,42 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// ColdStartResponse is the /coldstart reply.
+// parseScheme validates a scheme name ("" defaults to PaSK).
+func parseScheme(name string) (core.Scheme, error) {
+	if name == "" {
+		return core.SchemePaSK, nil
+	}
+	scheme := core.Scheme(name)
+	for _, sch := range core.Schemes() {
+		if sch == scheme {
+			return scheme, nil
+		}
+	}
+	return "", fmt.Errorf("unknown scheme %q", name)
+}
+
+// parseDevice validates a device name ("" defaults to MI100).
+func parseDevice(name string) (device.Profile, error) {
+	if name == "" {
+		name = "MI100"
+	}
+	prof, ok := device.ProfileByName(name)
+	if !ok {
+		return device.Profile{}, fmt.Errorf("unknown device %q", name)
+	}
+	return prof, nil
+}
+
+// ColdStartRequest is the POST /v1/coldstart body.
+type ColdStartRequest struct {
+	Model   string `json:"model"`
+	Scheme  string `json:"scheme,omitempty"`  // default "PaSK"
+	Device  string `json:"device,omitempty"`  // default "MI100"
+	Batch   int    `json:"batch,omitempty"`   // default 1
+	Compare bool   `json:"compare,omitempty"` // also run Baseline, report speedup
+}
+
+// ColdStartResponse is the coldstart reply.
 type ColdStartResponse struct {
 	Model  string `json:"model"`
 	Scheme string `json:"scheme"`
@@ -123,75 +284,172 @@ type ColdStartResponse struct {
 	Milestone     int                `json:"milestone"`
 	BreakdownMs   map[string]float64 `json:"breakdown_ms"`
 	SpeedupVsBase float64            `json:"speedup_vs_baseline,omitempty"`
+
+	// RunID and TraceURL are set on v1 runs: the recorded timeline is
+	// retrievable at TraceURL until the run ages out of the store.
+	RunID    string `json:"run_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
 }
 
-// handleColdStart runs ?model=res&scheme=PaSK&device=MI100&batch=1 and
+// runColdStart executes one validated coldstart request. rec may be nil
+// (legacy path: no recording).
+func (s *Server) runColdStart(req ColdStartRequest, rec *trace.Recorder) (*ColdStartResponse, *metrics.Report, int, error) {
+	if req.Model == "" {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("missing model")
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	prof, err := parseDevice(req.Device)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch < 1 {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("bad batch %d", batch)
+	}
+	ms, err := s.setup(req.Model, batch, prof)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	rep, _, err := ms.RunSchemeTraced(scheme, core.Options{}, rec)
+	if err != nil {
+		return nil, nil, statusFromErr(err), err
+	}
+	resp := toResponse(req.Model, string(scheme), prof.Name, batch, rep)
+	if req.Compare && scheme != core.SchemeBaseline {
+		base, _, err := ms.RunScheme(core.SchemeBaseline, core.Options{})
+		if err != nil {
+			return nil, nil, statusFromErr(err), err
+		}
+		resp.SpeedupVsBase = float64(base.Total) / float64(rep.Total)
+	}
+	return resp, rep, http.StatusOK, nil
+}
+
+// handleColdStartV1 runs a coldstart from a JSON body, records its trace and
+// returns the run id.
+func (s *Server) handleColdStartV1(w http.ResponseWriter, r *http.Request) {
+	var req ColdStartRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rec := trace.New()
+	resp, rep, status, err := s.runColdStart(req, rec)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	resp.RunID = s.storeRun(rec, rep)
+	resp.TraceURL = "/v1/runs/" + resp.RunID + "/trace"
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleColdStartLegacy runs ?model=res&scheme=PaSK&device=MI100&batch=1 and
 // reports the result; with compare=1 it also runs Baseline and reports the
 // speedup.
-func (s *Server) handleColdStart(w http.ResponseWriter, r *http.Request) {
+//
+// Deprecated: use POST /v1/coldstart.
+func (s *Server) handleColdStartLegacy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	model := q.Get("model")
-	if model == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing model parameter"))
-		return
+	req := ColdStartRequest{
+		Model:   q.Get("model"),
+		Scheme:  q.Get("scheme"),
+		Device:  q.Get("device"),
+		Compare: q.Get("compare") == "1",
 	}
-	schemeName := q.Get("scheme")
-	if schemeName == "" {
-		schemeName = string(core.SchemePaSK)
-	}
-	scheme := core.Scheme(schemeName)
-	valid := false
-	for _, sch := range core.Schemes() {
-		if sch == scheme {
-			valid = true
-		}
-	}
-	if !valid {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", schemeName))
-		return
-	}
-	devName := q.Get("device")
-	if devName == "" {
-		devName = "MI100"
-	}
-	prof, ok := device.ProfileByName(devName)
-	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", devName))
-		return
-	}
-	batch := 1
 	if b := q.Get("batch"); b != "" {
 		v, err := strconv.Atoi(b)
 		if err != nil || v < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", b))
+			badRequest(w, "bad batch %q", b)
 			return
 		}
-		batch = v
+		req.Batch = v
 	}
-
-	ms, err := s.setup(model, batch, prof)
+	resp, _, status, err := s.runColdStart(req, nil)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, status, err)
 		return
-	}
-	rep, _, err := ms.RunScheme(scheme, core.Options{})
-	if err != nil {
-		writeErr(w, statusFromErr(err), err)
-		return
-	}
-	resp := toResponse(model, schemeName, devName, batch, rep)
-	if q.Get("compare") == "1" && scheme != core.SchemeBaseline {
-		base, _, err := ms.RunScheme(core.SchemeBaseline, core.Options{})
-		if err != nil {
-			writeErr(w, statusFromErr(err), err)
-			return
-		}
-		resp.SpeedupVsBase = float64(base.Total) / float64(rep.Total)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ServeResponse is the /serve reply: the outcome of a short request trace
+// handleRunTrace serves a stored run's Chrome trace_event JSON.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := run.rec.WriteChrome(w); err != nil {
+		// Headers are gone; all we can do is drop the connection mid-body.
+		return
+	}
+}
+
+// handleMetrics serves the Prometheus text-format snapshot: per-run headline
+// gauges (load counts, reuse hits, bytes) for the latest run of each
+// (scheme, model), the latest run's counter series (resident bytes, cache
+// size, queue depths) and server totals.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	runs := s.snapshotRuns()
+	p := trace.NewPromWriter()
+	p.Declare("pask_server_runs_total", "counter", "Runs executed and retained by this server.")
+	p.Sample("pask_server_runs_total", float64(len(runs)))
+	var loads, hits int
+	latest := make(map[string]*runRecord, len(runs))
+	for _, run := range runs {
+		if run.rep == nil {
+			continue
+		}
+		loads += run.rep.Loads
+		hits += run.rep.ReuseHits
+		latest[run.rep.Scheme+"/"+run.rep.Model] = run // later wins: runs are oldest-first
+	}
+	p.Declare("pask_server_loads_total", "counter", "Code objects loaded across all retained runs.")
+	p.Sample("pask_server_loads_total", float64(loads))
+	p.Declare("pask_server_reuse_hits_total", "counter", "Cache reuse hits across all retained runs.")
+	p.Sample("pask_server_reuse_hits_total", float64(hits))
+	keys := make([]string, 0, len(latest))
+	for k := range latest {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		trace.ReportMetrics(p, latest[k].rep)
+	}
+	if n := len(runs); n > 0 {
+		runs[n-1].rec.AppendPrometheus(p)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.Flush(w)
+}
+
+// ServeRequest is the POST /v1/serve body.
+type ServeRequest struct {
+	Model    string `json:"model"`
+	Scheme   string `json:"scheme,omitempty"`
+	Device   string `json:"device,omitempty"`
+	Batch    int    `json:"batch,omitempty"`
+	Requests int    `json:"requests,omitempty"` // default 20, max 10000
+
+	// Faults is a fault-plan spec (transient=0.1,permanent=0.02,seed=7,...).
+	Faults string `json:"faults,omitempty"`
+	// Retries/DeadlineMs/ContinueOnError set the fault-tolerance policy.
+	Retries         int     `json:"retries,omitempty"`
+	DeadlineMs      float64 `json:"deadline_ms,omitempty"`
+	ContinueOnError bool    `json:"continue_on_error,omitempty"`
+}
+
+// ServeResponse is the serve reply: the outcome of a short request trace
 // served under a fault-tolerance policy, optionally against a fault plan.
 type ServeResponse struct {
 	Model    string `json:"model"`
@@ -210,110 +468,75 @@ type ServeResponse struct {
 	P50Ms          float64        `json:"p50_ms"`
 	P99Ms          float64        `json:"p99_ms"`
 	Failures       map[int]string `json:"failures,omitempty"`
+
+	RunID    string `json:"run_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
 }
 
-// handleServe runs ?model=res&requests=20 through a serving trace. Optional
-// knobs: scheme, device, batch; faults= takes a fault-plan spec
-// (transient=0.1,permanent=0.02,seed=7,...); retries=, deadline_ms= and
-// continue=1 set the fault-tolerance policy. Without continue=1 a failed
-// request aborts the trace and the typed error picks the HTTP status.
-func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	model := q.Get("model")
-	if model == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing model parameter"))
-		return
+// runServe executes one validated serve request. rec may be nil.
+func (s *Server) runServe(req ServeRequest, rec *trace.Recorder) (*ServeResponse, int, error) {
+	if req.Model == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing model")
 	}
-	schemeName := q.Get("scheme")
-	if schemeName == "" {
-		schemeName = string(core.SchemePaSK)
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
-	scheme := core.Scheme(schemeName)
-	valid := false
-	for _, sch := range core.Schemes() {
-		if sch == scheme {
-			valid = true
-		}
+	prof, err := parseDevice(req.Device)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
-	if !valid {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", schemeName))
-		return
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
 	}
-	devName := q.Get("device")
-	if devName == "" {
-		devName = "MI100"
+	if batch < 1 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad batch %d", batch)
 	}
-	prof, ok := device.ProfileByName(devName)
-	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", devName))
-		return
+	requests := req.Requests
+	if requests == 0 {
+		requests = 20
 	}
-	batch := 1
-	if b := q.Get("batch"); b != "" {
-		v, err := strconv.Atoi(b)
-		if err != nil || v < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", b))
-			return
-		}
-		batch = v
+	if requests < 1 || requests > 10000 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad requests %d", requests)
 	}
-	requests := 20
-	if n := q.Get("requests"); n != "" {
-		v, err := strconv.Atoi(n)
-		if err != nil || v < 1 || v > 10000 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad requests %q", n))
-			return
-		}
-		requests = v
+	if req.Retries < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad retries %d", req.Retries)
+	}
+	if req.DeadlineMs < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad deadline_ms %v", req.DeadlineMs)
 	}
 
-	pol := serving.Policy{Scheme: scheme}
+	pol := serving.Policy{Scheme: scheme, Rec: rec}
 	var plan faults.Plan
-	if spec := q.Get("faults"); spec != "" {
+	if req.Faults != "" {
 		var leftover map[string]string
-		var err error
-		plan, leftover, err = faults.ParsePlan(spec)
+		plan, leftover, err = faults.ParsePlan(req.Faults)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
+			return nil, http.StatusBadRequest, err
 		}
 		if len(leftover) > 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown fault keys %v", leftover))
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("unknown fault keys %v", leftover)
 		}
 		pol.Faults = faults.New(plan)
 	}
-	if v := q.Get("retries"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad retries %q", v))
-			return
-		}
-		pol.FT.MaxRetries = n
+	pol.FT.MaxRetries = req.Retries
+	if req.DeadlineMs > 0 {
+		pol.FT.Deadline = time.Duration(req.DeadlineMs * float64(time.Millisecond))
 	}
-	if v := q.Get("deadline_ms"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad deadline_ms %q", v))
-			return
-		}
-		pol.FT.Deadline = time.Duration(f * float64(time.Millisecond))
-	}
-	pol.FT.ContinueOnError = q.Get("continue") == "1"
+	pol.FT.ContinueOnError = req.ContinueOnError
 
-	ms, err := s.setup(model, batch, prof)
+	ms, err := s.setup(req.Model, batch, prof)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, http.StatusBadRequest, err
 	}
-	trace := serving.PoissonTrace(requests, 2*time.Millisecond, plan.Seed)
-	stats, err := serving.ServeTrace(ms, pol, trace, 10)
+	tr := serving.PoissonTrace(requests, 2*time.Millisecond, plan.Seed)
+	stats, err := serving.ServeTrace(ms, pol, tr, 10)
 	if err != nil {
-		writeErr(w, statusFromErr(err), err)
-		return
+		return nil, statusFromErr(err), err
 	}
 	resp := &ServeResponse{
-		Model: model, Scheme: schemeName, Device: devName, Batch: batch,
+		Model: req.Model, Scheme: string(scheme), Device: prof.Name, Batch: batch,
 		Requests:       requests,
 		Served:         len(stats.Latencies),
 		Failed:         stats.Failed,
@@ -331,10 +554,92 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 			resp.Failures[idx] = ferr.Error()
 		}
 	}
+	return resp, http.StatusOK, nil
+}
+
+// handleServeV1 runs a serving trace from a JSON body, recording its trace.
+func (s *Server) handleServeV1(w http.ResponseWriter, r *http.Request) {
+	var req ServeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rec := trace.New()
+	resp, status, err := s.runServe(req, rec)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	resp.RunID = s.storeRun(rec, nil)
+	resp.TraceURL = "/v1/runs/" + resp.RunID + "/trace"
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// MultitenantTenant is one model's row in the /multitenant reply.
+// handleServeLegacy runs ?model=res&requests=20 through a serving trace.
+// Optional knobs: scheme, device, batch; faults= takes a fault-plan spec
+// (transient=0.1,permanent=0.02,seed=7,...); retries=, deadline_ms= and
+// continue=1 set the fault-tolerance policy. Without continue=1 a failed
+// request aborts the trace and the typed error picks the HTTP status.
+//
+// Deprecated: use POST /v1/serve.
+func (s *Server) handleServeLegacy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := ServeRequest{
+		Model:           q.Get("model"),
+		Scheme:          q.Get("scheme"),
+		Device:          q.Get("device"),
+		Faults:          q.Get("faults"),
+		ContinueOnError: q.Get("continue") == "1",
+	}
+	if b := q.Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v < 1 {
+			badRequest(w, "bad batch %q", b)
+			return
+		}
+		req.Batch = v
+	}
+	if n := q.Get("requests"); n != "" {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 || v > 10000 {
+			badRequest(w, "bad requests %q", n)
+			return
+		}
+		req.Requests = v
+	}
+	if v := q.Get("retries"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			badRequest(w, "bad retries %q", v)
+			return
+		}
+		req.Retries = n
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			badRequest(w, "bad deadline_ms %q", v)
+			return
+		}
+		req.DeadlineMs = f
+	}
+	resp, status, err := s.runServe(req, nil)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MultitenantRequest is the POST /v1/multitenant body.
+type MultitenantRequest struct {
+	Models     []string `json:"models,omitempty"`
+	Device     string   `json:"device,omitempty"`
+	Batch      int      `json:"batch,omitempty"`
+	Requests   int      `json:"requests,omitempty"` // per tenant, max 1000
+	IntervalMs float64  `json:"interval_ms,omitempty"`
+}
+
+// MultitenantTenant is one model's row in the multitenant reply.
 type MultitenantTenant struct {
 	Model          string  `json:"model"`
 	IsolatedColdMs float64 `json:"isolated_cold_ms"`
@@ -351,7 +656,7 @@ type MultitenantTenantLoad struct {
 	CoalescedWaits int     `json:"coalesced_waits"`
 }
 
-// MultitenantResponse is the /multitenant reply: the isolated-vs-shared
+// MultitenantResponse is the multitenant reply: the isolated-vs-shared
 // runtime comparison over an interleaved multi-model trace.
 type MultitenantResponse struct {
 	Models    []string `json:"models"`
@@ -366,50 +671,37 @@ type MultitenantResponse struct {
 	TenantLoads    []MultitenantTenantLoad `json:"tenant_loads"`
 }
 
-// handleMultitenant runs ?models=res,vgg&requests=4 through the shared-vs-
-// isolated runtime experiment. Optional knobs: device, batch, interval_ms.
-func (s *Server) handleMultitenant(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	cfg := serving.MultitenantConfig{}
-	if v := q.Get("models"); v != "" {
-		cfg.Models = strings.Split(v, ",")
-	}
-	if v := q.Get("device"); v != "" {
-		prof, ok := device.ProfileByName(v)
+// runMultitenant executes one validated multitenant request.
+func (s *Server) runMultitenant(req MultitenantRequest) (*MultitenantResponse, int, error) {
+	cfg := serving.MultitenantConfig{Models: req.Models}
+	if req.Device != "" {
+		prof, ok := device.ProfileByName(req.Device)
 		if !ok {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown device %q", v))
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("unknown device %q", req.Device)
 		}
 		cfg.Profile = prof
 	}
-	if v := q.Get("batch"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch %q", v))
-			return
+	if req.Batch != 0 {
+		if req.Batch < 1 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad batch %d", req.Batch)
 		}
-		cfg.Batch = n
+		cfg.Batch = req.Batch
 	}
-	if v := q.Get("requests"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 || n > 1000 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad requests %q", v))
-			return
+	if req.Requests != 0 {
+		if req.Requests < 1 || req.Requests > 1000 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad requests %d", req.Requests)
 		}
-		cfg.PerTenant = n
+		cfg.PerTenant = req.Requests
 	}
-	if v := q.Get("interval_ms"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad interval_ms %q", v))
-			return
+	if req.IntervalMs != 0 {
+		if req.IntervalMs < 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad interval_ms %v", req.IntervalMs)
 		}
-		cfg.Interval = time.Duration(f * float64(time.Millisecond))
+		cfg.Interval = time.Duration(req.IntervalMs * float64(time.Millisecond))
 	}
 	_, res, err := serving.Multitenant(cfg)
 	if err != nil {
-		writeErr(w, statusFromErr(err), err)
-		return
+		return nil, statusFromErr(err), err
 	}
 	cfg.Fill()
 	resp := &MultitenantResponse{
@@ -436,6 +728,64 @@ func (s *Server) handleMultitenant(w http.ResponseWriter, r *http.Request) {
 			SharedHits:     ts.SharedHits,
 			CoalescedWaits: ts.CoalescedWaits,
 		})
+	}
+	return resp, http.StatusOK, nil
+}
+
+// handleMultitenantV1 runs the shared-vs-isolated experiment from a JSON
+// body.
+func (s *Server) handleMultitenantV1(w http.ResponseWriter, r *http.Request) {
+	var req MultitenantRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, status, err := s.runMultitenant(req)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMultitenantLegacy runs ?models=res,vgg&requests=4 through the
+// shared-vs-isolated runtime experiment. Optional knobs: device, batch,
+// interval_ms.
+//
+// Deprecated: use POST /v1/multitenant.
+func (s *Server) handleMultitenantLegacy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := MultitenantRequest{Device: q.Get("device")}
+	if v := q.Get("models"); v != "" {
+		req.Models = strings.Split(v, ",")
+	}
+	if v := q.Get("batch"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			badRequest(w, "bad batch %q", v)
+			return
+		}
+		req.Batch = n
+	}
+	if v := q.Get("requests"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			badRequest(w, "bad requests %q", v)
+			return
+		}
+		req.Requests = n
+	}
+	if v := q.Get("interval_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			badRequest(w, "bad interval_ms %q", v)
+			return
+		}
+		req.IntervalMs = f
+	}
+	resp, status, err := s.runMultitenant(req)
+	if err != nil {
+		writeErr(w, status, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pask/internal/trace"
+)
+
+// postJSON POSTs a JSON body and returns the response plus full body.
+func postJSON(t *testing.T, srv *Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// getFull GETs a path and returns the response plus full body (the legacy
+// helper reads a single chunk; traces can be larger).
+func getFull(t *testing.T, srv *Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestV1ErrorEnvelope(t *testing.T) {
+	srv := New()
+	cases := []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{`{"model":"bert"}`, http.StatusBadRequest, "bad_request"},
+		{`{}`, http.StatusBadRequest, "bad_request"},
+		{`{"model":"alex","scheme":"Turbo"}`, http.StatusBadRequest, "bad_request"},
+		{`{"model":"alex","batch":-3}`, http.StatusBadRequest, "bad_request"},
+		{`not json`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv, "/v1/coldstart", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.body, resp.StatusCode, tc.status)
+			continue
+		}
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: body %q not an error envelope: %v", tc.body, body, err)
+			continue
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.body, env.Error.Code, tc.code)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.body)
+		}
+	}
+}
+
+func TestLegacyErrorsUseEnvelopeToo(t *testing.T) {
+	srv := New()
+	resp, body := get(t, srv, "/coldstart?model=bert")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		t.Fatalf("legacy error body %q lacks the envelope", body)
+	}
+}
+
+func TestDeprecationAliases(t *testing.T) {
+	srv := New()
+	for _, path := range []string{"/models", "/devices", "/schemes"} {
+		resp, _ := getFull(t, srv, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("%s: Deprecation header %q, want \"true\"", path, got)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) ||
+			!strings.Contains(link, "successor-version") {
+			t.Errorf("%s: Link header %q does not name the successor", path, link)
+		}
+	}
+	// v1 routes carry no deprecation marker and serve the same body.
+	legacyResp, legacyBody := getFull(t, srv, "/models")
+	v1Resp, v1Body := getFull(t, srv, "/v1/models")
+	if v1Resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/models is marked deprecated")
+	}
+	if legacyResp.StatusCode != v1Resp.StatusCode || string(legacyBody) != string(v1Body) {
+		t.Error("alias and /v1 answers differ")
+	}
+}
+
+func TestV1ColdStartRecordsTrace(t *testing.T) {
+	srv := New()
+	resp, body := postJSON(t, srv, "/v1/coldstart", `{"model":"alex","scheme":"PaSK"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cs ColdStartResponse
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.RunID == "" || cs.TraceURL == "" {
+		t.Fatalf("missing run id / trace url: %+v", cs)
+	}
+	if cs.TotalMs <= 0 || cs.Loads <= 0 {
+		t.Fatalf("implausible report: %+v", cs)
+	}
+
+	traceResp, traceBody := getFull(t, srv, cs.TraceURL)
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", traceResp.StatusCode)
+	}
+	sum, err := trace.ValidateChrome(traceBody)
+	if err != nil {
+		t.Fatalf("served trace invalid: %v", err)
+	}
+	if len(sum.Tracks) < 4 {
+		t.Fatalf("served trace has tracks %v, want >= 4", sum.Tracks)
+	}
+
+	resp404, body404 := getFull(t, srv, "/v1/runs/run-999/trace")
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: status %d", resp404.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body404, &env); err != nil || env.Error.Code != "not_found" {
+		t.Fatalf("unknown-run body %q, want not_found envelope", body404)
+	}
+}
+
+func TestV1ServeEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := postJSON(t, srv, "/v1/serve", `{"model":"alex","requests":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr ServeResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Served != 5 || sr.Failed != 0 {
+		t.Fatalf("served %d / failed %d, want 5 / 0", sr.Served, sr.Failed)
+	}
+	if sr.RunID == "" || sr.TraceURL == "" {
+		t.Fatalf("missing run id / trace url: %+v", sr)
+	}
+	traceResp, traceBody := getFull(t, srv, sr.TraceURL)
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", traceResp.StatusCode)
+	}
+	if _, err := trace.ValidateChrome(traceBody); err != nil {
+		t.Fatalf("served trace invalid: %v", err)
+	}
+}
+
+func TestV1MultitenantEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := postJSON(t, srv, "/v1/multitenant", `{"requests":2,"interval_ms":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mt MultitenantResponse
+	if err := json.Unmarshal(body, &mt); err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Tenants) != 2 || !mt.StoreUntouched {
+		t.Fatalf("unexpected reply: %+v", mt)
+	}
+}
+
+func TestV1RunTriggersRejectGet(t *testing.T) {
+	srv := New()
+	for _, path := range []string{"/v1/coldstart", "/v1/serve", "/v1/multitenant"} {
+		resp, _ := getFull(t, srv, path+"?model=alex")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New()
+	// Before any run: the endpoint serves, with zero totals.
+	resp, body := getFull(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "pask_server_runs_total 0") {
+		t.Fatalf("empty-server metrics missing zero run count:\n%s", body)
+	}
+
+	if resp, body := postJSON(t, srv, "/v1/coldstart", `{"model":"alex"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("coldstart: %d %s", resp.StatusCode, body)
+	}
+	_, body = getFull(t, srv, "/metrics")
+	out := string(body)
+	for _, want := range []string{
+		"pask_server_runs_total 1",
+		`pask_run_loads{scheme="PaSK",model="alex"}`,
+		`pask_run_reuse_hits{scheme="PaSK",model="alex"}`,
+		`pask_run_loaded_bytes{scheme="PaSK",model="alex"}`,
+		"pask_hip_resident_bytes",
+		"# TYPE pask_run_loads gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, out)
+		}
+	}
+}

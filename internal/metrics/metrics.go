@@ -28,6 +28,13 @@ const (
 	CatOther     Category = "other"
 )
 
+// Attr is one key/value annotation on a span (pattern, solution, tenant,
+// byte counts). Values are pre-rendered strings so recording stays cheap.
+type Attr struct {
+	Key   string
+	Value string
+}
+
 // Span is one timed activity.
 type Span struct {
 	Cat    Category
@@ -35,20 +42,41 @@ type Span struct {
 	Start  time.Duration
 	End    time.Duration
 	Thread string
+	Attrs  []Attr
+}
+
+// SpanObserver receives every span a Tracer records, as it is recorded. The
+// trace recorder implements it to build exportable timelines; implementations
+// must tolerate concurrent calls when tracers from different goroutines share
+// one observer.
+type SpanObserver interface {
+	ObserveSpan(Span)
 }
 
 // Tracer accumulates spans during a run. The zero value is ready to use.
 type Tracer struct {
 	spans []Span
+	obs   SpanObserver
 }
+
+// SetObserver forwards every subsequently recorded span to o (nil detaches).
+func (t *Tracer) SetObserver(o SpanObserver) { t.obs = o }
 
 // Add records a span; degenerate spans (End <= Start) are kept only if they
 // carry a category (they still mark events but contribute no time).
 func (t *Tracer) Add(cat Category, name, thread string, start, end time.Duration) {
-	if end < start {
-		panic(fmt.Sprintf("metrics: span %q ends (%v) before it starts (%v)", name, end, start))
+	t.AddSpan(Span{Cat: cat, Name: name, Start: start, End: end, Thread: thread})
+}
+
+// AddSpan records a fully-formed span, attributes included.
+func (t *Tracer) AddSpan(s Span) {
+	if s.End < s.Start {
+		panic(fmt.Sprintf("metrics: span %q ends (%v) before it starts (%v)", s.Name, s.End, s.Start))
 	}
-	t.spans = append(t.spans, Span{Cat: cat, Name: name, Start: start, End: end, Thread: thread})
+	t.spans = append(t.spans, s)
+	if t.obs != nil {
+		t.obs.ObserveSpan(s)
+	}
 }
 
 // Spans returns all recorded spans.

@@ -17,7 +17,9 @@ import (
 	"pask/internal/core"
 	"pask/internal/experiments"
 	"pask/internal/faults"
+	"pask/internal/metrics"
 	"pask/internal/sim"
+	"pask/internal/trace"
 )
 
 // ErrDeadlineExceeded marks a request whose service time overran the
@@ -47,6 +49,11 @@ type Policy struct {
 	// device reset. Scenario entry points install the store hook and the
 	// find-path outage set for the duration of the run.
 	Faults *faults.Injector
+	// Rec, when set, records one span per request (track "serving", or
+	// "serving:<tenant>" on shared GPUs) with model / index / cold / error
+	// attributes, plus every instance's pipeline activity. All recorder
+	// methods are nil-safe.
+	Rec *trace.Recorder
 }
 
 // FaultTolerance is the degradation contract a serving scenario applies per
@@ -114,6 +121,9 @@ func NewInstance(env *sim.Env, ms *experiments.ModelSetup, policy Policy) *Insta
 	if policy.Faults != nil {
 		in.pr.RT.SetLoadFaults(policy.Faults)
 		policy.Faults.ArmReset(env, in.pr.RT.UnloadAll)
+	}
+	if policy.Rec != nil {
+		in.pr.Record(policy.Rec)
 	}
 	return in
 }
@@ -401,10 +411,34 @@ func (s *ftServer) harvest(prev *core.Result) {
 	}
 }
 
-// serve executes request idx under the policy's fault tolerance and records
-// the outcome in the stats. The returned error is the request's final typed
-// error after retries, recovery and the deadline check.
+// serve executes request idx under the policy's fault tolerance, records the
+// outcome in the stats and emits the request's span. The returned error is
+// the request's final typed error after retries, recovery and the deadline
+// check.
 func (s *ftServer) serve(p *sim.Proc, idx int) (time.Duration, error) {
+	start := p.Now()
+	wasCold := !s.inst.Warm()
+	lat, err := s.serveChecked(p, idx)
+	if s.policy.Rec != nil {
+		track := "serving"
+		attrs := []metrics.Attr{
+			{Key: "model", Value: s.ms.Model.Name},
+			{Key: "request", Value: fmt.Sprint(idx)},
+			{Key: "cold", Value: fmt.Sprint(wasCold)},
+		}
+		if s.tenant != "" {
+			track = "serving:" + s.tenant
+			attrs = append(attrs, metrics.Attr{Key: "tenant", Value: s.tenant})
+		}
+		if err != nil {
+			attrs = append(attrs, metrics.Attr{Key: "error", Value: err.Error()})
+		}
+		s.policy.Rec.Span(track, metrics.CatOther, fmt.Sprintf("request-%d", idx), start, p.Now(), attrs...)
+	}
+	return lat, err
+}
+
+func (s *ftServer) serveChecked(p *sim.Proc, idx int) (time.Duration, error) {
 	if !s.policy.FT.enabled() {
 		prev := s.inst.lastResult
 		lat, err := s.inst.Serve(p)

@@ -50,6 +50,9 @@ func NewTenantInstance(host *GPUHost, ms *experiments.ModelSetup, policy Policy,
 		in.pr.RT.SetLoadFaults(policy.Faults)
 		policy.Faults.ArmReset(host.Env, host.Root().UnloadAll)
 	}
+	if policy.Rec != nil {
+		in.pr.Record(policy.Rec)
+	}
 	return in
 }
 

@@ -62,6 +62,12 @@ type Env struct {
 	procs   map[*Proc]struct{}
 	running bool
 	stopped bool
+
+	// OnDispatch, when set, observes every event-loop dispatch: the virtual
+	// time, the process about to resume and the number of events still
+	// queued. The tracing layer samples queue depth through it. It runs on
+	// the scheduler goroutine and must not call back into the environment.
+	OnDispatch func(at time.Duration, proc string, queueLen int)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -225,6 +231,9 @@ func (e *Env) run(horizon time.Duration) error {
 			continue
 		}
 		e.now = ev.at
+		if e.OnDispatch != nil {
+			e.OnDispatch(ev.at, ev.p.name, e.q.Len())
+		}
 		ev.p.resume <- struct{}{}
 		m := <-e.yield
 		if m.done {

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format. Timestamps and
+// durations are microseconds; ph selects the event kind: "M" metadata, "X"
+// complete span, "i" instant, "C" counter.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+const chromePid = 1
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChrome exports the recording as Chrome trace_event JSON, loadable in
+// chrome://tracing and https://ui.perfetto.dev. The output is deterministic
+// for a given recording: tracks are ordered lexicographically and events are
+// sorted by timestamp with stable tie-breaks, so golden files are meaningful.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		return errors.New("trace: nil recorder")
+	}
+	spans := r.Spans()
+	instants := r.Instants()
+	counters := r.Counters()
+
+	tracks := r.Tracks()
+	slices.Sort(tracks)
+	tid := make(map[string]int, len(tracks))
+	for i, name := range tracks {
+		tid[name] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, 2+len(tracks)+len(spans)+len(instants))
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "pask"},
+	})
+	for _, name := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid[name],
+			Args: map[string]any{"name": name},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid[name],
+			Args: map[string]any{"sort_index": tid[name]},
+		})
+	}
+
+	body := make([]chromeEvent, 0, len(spans)+len(instants))
+	for _, s := range spans {
+		dur := usec(s.End - s.Start)
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X", Cat: string(s.Cat),
+			Ts: usec(s.Start), Dur: &dur,
+			Pid: chromePid, Tid: tid[s.Thread],
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		body = append(body, ev)
+	}
+	for _, in := range instants {
+		ev := chromeEvent{
+			Name: in.Name, Ph: "i",
+			Ts:  usec(in.At),
+			Pid: chromePid, Tid: tid[in.Track], S: "t",
+		}
+		if len(in.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(in.Attrs))
+			for _, a := range in.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		body = append(body, ev)
+	}
+	slices.SortStableFunc(body, func(a, b chromeEvent) int {
+		if a.Ts != b.Ts {
+			if a.Ts < b.Ts {
+				return -1
+			}
+			return 1
+		}
+		if a.Tid != b.Tid {
+			return a.Tid - b.Tid
+		}
+		return strings.Compare(a.Name, b.Name)
+	})
+	events = append(events, body...)
+
+	// Counter events last, grouped by series then time, so the numeric
+	// tracks render under the thread tracks.
+	for _, c := range counters {
+		for _, s := range c.Samples {
+			events = append(events, chromeEvent{
+				Name: c.Name, Ph: "C",
+				Ts:  usec(s.At),
+				Pid: chromePid, Tid: 0,
+				Args: map[string]any{"value": s.Value},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// ChromeSummary reports what a validated trace contains.
+type ChromeSummary struct {
+	Events   int      // total trace events
+	Spans    int      // "X" complete events
+	Counters int      // distinct counter series
+	Tracks   []string // named threads, in tid order
+	MaxTs    float64  // latest timestamp seen (microseconds)
+}
+
+// ValidateChrome parses Chrome trace_event JSON produced by WriteChrome and
+// checks the structural invariants golden consumers rely on: valid JSON, a
+// non-empty event list, named threads, non-negative durations, and
+// monotonically non-decreasing timestamps per event kind.
+func ValidateChrome(data []byte) (ChromeSummary, error) {
+	var sum ChromeSummary
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return sum, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return sum, errors.New("trace: no traceEvents")
+	}
+	sum.Events = len(f.TraceEvents)
+	counterNames := map[string]bool{}
+	lastTs := map[string]float64{} // per-ph monotonicity
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				if name == "" {
+					return sum, fmt.Errorf("trace: event %d: thread_name without a name", i)
+				}
+				sum.Tracks = append(sum.Tracks, name)
+			}
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return sum, fmt.Errorf("trace: event %d (%q): missing or negative dur", i, ev.Name)
+			}
+			if ev.Ts < 0 {
+				return sum, fmt.Errorf("trace: event %d (%q): negative ts", i, ev.Name)
+			}
+			if ev.Ts < lastTs["X"] {
+				return sum, fmt.Errorf("trace: event %d (%q): ts %v before previous span ts %v", i, ev.Name, ev.Ts, lastTs["X"])
+			}
+			lastTs["X"] = ev.Ts
+			sum.Spans++
+		case "i":
+			if ev.Ts < lastTs["i"] {
+				return sum, fmt.Errorf("trace: event %d (%q): instant ts regressed", i, ev.Name)
+			}
+			lastTs["i"] = ev.Ts
+		case "C":
+			if _, ok := ev.Args["value"]; !ok {
+				return sum, fmt.Errorf("trace: event %d (%q): counter without value", i, ev.Name)
+			}
+			counterNames[ev.Name] = true
+		default:
+			return sum, fmt.Errorf("trace: event %d (%q): unknown ph %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts > sum.MaxTs {
+			sum.MaxTs = ev.Ts
+		}
+	}
+	if len(sum.Tracks) == 0 {
+		return sum, errors.New("trace: no thread_name metadata")
+	}
+	sum.Counters = len(counterNames)
+	return sum, nil
+}

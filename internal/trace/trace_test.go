@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pask/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const ms = time.Millisecond
+
+// sampleRecorder builds a small deterministic timeline exercising every
+// recording path: spans via both entry points, instants, counters with
+// dedup, and registry events.
+func sampleRecorder() *Recorder {
+	r := New()
+	r.ObserveSpan(metrics.Span{
+		Cat: metrics.CatParse, Name: "parse:conv1", Thread: "pask-parser",
+		Start: 0, End: 2 * ms,
+	})
+	r.Span("pask-loader", metrics.CatLoad, "load:conv1.hsaco", 1*ms, 4*ms,
+		metrics.Attr{Key: "bytes", Value: "1048576"})
+	r.Span("gpu", metrics.CatExec, "conv1", 4*ms, 9*ms,
+		metrics.Attr{Key: "solution", Value: "ConvAsm1x1U"})
+	r.Instant("run", "run-start", 0,
+		metrics.Attr{Key: "scheme", Value: "PaSK"},
+		metrics.Attr{Key: "model", Value: "res"})
+	r.Instant("run", "run-end", 9*ms)
+	r.Count("pask_parsed_queue", 0, 0)
+	r.Count("pask_parsed_queue", 1*ms, 1)
+	r.Count("pask_parsed_queue", 2*ms, 1) // dedup: same value, dropped
+	r.Count("pask_parsed_queue", 3*ms, 0)
+	r.RegistryEvent("evict", "lib/conv0.hsaco", 5*ms)
+	r.RegistrySample("hip_resident_bytes", 5*ms, 2097152)
+	return r
+}
+
+func TestRecorderAccessors(t *testing.T) {
+	r := sampleRecorder()
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("Spans: got %d, want 3", got)
+	}
+	// Tracks are reported in first-seen order.
+	want := []string{"pask-parser", "pask-loader", "gpu", "run", "registry"}
+	got := r.Tracks()
+	if len(got) != len(want) {
+		t.Fatalf("Tracks: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tracks[%d]: got %q, want %q", i, got[i], want[i])
+		}
+	}
+	if v, ok := r.CounterLast("hip_resident_bytes"); !ok || v != 2097152 {
+		t.Fatalf("CounterLast(hip_resident_bytes): got %v, %v", v, ok)
+	}
+	// Consecutive duplicate counter values collapse.
+	for _, c := range r.Counters() {
+		if c.Name != "pask_parsed_queue" {
+			continue
+		}
+		if len(c.Samples) != 3 {
+			t.Fatalf("pask_parsed_queue samples: got %d, want 3 (dedup)", len(c.Samples))
+		}
+	}
+	if d := r.CategoryTotal(metrics.CatLoad); d != 3*ms {
+		t.Fatalf("CategoryTotal(load): got %v, want 3ms", d)
+	}
+	if at, ok := r.FindInstant("run", "run-end"); !ok || at != 9*ms {
+		t.Fatalf("FindInstant(run-end): got %v, %v", at, ok)
+	}
+	if t0, t1 := r.Window(); t0 != 0 || t1 != 9*ms {
+		t.Fatalf("Window: got [%v, %v], want [0, 9ms]", t0, t1)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.ObserveSpan(metrics.Span{Cat: metrics.CatExec, Start: 0, End: ms})
+	r.Span("t", metrics.CatExec, "n", 0, ms)
+	r.Instant("t", "n", 0)
+	r.Count("c", 0, 1)
+	r.RegistryEvent("evict", "p", 0)
+	r.RegistrySample("s", 0, 1)
+	if r.Spans() != nil || r.Tracks() != nil || r.Counters() != nil {
+		t.Fatal("nil recorder must report empty state")
+	}
+	if _, ok := r.CounterLast("c"); ok {
+		t.Fatal("nil recorder must have no counters")
+	}
+}
+
+// TestChromeGolden pins the exporter's byte-exact output: stable track/tid
+// assignment, stable event ordering, stable JSON shape. Regenerate with
+// go test ./internal/trace -run TestChromeGolden -update.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateChrome rejected our own export: %v", err)
+	}
+	if sum.Spans != 3 {
+		t.Fatalf("summary spans: got %d, want 3", sum.Spans)
+	}
+	if sum.Counters != 2 {
+		t.Fatalf("summary counter series: got %d, want 2", sum.Counters)
+	}
+	if len(sum.Tracks) != 5 {
+		t.Fatalf("summary tracks: got %v, want 5 names", sum.Tracks)
+	}
+	if sum.MaxTs != 9000 { // run-end at 9ms = 9000us
+		t.Fatalf("summary MaxTs: got %v, want 9000", sum.MaxTs)
+	}
+}
+
+func TestValidateChromeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"invalid json", "{", "invalid JSON"},
+		{"empty", `{"traceEvents":[]}`, "no traceEvents"},
+		{"unknown ph", `{"traceEvents":[{"name":"t","ph":"Z","ts":0,"pid":1,"tid":1}]}`, "unknown ph"},
+		{"missing dur", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`, "missing or negative dur"},
+		{"negative dur", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]}`, "missing or negative dur"},
+		{"non-monotonic", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},
+			{"name":"b","ph":"X","ts":4,"dur":1,"pid":1,"tid":1}]}`, "before previous"},
+		{"no threads", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`, "no thread_name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateChrome([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("ValidateChrome accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRecorderConcurrency exercises the recorder from many goroutines; run
+// with -race to assert the locking holds.
+func TestRecorderConcurrency(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			track := []string{"pask-parser", "pask-loader", "pask-issuer", "gpu"}[g%4]
+			for i := 0; i < 200; i++ {
+				at := time.Duration(i) * time.Microsecond
+				r.Span(track, metrics.CatExec, "k", at, at+time.Microsecond)
+				r.Count("q", at, float64(i%3))
+				r.Instant(track, "tick", at)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != 8*200 {
+		t.Fatalf("spans: got %d, want %d", got, 8*200)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("concurrent-built trace invalid: %v", err)
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	r := sampleRecorder()
+	p := NewPromWriter()
+	r.AppendPrometheus(p)
+	ReportMetrics(p, &metrics.Report{
+		Scheme: "PaSK", Model: "res", Batch: 1,
+		Total: 9 * ms, GPUBusy: 5 * ms,
+		Loads: 1, LoadedBytes: 1048576,
+		ReuseQueries: 46, ReuseHits: 46, SkippedLoads: 46,
+	})
+	var buf bytes.Buffer
+	if err := p.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pask_span_seconds_total counter",
+		`pask_span_seconds_total{track="pask-loader",category="load"} 0.003`,
+		`pask_spans_total{track="gpu",category="exec"} 1`,
+		`pask_events_total{track="registry",name="evict"} 1`,
+		"pask_hip_resident_bytes 2097152",
+		`pask_run_loads{scheme="PaSK",model="res"} 1`,
+		`pask_run_loaded_bytes{scheme="PaSK",model="res"} 1048576`,
+		`pask_run_reuse_hits{scheme="PaSK",model="res"} 46`,
+		`pask_run_total_seconds{scheme="PaSK",model="res"} 0.009`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Text-format invariant: every # HELP is immediately followed by # TYPE,
+	// and samples for a metric follow its header block.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "# HELP") {
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE") {
+				t.Fatalf("HELP line %d not followed by TYPE:\n%s", i, out)
+			}
+		}
+	}
+}
+
+func TestPromWriterSortsAndEscapes(t *testing.T) {
+	p := NewPromWriter()
+	p.Declare("zeta", "gauge", "last")
+	p.Sample("zeta", 1)
+	p.Declare("alpha", "gauge", "first")
+	p.Sample("alpha", 2.5, [2]string{"path", `a"b\c` + "\n"})
+	var buf bytes.Buffer
+	if err := p.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("metrics not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, `alpha{path="a\"b\\c\n"} 2.5`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}

@@ -17,7 +17,9 @@
 package pask
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"pask/internal/core"
@@ -26,6 +28,7 @@ import (
 	"pask/internal/metrics"
 	"pask/internal/onnx/zoo"
 	"pask/internal/tensor"
+	"pask/internal/trace"
 )
 
 // Scheme selects the execution strategy for a cold start.
@@ -71,7 +74,49 @@ type Config struct {
 	DType string
 }
 
+// Option configures one RunScheme call. Options are built with the With*
+// constructors:
+//
+//	rep, err := sys.RunScheme(pask.PaSK, pask.WithBlasScope(), pask.WithTrace(f))
+type Option interface {
+	applyOption(*runConfig)
+}
+
+// runConfig is the resolved per-run configuration all Options write into.
+type runConfig struct {
+	opts   core.Options
+	traceW io.Writer
+}
+
+type optionFunc func(*runConfig)
+
+func (f optionFunc) applyOption(c *runConfig) { f(c) }
+
+// WithBlasScope extends PASK's management to the BLAS library's GEMM kernels
+// (paper §VI "Library supporting"; helps transformer models).
+func WithBlasScope() Option {
+	return optionFunc(func(c *runConfig) { c.opts.BlasScope = true })
+}
+
+// WithPrecisionPreference serves reduced-precision layers with resident
+// full-precision kernels instead of loading low-precision specialists
+// (paper §VI "More factors for kernel specialization").
+func WithPrecisionPreference() Option {
+	return optionFunc(func(c *runConfig) { c.opts.PrecisionPreference = true })
+}
+
+// WithTrace records the run's full timeline — per-thread spans, counters,
+// registry events — and writes it to w as Chrome trace_event JSON (loadable
+// in chrome://tracing and ui.perfetto.dev) when the run completes.
+func WithTrace(w io.Writer) Option {
+	return optionFunc(func(c *runConfig) { c.traceW = w })
+}
+
 // Options toggles the paper's §VI extensions on PASK runs.
+//
+// Deprecated: pass functional options instead — Options{BlasScope: true}
+// becomes WithBlasScope(). The struct remains an Option so existing
+// RunScheme(scheme, Options{...}) calls keep compiling.
 type Options struct {
 	// BlasScope extends PASK's management to the BLAS library's GEMM
 	// kernels (helps transformer models).
@@ -79,6 +124,35 @@ type Options struct {
 	// PrecisionPreference serves reduced-precision layers with resident
 	// full-precision kernels instead of loading low-precision specialists.
 	PrecisionPreference bool
+}
+
+func (o Options) applyOption(c *runConfig) {
+	c.opts.BlasScope = c.opts.BlasScope || o.BlasScope
+	c.opts.PrecisionPreference = c.opts.PrecisionPreference || o.PrecisionPreference
+}
+
+// Category labels one kind of activity in a Report.Breakdown. It is the
+// metrics package's category type re-exported, so the constants below and
+// plain string literals both index the map.
+type Category = metrics.Category
+
+// The breakdown categories (paper Fig 1b / Fig 7).
+const (
+	CatParse     = metrics.CatParse     // model deserialization
+	CatLoad      = metrics.CatLoad      // code-object loading
+	CatLaunch    = metrics.CatLaunch    // kernel submission
+	CatExec      = metrics.CatExec      // GPU computing
+	CatCopy      = metrics.CatCopy      // host<->device parameter transfer
+	CatOverhead  = metrics.CatOverhead  // PASK cache queries / applicability checks
+	CatSync      = metrics.CatSync      // host-device synchronization
+	CatTransform = metrics.CatTransform // layout interchange kernels
+	CatRecovery  = metrics.CatRecovery  // fault handling
+	CatOther     = metrics.CatOther
+)
+
+// Categories returns the breakdown categories in attribution-priority order.
+func Categories() []Category {
+	return append(metrics.DefaultPriority(), metrics.CatOther)
 }
 
 // Report summarizes one cold-start run.
@@ -103,8 +177,10 @@ type Report struct {
 	SkippedLoads int
 	Milestone    int
 
-	// Breakdown attributes every instant of the run to one category.
-	Breakdown map[string]time.Duration
+	// Breakdown attributes every instant of the run to one Category. The
+	// key type is an alias of the metrics category, so both the exported
+	// constants (CatLoad, CatExec, ...) and string literals index it.
+	Breakdown map[Category]time.Duration
 }
 
 // Seconds returns the total wall time in seconds.
@@ -159,30 +235,39 @@ type System struct {
 
 // NewSystem compiles the configured model for the configured device and
 // materializes every code object it can load.
+// NewSystem validates the whole Config before acting on any field —
+// Batch < 0 is rejected before the Batch == 0 default applies — and reports
+// every invalid field at once via errors.Join.
 func NewSystem(cfg Config) (*System, error) {
+	var errs []error
 	if cfg.Model == "" {
-		return nil, fmt.Errorf("pask: Config.Model is required (one of %v)", abbrs())
-	}
-	if cfg.Batch == 0 {
-		cfg.Batch = 1
+		errs = append(errs, fmt.Errorf("pask: Config.Model is required (one of %v)", abbrs()))
+	} else if _, err := zoo.ByAbbr(cfg.Model); err != nil {
+		errs = append(errs, fmt.Errorf("pask: %w", err))
 	}
 	if cfg.Batch < 0 {
-		return nil, fmt.Errorf("pask: invalid batch %d", cfg.Batch)
+		errs = append(errs, fmt.Errorf("pask: invalid batch %d", cfg.Batch))
 	}
 	if cfg.Device == "" {
 		cfg.Device = "MI100"
 	}
 	prof, ok := device.ProfileByName(cfg.Device)
 	if !ok {
-		return nil, fmt.Errorf("pask: unknown device %q (one of %v)", cfg.Device, Devices())
+		errs = append(errs, fmt.Errorf("pask: unknown device %q (one of %v)", cfg.Device, Devices()))
 	}
 	dt := tensor.F32
 	if cfg.DType != "" {
 		var err error
 		dt, err = tensor.ParseDType(cfg.DType)
 		if err != nil {
-			return nil, fmt.Errorf("pask: %w", err)
+			errs = append(errs, fmt.Errorf("pask: %w", err))
 		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 1
 	}
 	ms, err := experiments.PrepareModelTyped(cfg.Model, cfg.Batch, prof, dt)
 	if err != nil {
@@ -201,15 +286,28 @@ func (s *System) Instructions() int { return s.ms.Model.NumInstructions() }
 func (s *System) PrimitiveLayers() int { return s.ms.Model.DistinctPrimitiveProblems() }
 
 // RunScheme executes one cold start under the scheme in a fresh simulated
-// process and returns its report.
-func (s *System) RunScheme(scheme Scheme, opts ...Options) (*Report, error) {
-	var o core.Options
-	if len(opts) > 0 {
-		o = core.Options{BlasScope: opts[0].BlasScope, PrecisionPreference: opts[0].PrecisionPreference}
+// process and returns its report. Options configure the run:
+//
+//	rep, err := sys.RunScheme(pask.PaSK, pask.WithBlasScope())
+//
+// The deprecated Options struct is still accepted in the same position.
+func (s *System) RunScheme(scheme Scheme, opts ...Option) (*Report, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o.applyOption(&rc)
 	}
-	rep, _, err := s.ms.RunScheme(core.Scheme(scheme), o)
+	var rec *trace.Recorder
+	if rc.traceW != nil {
+		rec = trace.New()
+	}
+	rep, _, err := s.ms.RunSchemeTraced(core.Scheme(scheme), rc.opts, rec)
 	if err != nil {
 		return nil, err
+	}
+	if rc.traceW != nil {
+		if werr := rec.WriteChrome(rc.traceW); werr != nil {
+			return nil, fmt.Errorf("pask: writing trace: %w", werr)
+		}
 	}
 	return convertReport(scheme, rep), nil
 }
@@ -223,9 +321,9 @@ func (s *System) ColdHot() (cold, hot time.Duration, err error) {
 }
 
 func convertReport(scheme Scheme, rep *metrics.Report) *Report {
-	bd := make(map[string]time.Duration, len(rep.Breakdown))
+	bd := make(map[Category]time.Duration, len(rep.Breakdown))
 	for k, v := range rep.Breakdown {
-		bd[string(k)] = v
+		bd[k] = v
 	}
 	return &Report{
 		Scheme:       scheme,
