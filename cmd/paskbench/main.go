@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|coldstart|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant]
+//	paskbench [-exp all|coldstart|warmup|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
-//	          [-trace out.json] [-validate-trace file.json]
+//	          [-trace out.json] [-validate-trace file.json] [-out BENCH_warmup.json]
 //
 // -exp multitenant compares isolated per-instance GPU runtimes against one
 // shared refcounted runtime and cross-model cache per GPU; -quick shrinks the
@@ -20,9 +20,14 @@
 // with -trace it exports the run's full timeline as Chrome trace_event JSON,
 // loadable in ui.perfetto.dev. -validate-trace checks such a file's structural
 // invariants and prints its summary, then exits.
+// -exp warmup compares cold, recording and profile-replay (warmed) cold
+// starts across every device profile and writes the comparison to -out
+// (default BENCH_warmup.json); with -trace it also exports the first warmed
+// run's timeline. -quick shrinks it to the CI smoke size (model alex).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,13 +45,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, coldstart, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant)")
+	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
-	traceOut := flag.String("trace", "", "with -exp coldstart: write the run's Chrome trace_event JSON here")
+	traceOut := flag.String("trace", "", "with -exp coldstart or warmup: write the run's Chrome trace_event JSON here")
+	benchOut := flag.String("out", "BENCH_warmup.json", "with -exp warmup: write the machine-readable comparison here")
 	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace JSON file, print its summary and exit")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -86,6 +92,21 @@ func main() {
 		}
 		if err := runColdstart(model, batches[0], *traceOut); err != nil {
 			fatal(fmt.Errorf("coldstart: %w", err))
+		}
+		return
+	}
+
+	// warmup is a single cross-device comparison, not part of -exp all.
+	if *exp == "warmup" {
+		model := "res"
+		if *quick {
+			model = "alex"
+		}
+		if *modelsFlag != "" {
+			model = models[0]
+		}
+		if err := runWarmup(model, batches[0], *benchOut, *traceOut); err != nil {
+			fatal(fmt.Errorf("warmup: %w", err))
 		}
 		return
 	}
@@ -281,6 +302,47 @@ func runColdstart(model string, batch int, traceOut string) error {
 			return err
 		}
 		fmt.Printf("\ntrace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// runWarmup runs the cold/recorded/warmed comparison across every device
+// profile, prints the table and writes the machine-readable bench payload.
+func runWarmup(model string, batch int, out, traceOut string) error {
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+	}
+	tbl, bench, err := experiments.WarmupExperiment(model, batch, rec)
+	if err != nil {
+		return err
+	}
+	if err := show(tbl, nil); err != nil {
+		return err
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbench payload written to %s\n", out)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
 	}
 	return nil
 }

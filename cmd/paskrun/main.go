@@ -6,10 +6,16 @@
 //
 //	paskrun -model res -scheme PaSK [-device MI100] [-batch 1] [-width 100]
 //	        [-faults "transient=0.1,permanent=0.02,seed=7"] [-trace out.json]
+//	        [-record-profile res.profile.json] [-warmup res.profile.json]
 //
 // With -faults the run faces a seeded fault plan (keys: transient, permanent,
 // spike, disable, seed, burst, spike_ms, reset_ms) and the report gains the
 // retry, negative-cache and degradation-ladder counters.
+//
+// With -record-profile the run's observed load order is written as a versioned
+// warmup manifest; -warmup replays such a manifest through a prefetcher that
+// overlaps context init. A missing, corrupt or stale manifest never fails the
+// run — it degrades to a plain cold start.
 //
 // With -trace the run's full timeline — per-thread spans, counter series,
 // registry events — is written as Chrome trace_event JSON, loadable in
@@ -32,6 +38,7 @@ import (
 	"pask/internal/serving"
 	"pask/internal/sim"
 	"pask/internal/trace"
+	"pask/internal/warmup"
 )
 
 func main() {
@@ -43,6 +50,8 @@ func main() {
 	blasScope := flag.Bool("blas-scope", false, "enable the BLAS-scope extension")
 	faultsFlag := flag.String("faults", "", "fault plan, e.g. \"transient=0.1,permanent=0.02,seed=7\"")
 	traceOut := flag.String("trace", "", "write the run's Chrome trace_event JSON to this file")
+	recordPath := flag.String("record-profile", "", "write the run's observed load profile as a warmup manifest")
+	warmupPath := flag.String("warmup", "", "replay a recorded warmup manifest before the run (corrupt/stale manifests are ignored)")
 	flag.Parse()
 
 	prof, ok := device.ProfileByName(*devName)
@@ -90,9 +99,26 @@ func main() {
 		rec = trace.New()
 		pr.Record(rec)
 	}
+	// Warmup: replay a recorded manifest concurrently with context init, and
+	// observe this run's own load order when recording or accounting replay.
+	var wrec *warmup.Recorder
+	if *recordPath != "" || *warmupPath != "" {
+		wrec = warmup.NewRecorder()
+	}
+	var pf *warmup.Prefetcher
+	if *warmupPath != "" {
+		// Missing or corrupt manifest: start cold, never fail.
+		if man, merr := warmup.ReadFile(*warmupPath); merr == nil && len(man.Entries) > 0 {
+			pf = warmup.Start(pr.Env, pr.RT, man, rec)
+		}
+	}
+	opts := core.Options{BlasScope: *blasScope}
+	if wrec != nil {
+		opts.Profile = wrec
+	}
 	var spans []metrics.Span
 	var window [2]time.Duration
-	rep, res, err := runWithSpans(ms, pr, scheme, core.Options{BlasScope: *blasScope}, rec, &spans, &window)
+	rep, res, err := runWithSpans(ms, pr, scheme, opts, rec, &spans, &window)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,6 +157,20 @@ func main() {
 			fmt.Printf("degradation:     %d load failures, %d forced reuse, %d ladder fallbacks, %d elided transforms\n",
 				res.LoadFailures, res.ForcedReuse, res.LadderFallbacks, res.ElidedXformFailures)
 		}
+	}
+
+	if pf != nil {
+		st := pf.Account(wrec.Paths(), pr.Env.Now())
+		fmt.Printf("\nwarmup replay:   %d/%d prefetched (%d coalesced), %d hits, %d misses, %d wasted, %d stale\n",
+			st.Loaded+st.Coalesced, st.Entries, st.Coalesced, st.Hits, st.Misses, st.Wasted, st.Stale)
+	}
+	if *recordPath != "" {
+		man := wrec.Manifest(ms.Store, ms.Spec.Abbr, *batch, prof)
+		if werr := warmup.WriteFile(*recordPath, man); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("\nload profile (%d objects, %d substitutions) written to %s\n",
+			len(man.Entries), len(man.Substitutions), *recordPath)
 	}
 
 	fmt.Printf("\ntimeline:\n%s", metrics.Timeline(spans, window[0], window[1], *width))

@@ -51,6 +51,25 @@ type Options struct {
 	// failure aborts the run instead of engaging the recovery ladder
 	// (forced reuse, generality fallback, transform elision).
 	NoDegradation bool
+	// Profile, when non-nil, receives the loader thread's realized
+	// decisions — which code objects the run committed to and where the
+	// executed solution differed from the statically selected one. The
+	// warmup package's Recorder implements it to build load profiles for
+	// cross-run prefetching.
+	Profile ProfileObserver
+}
+
+// ProfileObserver is the seam profile recording hangs off the interleaved
+// executor's loading thread. Implementations must be cheap and must not
+// touch simulated time: observations happen inline on the loader.
+type ProfileObserver interface {
+	// ObserveObject reports a code object the run committed to using, with
+	// its kind ("solution", "transform", "builtin" or "blas").
+	ObserveObject(kind, path string)
+	// ObserveDecision reports one primitive layer's outcome: the statically
+	// selected solution key, the key that actually ran, and whether they
+	// differ (a reuse or degradation substitution).
+	ObserveDecision(layer, pattern, selected, chosen string, substituted bool)
 }
 
 // Result carries PASK's run statistics.
@@ -115,6 +134,28 @@ func (pl *pipeline) fail(err error) {
 	}
 }
 
+// observeObject forwards one committed code object to the profile observer.
+func (pl *pipeline) observeObject(kind, path string) {
+	if pl.opts.Profile != nil {
+		pl.opts.Profile.ObserveObject(kind, path)
+	}
+}
+
+// observeDecision reports a primitive layer's realized decision. The
+// statically selected key is recomputed from the registry — a host-side
+// lookup that costs nothing in virtual time.
+func (pl *pipeline) observeDecision(instr *graphx.Instruction, chosen miopen.Instance, usedSub bool) {
+	if pl.opts.Profile == nil {
+		return
+	}
+	selected := ""
+	if sel, err := instr.Instance(pl.r.Lib.Reg); err == nil {
+		selected = sel.Path()
+	}
+	pl.opts.Profile.ObserveDecision(instr.Name, string(chosen.CacheKey()), selected, chosen.Path(),
+		usedSub && selected != chosen.Path())
+}
+
 // addGetsub records one cache-query span with its outcome attributes — the
 // per-pattern visibility Fig 9's lookup analysis needs.
 func (pl *pipeline) addGetsub(name, thread string, start, end time.Duration, attrs ...metrics.Attr) {
@@ -177,6 +218,7 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 				return
 			}
 			curLayout = tr.XformDst
+			pl.observeObject("transform", tr.XformPath)
 			issue.Send(sp, issueItem{instr: tr})
 		}
 		flushPending := func(sp *sim.Proc) {
@@ -213,6 +255,7 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 					pl.fail(err)
 					continue
 				}
+				pl.observeObject("builtin", graphx.BuiltinObjectPath)
 				issue.Send(lp, issueItem{instr: instr})
 
 			case graphx.KindGemm:
@@ -223,6 +266,7 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 					if ok {
 						item.blasInst = inst
 						item.hasBlas = true
+						pl.observeObject("blas", inst.Path())
 					}
 				}
 				issue.Send(lp, item)
@@ -260,6 +304,8 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 				if !usedSub && !agnostic {
 					curLayout = pref
 				}
+				pl.observeObject("solution", inst.Path())
+				pl.observeDecision(instr, inst, usedSub)
 				issue.Send(lp, issueItem{instr: instr, inst: inst, prob: prob})
 			}
 		}

@@ -221,90 +221,15 @@ func (ms *ModelSetup) RunScheme(scheme core.Scheme, opts core.Options) (*metrics
 // process (spans, registry events, counters). The timed window is marked
 // with "run-start"/"run-end" instants on the "run" track so exporters and
 // consumers can recover exactly the interval Report.Breakdown covers. A nil
-// rec records nothing.
+// rec records nothing. The execution itself lives in RunSchemeWarm (the
+// profile-warmup superset); this wrapper runs it without a manifest and
+// without recording.
 func (ms *ModelSetup) RunSchemeTraced(scheme core.Scheme, opts core.Options, rec *trace.Recorder) (*metrics.Report, *core.Result, error) {
-	pr := ms.NewProcess()
-	pr.Record(rec)
-	rep := &metrics.Report{Scheme: string(scheme), Model: ms.Spec.Abbr, Batch: ms.Batch}
-	var res *core.Result
-	var runErr error
-
-	pr.Env.Spawn("main", func(p *sim.Proc) {
-		defer pr.GPU.CloseAll()
-		pr.Runner.RT.InitContext(p)
-		if err := pr.Runner.Lib.LoadResidents(p); err != nil {
-			runErr = err
-			return
-		}
-		model := ms.Model
-		if scheme == core.SchemeNNV12 {
-			model = ms.Uniform
-		}
-		if scheme == core.SchemeIdeal {
-			if err := pr.Runner.PreloadAll(p, model); err != nil {
-				runErr = err
-				return
-			}
-		}
-		loads0 := pr.RT.Stats()
-		busy0 := pr.GPU.BusyTime()
-		t0 := p.Now()
-		rec.Instant("run", "run-start", t0,
-			metrics.Attr{Key: "scheme", Value: string(scheme)},
-			metrics.Attr{Key: "model", Value: ms.Spec.Abbr},
-			metrics.Attr{Key: "batch", Value: fmt.Sprint(ms.Batch)})
-
-		switch scheme {
-		case core.SchemeBaseline:
-			runErr = pr.Runner.RunBaseline(p, model)
-		case core.SchemeIdeal:
-			// Hot execution with every solution resident: the same engine,
-			// nothing left to load.
-			cache := core.NewCategoricalCache()
-			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, core.Options{})
-		case core.SchemeNNV12:
-			cache := core.NewCategoricalCache() // unused: no reuse in NNV12
-			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, core.Options{})
-		case core.SchemePaSK:
-			// PASK recycles *loaded* kernels: the cache starts with the
-			// library's resident built-ins and grows with per-model loads.
-			cache := core.NewCategoricalCache()
-			core.SeedResidents(cache, pr.Runner.Lib)
-			res, runErr = core.RunInterleaved(p, pr.Runner, model, cache, true, opts)
-		case core.SchemePaSKI:
-			cache := core.NewCategoricalCache()
-			_, runErr = core.RunInterleaved(p, pr.Runner, model, cache, false, opts)
-		case core.SchemePaSKR:
-			cache := core.NewNaiveCache()
-			core.SeedResidents(cache, pr.Runner.Lib)
-			res, runErr = core.RunSequentialReuse(p, pr.Runner, model, cache)
-		default:
-			runErr = fmt.Errorf("experiments: unknown scheme %q", scheme)
-		}
-
-		t1 := p.Now()
-		rec.Instant("run", "run-end", t1)
-		rep.Total = t1 - t0
-		rep.GPUBusy = pr.GPU.BusyTime() - busy0
-		st := pr.RT.Stats()
-		rep.Loads = st.ModuleLoads - loads0.ModuleLoads
-		rep.LoadedBytes = st.BytesLoaded - loads0.BytesLoaded
-		rep.Breakdown = metrics.Breakdown(pr.Tracer.Spans(), t0, t1, metrics.DefaultPriority())
-		if res != nil {
-			rep.ReuseQueries = res.Cache.Queries
-			rep.ReuseHits = res.Cache.Hits
-			rep.Lookups = res.Cache.Lookups
-			rep.Milestone = res.Milestone
-			rep.SkippedLoads = res.SkippedLoads
-		}
-	})
-	if err := pr.Env.Run(); err != nil {
+	wr, err := ms.RunSchemeWarm(scheme, opts, rec, nil, false)
+	if err != nil {
 		return nil, nil, err
 	}
-	if runErr != nil {
-		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", ms.Spec.Abbr, scheme, runErr)
-	}
-	return rep, res, nil
+	return wr.Rep, wr.Res, nil
 }
 
 // RunColdHot measures the paper's Fig 1 quantities on one device: the cold

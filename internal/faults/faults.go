@@ -1,5 +1,8 @@
 // Package faults is a deterministic, seeded fault injector for the PASK
-// loading pipeline. A declarative Plan names the failure modes to exercise —
+// loading pipeline — this reproduction's extension beyond the paper's
+// evaluation (fault taxonomy and seams in DESIGN.md §9): the §III-A pipeline
+// touches storage, drivers and a vendor database, which is where production
+// deployments see faults. A declarative Plan names the failure modes to exercise —
 // transient store I/O errors, permanently corrupt code objects, load-latency
 // spikes, solution-discovery outages, and a device reset at a chosen virtual
 // time — and an Injector turns it into byte-level misbehaviour at the same

@@ -1,7 +1,9 @@
 // Package httpapi exposes the simulated PASK stack as a small JSON web
 // service: clients ask "what would a cold start of model X under scheme Y on
 // device Z cost?" and receive the full report. It powers cmd/pasksrv and
-// gives capacity planners a programmatic what-if interface.
+// gives capacity planners a programmatic what-if interface. The service is
+// not part of the paper's artifact — it operationalizes the reproduction's
+// experiments (§IV–§V) behind a stable JSON surface.
 //
 // The API is versioned under /v1. Run-triggering endpoints are POST with a
 // JSON body; every v1 run is recorded and its Chrome trace retrievable at
@@ -33,6 +35,7 @@ import (
 	"pask/internal/onnx/zoo"
 	"pask/internal/serving"
 	"pask/internal/trace"
+	"pask/internal/warmup"
 )
 
 // maxStoredRuns bounds the per-server run history (trace retention).
@@ -55,14 +58,18 @@ type Server struct {
 	runs    map[string]*runRecord
 	runIDs  []string // insertion order, oldest first
 	nextRun int
+	// profiles holds the latest recorded warmup manifest per model abbr,
+	// retrievable at GET /v1/warmup/{model} and replayed by "warm" runs.
+	profiles map[string]*warmup.Manifest
 }
 
 // New returns a ready-to-serve handler.
 func New() *Server {
 	s := &Server{
-		setups: make(map[string]*experiments.ModelSetup),
-		runs:   make(map[string]*runRecord),
-		mux:    http.NewServeMux(),
+		setups:   make(map[string]*experiments.ModelSetup),
+		runs:     make(map[string]*runRecord),
+		profiles: make(map[string]*warmup.Manifest),
+		mux:      http.NewServeMux(),
 	}
 	// v1: reads are GET, run triggers are POST with a JSON body.
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -72,6 +79,7 @@ func New() *Server {
 	s.mux.HandleFunc("POST /v1/serve", s.handleServeV1)
 	s.mux.HandleFunc("POST /v1/multitenant", s.handleMultitenantV1)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("GET /v1/warmup/{model}", s.handleWarmupProfile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Deprecated unversioned aliases: same behavior, plus a Deprecation
 	// header naming the successor route.
@@ -265,6 +273,13 @@ type ColdStartRequest struct {
 	Device  string `json:"device,omitempty"`  // default "MI100"
 	Batch   int    `json:"batch,omitempty"`   // default 1
 	Compare bool   `json:"compare,omitempty"` // also run Baseline, report speedup
+
+	// RecordProfile captures this run's load order as the model's warmup
+	// manifest (GET /v1/warmup/{model}); Warm replays the stored manifest
+	// through a prefetcher before the run. A missing manifest is not an
+	// error — the run simply starts cold.
+	RecordProfile bool `json:"record_profile,omitempty"`
+	Warm          bool `json:"warm,omitempty"`
 }
 
 // ColdStartResponse is the coldstart reply.
@@ -284,6 +299,14 @@ type ColdStartResponse struct {
 	Milestone     int                `json:"milestone"`
 	BreakdownMs   map[string]float64 `json:"breakdown_ms"`
 	SpeedupVsBase float64            `json:"speedup_vs_baseline,omitempty"`
+
+	// Warmup replay accounting (set when the run recorded or replayed a
+	// load profile).
+	ProfileRecorded  bool `json:"profile_recorded,omitempty"`
+	WarmupEntries    int  `json:"warmup_entries,omitempty"`
+	WarmupPrefetched int  `json:"warmup_prefetched,omitempty"`
+	WarmupHits       int  `json:"warmup_hits,omitempty"`
+	WarmupStale      int  `json:"warmup_stale,omitempty"`
 
 	// RunID and TraceURL are set on v1 runs: the recorded timeline is
 	// retrievable at TraceURL until the run ages out of the store.
@@ -316,11 +339,28 @@ func (s *Server) runColdStart(req ColdStartRequest, rec *trace.Recorder) (*ColdS
 	if err != nil {
 		return nil, nil, http.StatusBadRequest, err
 	}
-	rep, _, err := ms.RunSchemeTraced(scheme, core.Options{}, rec)
+	var man *warmup.Manifest
+	if req.Warm {
+		s.mu.Lock()
+		man = s.profiles[req.Model]
+		s.mu.Unlock()
+	}
+	wr, err := ms.RunSchemeWarm(scheme, core.Options{}, rec, man, req.RecordProfile)
 	if err != nil {
 		return nil, nil, statusFromErr(err), err
 	}
+	rep := wr.Rep
 	resp := toResponse(req.Model, string(scheme), prof.Name, batch, rep)
+	if req.RecordProfile && wr.Profile != nil {
+		s.mu.Lock()
+		s.profiles[req.Model] = wr.Profile
+		s.mu.Unlock()
+		resp.ProfileRecorded = true
+	}
+	resp.WarmupEntries = rep.WarmupEntries
+	resp.WarmupPrefetched = rep.WarmupPrefetched
+	resp.WarmupHits = rep.WarmupHits
+	resp.WarmupStale = rep.WarmupStale
 	if req.Compare && scheme != core.SchemeBaseline {
 		base, _, err := ms.RunScheme(core.SchemeBaseline, core.Options{})
 		if err != nil {
@@ -393,6 +433,28 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is drop the connection mid-body.
 		return
 	}
+}
+
+// handleWarmupProfile serves the stored warmup manifest for a model, as
+// recorded by the most recent coldstart run with "record_profile": true.
+// The payload is the versioned manifest JSON a client can save and feed to
+// pask.WithWarmupProfile or paskrun -warmup.
+func (s *Server) handleWarmupProfile(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	s.mu.Lock()
+	man := s.profiles[model]
+	s.mu.Unlock()
+	if man == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no warmup profile recorded for model %q", model))
+		return
+	}
+	data, err := man.Encode()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // handleMetrics serves the Prometheus text-format snapshot: per-run headline

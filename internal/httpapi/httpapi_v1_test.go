@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pask/internal/trace"
+	"pask/internal/warmup"
 )
 
 // postJSON POSTs a JSON body and returns the response plus full body.
@@ -193,6 +194,58 @@ func TestV1MultitenantEndpoint(t *testing.T) {
 	}
 	if len(mt.Tenants) != 2 || !mt.StoreUntouched {
 		t.Fatalf("unexpected reply: %+v", mt)
+	}
+}
+
+func TestV1WarmupProfileEndpoint(t *testing.T) {
+	srv := New()
+	// No profile recorded yet: 404 with the uniform envelope.
+	resp, body := getFull(t, srv, "/v1/warmup/alex")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("before recording: status %d", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "not_found" {
+		t.Fatalf("404 body %q, want not_found envelope", body)
+	}
+
+	// Record a profile, fetch it back as a decodable manifest.
+	resp, body = postJSON(t, srv, "/v1/coldstart", `{"model":"alex","record_profile":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("record run: %d %s", resp.StatusCode, body)
+	}
+	var cs ColdStartResponse
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.ProfileRecorded {
+		t.Fatalf("record run did not record a profile: %+v", cs)
+	}
+	resp, body = getFull(t, srv, "/v1/warmup/alex")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile fetch: status %d", resp.StatusCode)
+	}
+	man, err := warmup.Decode(body)
+	if err != nil {
+		t.Fatalf("served manifest does not decode: %v", err)
+	}
+	if man.Model != "alex" || len(man.Entries) == 0 {
+		t.Fatalf("implausible manifest: %+v", man)
+	}
+
+	// A warm run replays the stored profile and reports the accounting.
+	resp, body = postJSON(t, srv, "/v1/coldstart", `{"model":"alex","warm":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.WarmupEntries == 0 || cs.WarmupPrefetched == 0 {
+		t.Fatalf("warm run did not replay: %+v", cs)
+	}
+	if cs.WarmupHits == 0 {
+		t.Errorf("warm run replayed with no hits: %+v", cs)
 	}
 }
 

@@ -4,10 +4,11 @@
 // activations and GEMM, plus the FLOP/byte accounting the roofline timing
 // model consumes.
 //
-// The different convolution algorithms matter: PASK's central claim is that a
-// layer can be *re-implemented* by a substitute solution of the same pattern
-// and still compute the same function. The tests in this package prove that
-// equivalence numerically.
+// The different convolution algorithms matter: PASK's central claim (§III-B)
+// is that a layer can be *re-implemented* by a substitute solution of the
+// same pattern and still compute the same function. The tests in this package
+// prove that equivalence numerically — the substitution rationale for running
+// the data plane on the CPU.
 package kernels
 
 import (

@@ -177,6 +177,14 @@ type Report struct {
 	Milestone    int // index of the milestone layer
 	SkippedLoads int // loads avoided via reuse
 
+	// Profile-warmup statistics (zero unless the run replayed a manifest).
+	WarmupEntries    int // manifest entries the prefetcher considered
+	WarmupPrefetched int // objects made resident by replay (paid + coalesced)
+	WarmupHits       int // objects the run used that replay covered
+	WarmupMisses     int // objects the run used that replay did not cover
+	WarmupWasted     int // objects replay loaded that the run never used
+	WarmupStale      int // entries skipped on checksum mismatch or read error
+
 	Breakdown map[Category]time.Duration
 }
 

@@ -20,6 +20,7 @@ import (
 	"pask/internal/metrics"
 	"pask/internal/sim"
 	"pask/internal/trace"
+	"pask/internal/warmup"
 )
 
 // ErrDeadlineExceeded marks a request whose service time overran the
@@ -54,6 +55,12 @@ type Policy struct {
 	// attributes, plus every instance's pipeline activity. All recorder
 	// methods are nil-safe.
 	Rec *trace.Recorder
+	// Warmup maps model abbreviations to recorded load profiles. Every
+	// instance spawned for a mapped model — including crash-recovery
+	// replacements — starts a prefetcher thread replaying the manifest, so
+	// its first request finds modules resident. Stale or partial manifests
+	// degrade the instance to a plain cold start; they never fail it.
+	Warmup map[string]*warmup.Manifest
 }
 
 // FaultTolerance is the degradation contract a serving scenario applies per
@@ -106,6 +113,11 @@ type Instance struct {
 	served      int
 	skipped     []SkippedLoad
 	lastResult  *core.Result
+
+	// prefetch replays the policy's warmup manifest for this model, when
+	// one is configured. It runs concurrently with (and usually completes
+	// before) the first request's cold path.
+	prefetch *warmup.Prefetcher
 }
 
 // SkippedLoad records one avoided solution load for background loading.
@@ -125,7 +137,17 @@ func NewInstance(env *sim.Env, ms *experiments.ModelSetup, policy Policy) *Insta
 	if policy.Rec != nil {
 		in.pr.Record(policy.Rec)
 	}
+	in.startWarmup(env)
 	return in
+}
+
+// startWarmup spawns the manifest-replay thread when the policy carries a
+// profile for this instance's model. Replay begins the moment the instance
+// exists — overlapping whatever bring-up precedes the first request.
+func (in *Instance) startWarmup(env *sim.Env) {
+	if man := in.policy.Warmup[in.ms.Spec.Abbr]; man != nil && len(man.Entries) > 0 {
+		in.prefetch = warmup.Start(env, in.pr.RT, man, in.policy.Rec)
+	}
 }
 
 // Served returns the number of requests completed.
@@ -284,6 +306,11 @@ type Stats struct {
 	ColdStarts int
 	BGLoads    int
 
+	// Warmup accounting, populated when Policy.Warmup maps this model.
+	WarmupReplays int // instances that ran a manifest replay
+	WarmupLoads   int // objects replay made resident (paid + coalesced)
+	WarmupStale   int // manifest entries skipped as stale
+
 	// ColdLatencies are the latencies of the requests counted in
 	// ColdStarts, kept separate so fault sweeps can report cold-path cost.
 	ColdLatencies []time.Duration
@@ -378,10 +405,26 @@ func newFTServer(env *sim.Env, ms *experiments.ModelSetup, policy Policy, stats 
 	return &ftServer{env: env, ms: ms, policy: policy, stats: stats, inst: NewInstance(env, ms, policy)}
 }
 
+// foldWarmup banks the live instance's replay accounting into the stats
+// before the instance goes away. Idempotent per instance: the prefetch
+// handle is cleared after folding.
+func (s *ftServer) foldWarmup() {
+	pf := s.inst.prefetch
+	if pf == nil {
+		return
+	}
+	s.inst.prefetch = nil
+	st := pf.Stats()
+	s.stats.WarmupReplays++
+	s.stats.WarmupLoads += st.Loaded + st.Coalesced
+	s.stats.WarmupStale += st.Stale
+}
+
 // close tears down the live instance. Isolated instances own their device
 // and close it outright; tenants on a shared GPU only detach their runtime
 // view — the device, its modules and the other tenants stay live.
 func (s *ftServer) close() {
+	s.foldWarmup()
 	if s.host != nil {
 		s.detachTenant()
 		return
@@ -394,6 +437,7 @@ func (s *ftServer) close() {
 // replacement must not destroy modules other tenants hold, so only the
 // crashed tenant's view is swapped (see replaceTenant).
 func (s *ftServer) replace() {
+	s.foldWarmup()
 	if s.host != nil {
 		s.replaceTenant()
 		return

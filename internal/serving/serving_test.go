@@ -7,6 +7,7 @@ import (
 	"pask/internal/core"
 	"pask/internal/device"
 	"pask/internal/experiments"
+	"pask/internal/warmup"
 )
 
 func setup(t *testing.T, abbr string) *experiments.ModelSetup {
@@ -277,5 +278,76 @@ func TestFleetPaSKBeatsBaselineOnBurst(t *testing.T) {
 	if pask.Percentile(0.99) >= base.Percentile(0.99) {
 		t.Fatalf("PaSK fleet p99 (%v) not better than baseline (%v)",
 			pask.Percentile(0.99), base.Percentile(0.99))
+	}
+}
+
+// TestPolicyWarmupReplaysOnSpawn records a load profile once, hands it to the
+// serving policy and checks a fresh instance replays it and banks the
+// accounting into Stats. (Request latency is measured after process bring-up,
+// where the replay's benefit lands — the time-to-first-inference win is
+// asserted in experiments.TestWarmupBeatsColdOnAllDevices.)
+func TestPolicyWarmupReplaysOnSpawn(t *testing.T) {
+	ms := setup(t, "alex")
+	rec, err := ms.RunSchemeWarm(core.SchemePaSK, core.Options{}, nil, nil, true)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if rec.Profile == nil || len(rec.Profile.Entries) == 0 {
+		t.Fatal("recording produced no profile")
+	}
+
+	trace := PoissonTrace(2, 500*time.Millisecond, 1)
+	cold, err := ServeTrace(ms, Policy{Scheme: core.SchemePaSK}, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmupReplays != 0 || cold.WarmupLoads != 0 {
+		t.Fatalf("policy without warmup reported replays: %+v", cold)
+	}
+
+	pol := Policy{Scheme: core.SchemePaSK,
+		Warmup: map[string]*warmup.Manifest{"alex": rec.Profile}}
+	warm, err := ServeTrace(ms, pol, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmupReplays != 1 {
+		t.Fatalf("WarmupReplays = %d, want 1", warm.WarmupReplays)
+	}
+	if warm.WarmupLoads == 0 {
+		t.Fatalf("replay loaded nothing: %+v", warm)
+	}
+	if warm.WarmupStale != 0 {
+		t.Errorf("fresh profile reported %d stale entries", warm.WarmupStale)
+	}
+	if len(warm.Latencies) != len(cold.Latencies) {
+		t.Errorf("warmed arm served %d requests, cold served %d",
+			len(warm.Latencies), len(cold.Latencies))
+	}
+}
+
+// TestPolicyWarmupStaleNeverFails poisons every checksum in the policy's
+// manifest: serving must proceed exactly as cold, counting the stale entries.
+func TestPolicyWarmupStaleNeverFails(t *testing.T) {
+	ms := setup(t, "alex")
+	rec, err := ms.RunSchemeWarm(core.SchemePaSK, core.Options{}, nil, nil, true)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	man := rec.Profile
+	for i := range man.Entries {
+		man.Entries[i].Checksum++
+	}
+	pol := Policy{Scheme: core.SchemePaSK,
+		Warmup: map[string]*warmup.Manifest{"alex": man}}
+	stats, err := ServeTrace(ms, pol, PoissonTrace(2, 500*time.Millisecond, 1), 0)
+	if err != nil {
+		t.Fatalf("stale manifest must not fail serving: %v", err)
+	}
+	if stats.WarmupStale != len(man.Entries) {
+		t.Fatalf("WarmupStale = %d, want %d", stats.WarmupStale, len(man.Entries))
+	}
+	if stats.WarmupLoads != 0 {
+		t.Fatalf("stale replay must load nothing: %+v", stats)
 	}
 }

@@ -53,6 +53,7 @@ func NewTenantInstance(host *GPUHost, ms *experiments.ModelSetup, policy Policy,
 	if policy.Rec != nil {
 		in.pr.Record(policy.Rec)
 	}
+	in.startWarmup(host.Env)
 	return in
 }
 

@@ -1,9 +1,10 @@
 // Package sim implements a deterministic, cooperative, process-based
 // discrete-event simulation engine in virtual time.
 //
-// The engine is the substrate for the whole PASK reproduction: host threads
-// (parser / loader / issuer), the GPU command streams, the storage backend and
-// the inference server are all sim processes. Exactly one goroutine (either
+// The engine is the substrate for the whole PASK reproduction — the
+// substitution that replaces the paper's ROCm testbed with virtual time: host
+// threads (the §III-A parser / loader / issuer), the GPU command streams, the
+// storage backend and the inference server are all sim processes. Exactly one goroutine (either
 // the scheduler or the currently running process) executes at any instant, so
 // runs are fully deterministic: events at equal timestamps are ordered by
 // creation sequence.

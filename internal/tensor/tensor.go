@@ -2,7 +2,8 @@
 // functional reference kernels: 4-D shapes, NCHW/NHWC memory layouts, the
 // fp32/fp16/int8 element types that GPU solutions specialize on, and layout /
 // precision transforms (the operations NNV12 eliminates and PASK's solutions
-// bundle as extra kernels).
+// bundle as extra kernels). Layout and precision are the generality axes the
+// paper's §III-B reuse trades against performance.
 //
 // Simulated runs never touch tensor data; functional runs (tests, the
 // `functional` example) use fp32 host buffers regardless of the declared

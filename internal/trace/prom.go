@@ -223,4 +223,18 @@ func ReportMetrics(p *PromWriter, rep *metrics.Report) {
 	p.Sample("pask_run_reuse_hits", float64(rep.ReuseHits), labels...)
 	p.Declare("pask_run_skipped_loads", "gauge", "Loads avoided via selective reuse.")
 	p.Sample("pask_run_skipped_loads", float64(rep.SkippedLoads), labels...)
+	if rep.WarmupEntries > 0 {
+		// Warmup gauges appear only for profile-warmed runs, keeping the
+		// exposition byte-identical for everything else.
+		p.Declare("pask_run_warmup_prefetched", "gauge", "Objects made resident by manifest replay before first use.")
+		p.Sample("pask_run_warmup_prefetched", float64(rep.WarmupPrefetched), labels...)
+		p.Declare("pask_run_warmup_hits", "gauge", "Objects the run used that the warmup replay covered.")
+		p.Sample("pask_run_warmup_hits", float64(rep.WarmupHits), labels...)
+		p.Declare("pask_run_warmup_misses", "gauge", "Objects the run used that the warmup replay did not cover.")
+		p.Sample("pask_run_warmup_misses", float64(rep.WarmupMisses), labels...)
+		p.Declare("pask_run_warmup_wasted", "gauge", "Objects the warmup replay loaded that the run never used.")
+		p.Sample("pask_run_warmup_wasted", float64(rep.WarmupWasted), labels...)
+		p.Declare("pask_run_warmup_stale_entries", "gauge", "Manifest entries skipped for checksum mismatch or read error.")
+		p.Sample("pask_run_warmup_stale_entries", float64(rep.WarmupStale), labels...)
+	}
 }

@@ -1,6 +1,7 @@
 // Package trace is the observability layer of the simulated stack: a
 // virtual-time-aware recorder that turns a run's activity into an
-// inspectable timeline instead of three scalar columns.
+// inspectable timeline instead of three scalar columns — the paper's §III-A
+// three-thread pipeline rendered as parallel tracks, per Fig 5.
 //
 // A Recorder organizes events hierarchically: per-thread *tracks* (the
 // parser / loader / issuer host threads, the GPU streams, the serving loop)

@@ -1,0 +1,146 @@
+package warmup
+
+import (
+	"time"
+
+	"pask/internal/hip"
+	"pask/internal/metrics"
+	"pask/internal/sim"
+	"pask/internal/trace"
+)
+
+// ReplayStats summarizes one manifest replay plus its post-run accounting.
+// The replay-side fields (Entries..Failed) are final once the prefetcher's
+// thread exits; the accounting fields (Hits/Misses/Wasted) are filled by
+// Account once the run knows which objects it actually used.
+type ReplayStats struct {
+	Entries   int `json:"entries"`   // manifest entries considered
+	Loaded    int `json:"loaded"`    // loads this replay initiated and paid for
+	Resident  int `json:"resident"`  // already resident when replay reached them
+	Coalesced int `json:"coalesced"` // converged with an in-flight demand load
+	Stale     int `json:"stale"`     // checksum mismatch or unreadable: skipped
+	Failed    int `json:"failed"`    // load errors absorbed (never fail the run)
+
+	Hits   int `json:"hits"`   // objects the run used that replay made resident
+	Misses int `json:"misses"` // objects the run used that replay did not cover
+	Wasted int `json:"wasted"` // objects replay loaded that the run never used
+}
+
+// Prefetcher replays a load profile through a shared hip.Runtime on its own
+// simulation thread, concurrently with (and ideally ahead of) the pipeline.
+// It attaches its own refcounted runtime view so its loads are attributed
+// to "warmup" in per-tenant stats, and detaches when the replay finishes so
+// it holds no pins of its own — objects the run never touches stay evictable.
+//
+// Every failure mode is absorbed: stale entries are skipped and counted,
+// load errors are counted, and a fully corrupt manifest simply never
+// constructs a Prefetcher. Warmup can only ever add residency.
+type Prefetcher struct {
+	man    *Manifest
+	view   *hip.Runtime
+	rec    *trace.Recorder
+	stats  ReplayStats
+	loaded map[string]bool // paths resident because of (or confirmed by) replay
+	done   *sim.Signal
+}
+
+// Track is the trace track prefetch spans and instants appear on.
+const Track = "warmup"
+
+// Start spawns the replay thread on env and returns immediately. The thread
+// attaches its own view of rt, walks the manifest in recorded order and
+// fires its done signal when finished. rec may be nil.
+func Start(env *sim.Env, rt *hip.Runtime, man *Manifest, rec *trace.Recorder) *Prefetcher {
+	pf := &Prefetcher{
+		man:    man,
+		view:   rt.Attach("warmup"),
+		rec:    rec,
+		loaded: make(map[string]bool),
+		done:   sim.NewSignal(env),
+	}
+	env.Spawn("warmup-prefetch", pf.run)
+	return pf
+}
+
+// run is the replay thread body.
+func (pf *Prefetcher) run(p *sim.Proc) {
+	defer pf.done.Fire()
+	defer pf.view.Detach()
+	store := pf.view.Store()
+	for _, e := range pf.man.Entries {
+		pf.stats.Entries++
+		data, err := store.Get(e.Path)
+		if err != nil || Checksum(data) != e.Checksum {
+			pf.stats.Stale++
+			pf.rec.Instant(Track, "prefetch-stale", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
+			pf.rec.Count("warmup_stale_entries", p.Now(), float64(pf.stats.Stale))
+			continue
+		}
+		if pf.view.Loaded(e.Path) {
+			pf.stats.Resident++
+			pf.loaded[e.Path] = true
+			continue
+		}
+		start := p.Now()
+		before := pf.view.TenantStats()
+		_, err = pf.view.ModuleLoad(p, e.Path)
+		after := pf.view.TenantStats()
+		if err != nil {
+			pf.stats.Failed++
+			pf.rec.Instant(Track, "prefetch-failed", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
+			continue
+		}
+		pf.loaded[e.Path] = true
+		switch {
+		case after.Loads > before.Loads:
+			pf.stats.Loaded++
+		case after.CoalescedWaits > before.CoalescedWaits:
+			pf.stats.Coalesced++
+		default: // became resident between the Loaded check and the call
+			pf.stats.Resident++
+		}
+		pf.rec.Span(Track, metrics.CatLoad, "prefetch:"+e.Path, start, p.Now())
+	}
+	pf.rec.Instant(Track, "prefetch-done", p.Now())
+}
+
+// Wait blocks the calling proc until the replay thread has finished.
+func (pf *Prefetcher) Wait(p *sim.Proc) { pf.done.Wait(p) }
+
+// Done reports whether the replay thread has finished.
+func (pf *Prefetcher) Done() bool { return pf.done.Fired() }
+
+// Stats returns a snapshot of the replay counters.
+func (pf *Prefetcher) Stats() ReplayStats { return pf.stats }
+
+// Covered reports whether replay made (or found) path resident.
+func (pf *Prefetcher) Covered(path string) bool { return pf.loaded[path] }
+
+// Account reconciles the replay against the set of object paths the run
+// actually used, filling Hits/Misses/Wasted, emitting the prefetch counter
+// series at virtual time `at`, and returning the completed stats. Counters
+// are emitted even when zero so dashboards always see the series.
+func (pf *Prefetcher) Account(used []string, at time.Duration) ReplayStats {
+	usedSet := make(map[string]bool, len(used))
+	for _, path := range used {
+		if usedSet[path] {
+			continue
+		}
+		usedSet[path] = true
+		if pf.loaded[path] {
+			pf.stats.Hits++
+		} else {
+			pf.stats.Misses++
+		}
+	}
+	for path := range pf.loaded {
+		if !usedSet[path] {
+			pf.stats.Wasted++
+		}
+	}
+	pf.rec.Count("warmup_prefetch_hits", at, float64(pf.stats.Hits))
+	pf.rec.Count("warmup_prefetch_misses", at, float64(pf.stats.Misses))
+	pf.rec.Count("warmup_prefetch_wasted", at, float64(pf.stats.Wasted))
+	pf.rec.Count("warmup_stale_entries", at, float64(pf.stats.Stale))
+	return pf.stats
+}

@@ -1,0 +1,77 @@
+package warmup
+
+import (
+	"pask/internal/codeobj"
+	"pask/internal/device"
+)
+
+// Recorder captures one run's realized load profile. It implements the
+// core executor's ProfileObserver seam: the loader thread reports each
+// code object at the moment it commits to loading (or reusing past) it,
+// and each per-layer decision where the chosen solution differs from the
+// statically selected one. Order is preserved — replay wants first-use
+// order so the prefetcher races ahead of the pipeline, not behind it.
+//
+// No locking: recording happens inside the cooperative simulation, where
+// procs never preempt each other mid-call.
+type Recorder struct {
+	order []string          // first-use order of observed object paths
+	kinds map[string]string // path -> kind at first observation
+	seen  map[string]bool
+	subs  []Substitution
+}
+
+// NewRecorder returns an empty profile recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{kinds: make(map[string]string), seen: make(map[string]bool)}
+}
+
+// ObserveObject records a code object the executor decided to use, deduped
+// to its first occurrence.
+func (r *Recorder) ObserveObject(kind, path string) {
+	if r == nil || path == "" || r.seen[path] {
+		return
+	}
+	r.seen[path] = true
+	r.order = append(r.order, path)
+	r.kinds[path] = kind
+}
+
+// ObserveDecision records one layer's primitive decision. Only decisions
+// where the executed instance differs from the statically selected one
+// (substituted) persist in the manifest; the substitution list is the
+// observed pattern→solution mapping of §III-C's selective reuse.
+func (r *Recorder) ObserveDecision(layer, pattern, selected, chosen string, substituted bool) {
+	if r == nil || !substituted {
+		return
+	}
+	r.subs = append(r.subs, Substitution{Layer: layer, Pattern: pattern, Selected: selected, Chosen: chosen})
+}
+
+// Paths returns the observed object paths in first-use order.
+func (r *Recorder) Paths() []string {
+	if r == nil {
+		return nil
+	}
+	return r.order
+}
+
+// Manifest freezes the recording into a manifest, checksumming each object
+// against the store's current bytes. Objects the store cannot read are
+// dropped (replaying them could only count stale).
+func (r *Recorder) Manifest(store *codeobj.Store, model string, batch int, prof device.Profile) *Manifest {
+	man := &Manifest{
+		Version: Version, Model: model, Batch: batch,
+		Device: prof.Name, Arch: prof.Arch,
+	}
+	if r == nil {
+		return man
+	}
+	for _, path := range r.order {
+		if e, ok := checksumEntry(store, r.kinds[path], path); ok {
+			man.Entries = append(man.Entries, e)
+		}
+	}
+	man.Substitutions = append(man.Substitutions, r.subs...)
+	return man
+}

@@ -1,0 +1,252 @@
+// Package warmup implements profile-guided cold-start mitigation across
+// process lifetimes — the cross-run extension of the paper's §III-A
+// proactive loading. PASK's three-thread pipeline only overlaps loading
+// with *this* run's parse; every process start is still cold because the
+// runtime forgets which solutions a model actually used. This package
+// closes that loop: a Recorder captures the executor's realized per-layer
+// decisions (ordered solution keys, code-object ids with checksums, the
+// observed pattern→solution substitutions), the result serializes to a
+// versioned JSON Manifest, and on the next cold start a Prefetcher replays
+// the manifest through the shared hip.Runtime before and during parse, so
+// the pipeline finds its modules already resident. Singleflight load
+// coalescing in the runtime makes replay and demand loads converge safely;
+// stale manifest entries (checksum mismatch against the store) are skipped
+// and counted, never failed on.
+package warmup
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/graphx"
+	"pask/internal/miopen"
+)
+
+// Version is the manifest format version this package writes and the
+// newest it understands. Manifests from older writers decode as long as
+// their fields parse; a larger version is rejected with ErrVersion.
+const Version = 1
+
+// ErrVersion marks a manifest written by a newer format version than this
+// package understands.
+var ErrVersion = errors.New("warmup: unsupported manifest version")
+
+// ErrCorrupt marks a manifest that is not valid JSON or is structurally
+// unusable. Callers on the cold-start path treat it as "no manifest" and
+// proceed cold.
+var ErrCorrupt = errors.New("warmup: corrupt manifest")
+
+// Checksum is the integrity hash manifests store per code object (CRC-32,
+// IEEE polynomial — the same family the PKO container uses).
+func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// Entry is one code object the profiled run loaded, in first-use order.
+type Entry struct {
+	// Path is the object's store path (solution key for primitives).
+	Path string `json:"path"`
+	// Checksum is the CRC-32 of the object's container bytes at record
+	// time. A mismatch at replay time marks the entry stale.
+	Checksum uint32 `json:"checksum"`
+	// Bytes is the container size at record time (informational).
+	Bytes int `json:"bytes,omitempty"`
+	// Kind classifies the object: "solution", "transform", "builtin" or
+	// "blas".
+	Kind string `json:"kind,omitempty"`
+}
+
+// Substitution records one layer the profiled run served with a different
+// solution than the statically selected one (a reuse hit or a degradation
+// fallback) — the observed pattern→solution mapping.
+type Substitution struct {
+	Layer    string `json:"layer"`
+	Pattern  string `json:"pattern"`
+	Selected string `json:"selected"` // statically selected solution key
+	Chosen   string `json:"chosen"`   // key of the instance that actually ran
+}
+
+// Manifest is a per-model load profile: everything a prefetcher needs to
+// make the next cold start find its modules resident. Unknown top-level
+// JSON fields survive a decode/encode round trip, so manifests written by
+// newer minor revisions are not stripped by older tools.
+type Manifest struct {
+	Version int    `json:"version"`
+	Model   string `json:"model,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
+	Device  string `json:"device,omitempty"`
+	Arch    string `json:"arch,omitempty"`
+
+	Entries       []Entry        `json:"entries"`
+	Substitutions []Substitution `json:"substitutions,omitempty"`
+
+	// unknown preserves top-level fields this version does not understand.
+	unknown map[string]json.RawMessage
+}
+
+// manifestJSON is the known-field shape (kept in sync with Manifest).
+type manifestJSON struct {
+	Version       int            `json:"version"`
+	Model         string         `json:"model,omitempty"`
+	Batch         int            `json:"batch,omitempty"`
+	Device        string         `json:"device,omitempty"`
+	Arch          string         `json:"arch,omitempty"`
+	Entries       []Entry        `json:"entries"`
+	Substitutions []Substitution `json:"substitutions,omitempty"`
+}
+
+// knownManifestKeys lists the top-level keys the current version owns.
+var knownManifestKeys = []string{"version", "model", "batch", "device", "arch", "entries", "substitutions"}
+
+// MarshalJSON writes the known fields plus any preserved unknown fields.
+func (m *Manifest) MarshalJSON() ([]byte, error) {
+	known, err := json.Marshal(manifestJSON{
+		Version: m.Version, Model: m.Model, Batch: m.Batch,
+		Device: m.Device, Arch: m.Arch,
+		Entries: m.Entries, Substitutions: m.Substitutions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(m.unknown) == 0 {
+		return known, nil
+	}
+	merged := make(map[string]json.RawMessage, len(m.unknown)+len(knownManifestKeys))
+	if err := json.Unmarshal(known, &merged); err != nil {
+		return nil, err
+	}
+	for k, v := range m.unknown {
+		if _, owned := merged[k]; !owned {
+			merged[k] = v
+		}
+	}
+	return json.Marshal(merged) // map keys marshal sorted: deterministic
+}
+
+// UnmarshalJSON parses a manifest, rejecting newer format versions with
+// ErrVersion and preserving unknown top-level fields.
+func (m *Manifest) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var mj manifestJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if mj.Version > Version {
+		return fmt.Errorf("%w: manifest version %d, this build understands <= %d", ErrVersion, mj.Version, Version)
+	}
+	if mj.Version < 1 {
+		return fmt.Errorf("%w: missing or invalid version field", ErrCorrupt)
+	}
+	m.Version = mj.Version
+	m.Model, m.Batch = mj.Model, mj.Batch
+	m.Device, m.Arch = mj.Device, mj.Arch
+	m.Entries, m.Substitutions = mj.Entries, mj.Substitutions
+	for _, k := range knownManifestKeys {
+		delete(raw, k)
+	}
+	if len(raw) > 0 {
+		m.unknown = raw
+	} else {
+		m.unknown = nil
+	}
+	return nil
+}
+
+// UnknownFields returns the preserved top-level keys this version did not
+// understand (sorted by the encoder on write; order here is unspecified).
+func (m *Manifest) UnknownFields() []string {
+	out := make([]string, 0, len(m.unknown))
+	for k := range m.unknown {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Encode serializes the manifest as indented JSON.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("warmup: encode manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a manifest. Errors unwrap to ErrCorrupt (bad JSON or
+// structure) or ErrVersion (newer format).
+func Decode(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		// json syntax errors surface before UnmarshalJSON runs; fold them
+		// into the corrupt class so callers have two sentinels, not three.
+		if !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+			err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return nil, err
+	}
+	for i := range m.Entries {
+		if m.Entries[i].Path == "" {
+			return nil, fmt.Errorf("%w: entry %d has no path", ErrCorrupt, i)
+		}
+	}
+	return &m, nil
+}
+
+// WriteFile serializes the manifest to path.
+func WriteFile(path string, m *Manifest) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("warmup: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and decodes the manifest at path.
+func ReadFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("warmup: read manifest: %w", err)
+	}
+	return Decode(data)
+}
+
+// checksumEntry builds one entry from the store's current bytes; ok is
+// false when the object cannot be read (it is then left out — a replay
+// would only count it stale).
+func checksumEntry(store *codeobj.Store, kind, path string) (Entry, bool) {
+	data, err := store.Get(path)
+	if err != nil {
+		return Entry{}, false
+	}
+	return Entry{Path: path, Checksum: Checksum(data), Bytes: len(data), Kind: kind}, true
+}
+
+// FromModel builds a static-plan manifest from a compiled model: the code
+// objects the statically selected plan would load, in program order. It is
+// the bootstrap profile for models that have never run — weaker than a
+// recorded profile (it cannot know which loads selective reuse will skip),
+// but enough to hide most load time behind process bring-up.
+func FromModel(m *graphx.CompiledModel, reg *miopen.Registry, store *codeobj.Store, prof device.Profile) (*Manifest, error) {
+	paths, err := m.DistinctObjects(reg)
+	if err != nil {
+		return nil, fmt.Errorf("warmup: static profile for %s: %w", m.Name, err)
+	}
+	man := &Manifest{
+		Version: Version, Model: m.Name, Batch: m.Batch,
+		Device: prof.Name, Arch: prof.Arch,
+	}
+	for _, p := range paths {
+		if e, ok := checksumEntry(store, "", p); ok {
+			man.Entries = append(man.Entries, e)
+		}
+	}
+	return man, nil
+}

@@ -1,0 +1,226 @@
+package warmup
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/hip"
+	"pask/internal/sim"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Version: Version, Model: "alex", Batch: 4,
+		Device: "MI100", Arch: "gfx908",
+		Entries: []Entry{
+			{Path: "a.pko", Checksum: 11, Bytes: 100, Kind: "solution"},
+			{Path: "b.pko", Checksum: 22, Kind: "transform"},
+		},
+		Substitutions: []Substitution{
+			{Layer: "conv1", Pattern: "ConvDirect", Selected: "a.pko", Chosen: "b.pko"},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Model != m.Model || got.Batch != m.Batch || got.Device != m.Device || got.Arch != m.Arch {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	if len(got.Entries) != 2 || got.Entries[0] != m.Entries[0] || got.Entries[1] != m.Entries[1] {
+		t.Fatalf("entries mismatch: %+v", got.Entries)
+	}
+	if len(got.Substitutions) != 1 || got.Substitutions[0] != m.Substitutions[0] {
+		t.Fatalf("substitutions mismatch: %+v", got.Substitutions)
+	}
+	// Encoding is deterministic.
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("encoding not stable:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := WriteFile(path, sampleManifest()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Model != "alex" || len(got.Entries) != 2 {
+		t.Fatalf("unexpected manifest: %+v", got)
+	}
+}
+
+// TestForwardCompatGolden decodes a manifest written by a hypothetical newer
+// minor revision (same version, extra fields) and checks the unknown fields
+// survive a decode→encode→decode round trip untouched.
+func TestForwardCompatGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "forward_compat.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode golden: %v", err)
+	}
+	if m.Model != "res" || len(m.Entries) != 2 || len(m.Substitutions) != 1 {
+		t.Fatalf("known fields misparsed: %+v", m)
+	}
+	unknown := m.UnknownFields()
+	if len(unknown) != 2 {
+		t.Fatalf("want 2 unknown top-level fields, got %v", unknown)
+	}
+	reenc, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(string(reenc), `"recorded_by"`) || !strings.Contains(string(reenc), `"replay_window_ms"`) {
+		t.Fatalf("unknown fields dropped on re-encode:\n%s", reenc)
+	}
+	m2, err := Decode(reenc)
+	if err != nil {
+		t.Fatalf("Decode re-encoded: %v", err)
+	}
+	var tuning struct {
+		Strategy string `json:"strategy"`
+	}
+	if err := json.Unmarshal(m2.unknown["tuning"], &tuning); err != nil || tuning.Strategy != "eager" {
+		t.Fatalf("nested unknown field mangled: %s err=%v", m2.unknown["tuning"], err)
+	}
+	// Unknown entry-level fields are dropped (entries are version-owned);
+	// only top-level extensions are preserved. Document that here.
+	if strings.Contains(string(reenc), "compression") {
+		t.Fatalf("entry-level unknown fields are not meant to round-trip:\n%s", reenc)
+	}
+}
+
+func TestVersionBumpRejected(t *testing.T) {
+	_, err := Decode([]byte(`{"version": 2, "entries": []}`))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version error must not also be ErrCorrupt: %v", err)
+	}
+}
+
+func TestCorruptManifestRejected(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`[]`,
+		`{"entries": []}`,                      // missing version
+		`{"version": 0, "entries": []}`,        // invalid version
+		`{"version": 1, "entries": [{}]}`,      // entry without path
+		`{"version": 1, "entries": "nothing"}`, // wrong type
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Decode(%q): want ErrCorrupt, got %v", c, err)
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveObject("solution", "a.pko")
+	r.ObserveObject("transform", "x.pko")
+	r.ObserveObject("solution", "a.pko") // dedup keeps first-use order
+	r.ObserveObject("builtin", "")       // empty path ignored
+	r.ObserveDecision("conv1", "ConvDirect", "a.pko", "a.pko", false)
+	r.ObserveDecision("conv2", "ConvDirect", "b.pko", "a.pko", true)
+	if got := r.Paths(); len(got) != 2 || got[0] != "a.pko" || got[1] != "x.pko" {
+		t.Fatalf("Paths: %v", got)
+	}
+
+	store := codeobj.NewStore()
+	aData := buildObject(t, "a")
+	store.Put("a.pko", aData)
+	// x.pko unreadable: left out of the manifest.
+	man := r.Manifest(store, "alex", 1, device.MI100())
+	if len(man.Entries) != 1 || man.Entries[0].Path != "a.pko" {
+		t.Fatalf("Entries: %+v", man.Entries)
+	}
+	if man.Entries[0].Checksum != Checksum(aData) || man.Entries[0].Bytes != len(aData) {
+		t.Fatalf("checksum/bytes wrong: %+v", man.Entries[0])
+	}
+	if len(man.Substitutions) != 1 || man.Substitutions[0].Layer != "conv2" {
+		t.Fatalf("Substitutions: %+v", man.Substitutions)
+	}
+	if man.Model != "alex" || man.Device != "MI100" || man.Version != Version {
+		t.Fatalf("header: %+v", man)
+	}
+}
+
+func buildObject(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := codeobj.Build(name, "gfx908", []codeobj.KernelSpec{
+		{Name: name + "_k0", Pattern: "GEMM", CodeSize: 256},
+	})
+	if err != nil {
+		t.Fatalf("Build %s: %v", name, err)
+	}
+	return data
+}
+
+// TestPrefetcherReplay replays a manifest with one healthy, one stale and
+// one missing entry: the healthy object must end up resident, the other two
+// must be skipped and counted, and the run must not fail.
+func TestPrefetcherReplay(t *testing.T) {
+	env := sim.NewEnv()
+	store := codeobj.NewStore()
+	good := buildObject(t, "good")
+	stale := buildObject(t, "stale")
+	store.Put("good.pko", good)
+	store.Put("stale.pko", stale)
+	rt := hip.NewRuntime(env, device.NewGPU(env, device.MI100()), device.DefaultHost(), store)
+
+	man := &Manifest{Version: Version, Entries: []Entry{
+		{Path: "good.pko", Checksum: Checksum(good)},
+		{Path: "stale.pko", Checksum: Checksum(stale) + 1}, // mismatch
+		{Path: "gone.pko", Checksum: 7},                    // unreadable
+	}}
+	pf := Start(env, rt, man, nil)
+	env.Spawn("waiter", func(p *sim.Proc) { pf.Wait(p) })
+	env.Run()
+
+	st := pf.Stats()
+	if st.Entries != 3 || st.Loaded != 1 || st.Stale != 2 || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !rt.Loaded("good.pko") {
+		t.Fatal("good.pko not resident after replay")
+	}
+	if !pf.Covered("good.pko") || pf.Covered("stale.pko") {
+		t.Fatalf("coverage wrong: %+v", pf)
+	}
+	// Replay detaches its view: nothing stays pinned on its account, so
+	// prefetched-but-unused modules remain evictable under memory pressure.
+	if n := rt.Refs("good.pko"); n != 0 {
+		t.Fatalf("warmup view left %d pins on good.pko", n)
+	}
+
+	got := pf.Account([]string{"good.pko", "other.pko"}, env.Now())
+	if got.Hits != 1 || got.Misses != 1 || got.Wasted != 0 {
+		t.Fatalf("accounting: %+v", got)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"pask/internal/onnx/zoo"
 	"pask/internal/tensor"
 	"pask/internal/trace"
+	"pask/internal/warmup"
 )
 
 // Scheme selects the execution strategy for a cold start.
@@ -84,8 +85,10 @@ type Option interface {
 
 // runConfig is the resolved per-run configuration all Options write into.
 type runConfig struct {
-	opts   core.Options
-	traceW io.Writer
+	opts       core.Options
+	traceW     io.Writer
+	warmupPath string
+	recordPath string
 }
 
 type optionFunc func(*runConfig)
@@ -110,6 +113,22 @@ func WithPrecisionPreference() Option {
 // in chrome://tracing and ui.perfetto.dev) when the run completes.
 func WithTrace(w io.Writer) Option {
 	return optionFunc(func(c *runConfig) { c.traceW = w })
+}
+
+// WithWarmupProfile replays the load profile recorded at path: a prefetcher
+// thread loads the manifest's code objects concurrently with process
+// bring-up, so the pipeline finds them resident. A missing, corrupt or
+// stale manifest never fails the run — the run degrades to a plain cold
+// start and the Report's Warmup* fields say what happened.
+func WithWarmupProfile(path string) Option {
+	return optionFunc(func(c *runConfig) { c.warmupPath = path })
+}
+
+// WithProfileRecording captures the run's realized load profile — the code
+// objects it used, in first-use order, with checksums — and writes it to
+// path as a versioned JSON manifest for WithWarmupProfile to replay.
+func WithProfileRecording(path string) Option {
+	return optionFunc(func(c *runConfig) { c.recordPath = path })
 }
 
 // Options toggles the paper's §VI extensions on PASK runs.
@@ -176,6 +195,14 @@ type Report struct {
 	Lookups      int
 	SkippedLoads int
 	Milestone    int
+
+	// Warmup replay statistics (zero unless WithWarmupProfile was used and
+	// the manifest was readable).
+	WarmupEntries    int // manifest entries the prefetcher considered
+	WarmupPrefetched int // objects made resident ahead of demand
+	WarmupHits       int // used objects the replay covered
+	WarmupMisses     int // used objects the replay did not cover
+	WarmupStale      int // entries skipped on checksum mismatch or read error
 
 	// Breakdown attributes every instant of the run to one Category. The
 	// key type is an alias of the metrics category, so both the exported
@@ -300,16 +327,27 @@ func (s *System) RunScheme(scheme Scheme, opts ...Option) (*Report, error) {
 	if rc.traceW != nil {
 		rec = trace.New()
 	}
-	rep, _, err := s.ms.RunSchemeTraced(core.Scheme(scheme), rc.opts, rec)
+	var man *warmup.Manifest
+	if rc.warmupPath != "" {
+		// A missing or corrupt manifest is "no profile yet": the run
+		// proceeds cold, matching the prefetcher's never-fail contract.
+		man, _ = warmup.ReadFile(rc.warmupPath)
+	}
+	wr, err := s.ms.RunSchemeWarm(core.Scheme(scheme), rc.opts, rec, man, rc.recordPath != "")
 	if err != nil {
 		return nil, err
+	}
+	if rc.recordPath != "" {
+		if werr := warmup.WriteFile(rc.recordPath, wr.Profile); werr != nil {
+			return nil, fmt.Errorf("pask: writing profile: %w", werr)
+		}
 	}
 	if rc.traceW != nil {
 		if werr := rec.WriteChrome(rc.traceW); werr != nil {
 			return nil, fmt.Errorf("pask: writing trace: %w", werr)
 		}
 	}
-	return convertReport(scheme, rep), nil
+	return convertReport(scheme, wr.Rep), nil
 }
 
 // ColdHot measures the first-inference cold time (including process
@@ -338,6 +376,13 @@ func convertReport(scheme Scheme, rep *metrics.Report) *Report {
 		Lookups:      rep.Lookups,
 		SkippedLoads: rep.SkippedLoads,
 		Milestone:    rep.Milestone,
-		Breakdown:    bd,
+
+		WarmupEntries:    rep.WarmupEntries,
+		WarmupPrefetched: rep.WarmupPrefetched,
+		WarmupHits:       rep.WarmupHits,
+		WarmupMisses:     rep.WarmupMisses,
+		WarmupStale:      rep.WarmupStale,
+
+		Breakdown: bd,
 	}
 }

@@ -1,0 +1,42 @@
+#!/bin/sh
+# check_pkgdoc.sh — CI gate for the godoc contract: every internal package
+# must carry a package comment, and that comment must anchor the package to
+# the source paper — a section reference (§III-A/B/C, §IV–§VI), a figure or
+# table, or an explicit substitution rationale ("stand-in", "analogue",
+# "paper", DESIGN.md pointer). Run from the repository root:
+#
+#   ./scripts/check_pkgdoc.sh
+#
+# Exits non-zero listing every package that fails either check.
+set -u
+
+fail=0
+
+for dir in $(find internal -type d | sort); do
+    # Skip directories without non-test Go files (testdata, empty parents).
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    src=""
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q '^// Package ' "$f"; then
+            src="$f"
+            break
+        fi
+    done
+    if [ -z "$src" ]; then
+        echo "FAIL $dir: no package comment (add a doc.go)"
+        fail=1
+        continue
+    fi
+    # The comment is the contiguous // block ending at the package clause.
+    doc=$(awk '/^\/\//{buf = buf $0 "\n"; next} /^package /{printf "%s", buf; exit} {buf = ""}' "$src")
+    if ! printf '%s' "$doc" | grep -Eq '§|[Pp]aper|Fig[ .]|Table I|stand-in|analogue|DESIGN\.md'; then
+        echo "FAIL $dir ($src): package comment cites no paper section or substitution rationale"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "pkgdoc: all internal packages anchored to the paper"
+fi
+exit "$fail"
