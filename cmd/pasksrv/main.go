@@ -20,7 +20,7 @@ func main() {
 	fmt.Printf("pasksrv listening on %s\n", *addr)
 	fmt.Println("endpoints:")
 	fmt.Println("  GET  /v1/models /v1/devices /v1/schemes")
-	fmt.Println("  POST /v1/coldstart /v1/serve /v1/multitenant   (JSON body)")
+	fmt.Println("  POST /v1/coldstart /v1/serve /v1/multitenant /v1/overload   (JSON body)")
 	fmt.Println("  GET  /v1/runs/{id}/trace   (Chrome trace of a past run)")
 	fmt.Println("  GET  /metrics              (Prometheus text format)")
 	fmt.Println("  deprecated GET aliases: /models /devices /schemes /coldstart /serve /multitenant")

@@ -57,6 +57,21 @@ type Options struct {
 	// warmup package's Recorder implements it to build load profiles for
 	// cross-run prefetching.
 	Profile ProfileObserver
+	// Pressure, when non-nil, is polled at every primitive decision: at
+	// PressureElevated a selective-phase categorical miss tries forced
+	// cross-category reuse before loading; at PressureSevere the eager phase
+	// too prefers resident substitutes over unconditional loads. The serving
+	// layer's brownout controller raises it under queueing pressure.
+	Pressure PressureSource
+}
+
+// pressure returns the options' current pressure level (nominal when no
+// source is wired).
+func (o Options) pressure() PressureLevel {
+	if o.Pressure == nil {
+		return PressureNominal
+	}
+	return o.Pressure.Pressure()
 }
 
 // ProfileObserver is the seam profile recording hangs off the interleaved
@@ -93,6 +108,10 @@ type Result struct {
 	ForcedReuse         int // layers served by an already-loaded substitute after a failure
 	LadderFallbacks     int // layers served by loading a more generic alternative
 	ElidedXformFailures int // interchange kernels dropped because their object failed to load
+	// PressureReuse counts layers served by a resident substitute purely
+	// because the pressure signal forced reuse — loads the brownout avoided
+	// that nominal Algorithm 1 would have issued.
+	PressureReuse int
 	// Substitutions records every degraded layer decision for auditing.
 	Substitutions []Substitution
 }
@@ -366,6 +385,15 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 	}
 	selectivePhase := pl.selective && (pl.parseDone || pl.opts.NoEagerPhase)
 	if !selectivePhase {
+		if pl.selective && pl.opts.pressure() >= PressureSevere {
+			// Severe brownout overrides the milestone rule: even eager-phase
+			// layers run on a resident substitute when one applies, so the
+			// cold path issues no avoidable loads while the fleet is drowning.
+			if sub, ok := pl.pressureSub(lp, true, instr.Name, sInst, prob); ok {
+				pl.res.Milestone++
+				return sub, prob, true, nil
+			}
+		}
 		pl.res.Milestone++
 		if err := lib.EnsureLoaded(lp, sInst); err != nil {
 			if pl.opts.NoDegradation {
@@ -414,6 +442,14 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 	}
 	pl.addGetsub(instr.Name, lp.Name(), start, lp.Now(),
 		metrics.Attr{Key: "hit", Value: "false"})
+	if pl.opts.pressure() >= PressureElevated {
+		// Brownout: before paying a demand load, accept any applicable
+		// already-loaded instance — the forced-reuse step of the fault
+		// ladder, engaged by queueing pressure instead of a load failure.
+		if sub, ok := pl.pressureSub(lp, false, instr.Name, sInst, prob); ok {
+			return sub, prob, true, nil
+		}
+	}
 	if err := lib.EnsureLoaded(lp, sInst); err != nil {
 		if pl.opts.NoDegradation {
 			return miopen.Instance{}, prob, false, err
@@ -425,6 +461,36 @@ func (pl *pipeline) decidePrimitive(lp *sim.Proc, instr *graphx.Instruction) (mi
 	}
 	pl.cache.Insert(sInst)
 	return sInst, prob, false, nil
+}
+
+// pressureSub looks for a resident substitute under brownout pressure:
+// optionally the categorical lookup first (a same-pattern match is the
+// better kernel), then forced cross-category reuse. Hits are counted apart
+// from fault-driven reuse so experiments can attribute avoided loads to the
+// pressure signal.
+func (pl *pipeline) pressureSub(lp *sim.Proc, tryCategorical bool, layer string, want miopen.Instance, prob *miopen.Problem) (miopen.Instance, bool) {
+	start := lp.Now()
+	var sub miopen.Instance
+	ok := false
+	if tryCategorical {
+		sub, ok = pl.cache.GetSub(lp, pl.r.Lib, want, prob)
+	}
+	if !ok {
+		sub, ok = pl.cache.GetSubAny(lp, pl.r.Lib, want, prob)
+	}
+	pl.addGetsub(layer, lp.Name(), start, lp.Now(),
+		metrics.Attr{Key: "hit", Value: fmt.Sprint(ok)},
+		metrics.Attr{Key: "pressure", Value: pl.opts.pressure().String()})
+	if !ok {
+		return miopen.Instance{}, false
+	}
+	pl.res.SkippedLoads++
+	pl.res.PressureReuse++
+	pl.res.Skipped = append(pl.res.Skipped, want)
+	pl.res.Substitutions = append(pl.res.Substitutions, Substitution{
+		Layer: layer, Want: want, Got: sub, Prob: *prob, Forced: true,
+	})
+	return sub, true
 }
 
 // decideGemm applies the same policy to BLAS kernels under the §VI
@@ -487,17 +553,29 @@ func (pl *pipeline) insertBlas(inst blas.Instance) {
 // everything, then run layer by layer on one thread) with reuse through the
 // given cache — typically the NaiveCache with its exhaustive scans.
 func RunSequentialReuse(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache) (*Result, error) {
-	return runSequential(p, r, m, cache, true)
+	return runSequential(p, r, m, cache, true, Options{})
+}
+
+// RunSequentialReuseOpts is RunSequentialReuse with executor options — the
+// serving layer threads its pressure signal through here.
+func RunSequentialReuseOpts(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, opts Options) (*Result, error) {
+	return runSequential(p, r, m, cache, true, opts)
 }
 
 // RunWarmReuse serves a request on a warm engine that retains the parsed
 // program: layers still follow Algorithm 1 against the cache (paper §VI's
 // subsequent-request behavior) but nothing is re-parsed.
 func RunWarmReuse(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache) (*Result, error) {
-	return runSequential(p, r, m, cache, false)
+	return runSequential(p, r, m, cache, false, Options{})
 }
 
-func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, parse bool) (*Result, error) {
+// RunWarmReuseOpts is RunWarmReuse with executor options (pressure signal,
+// profile observer) carried through to the per-layer decisions.
+func RunWarmReuseOpts(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, opts Options) (*Result, error) {
+	return runSequential(p, r, m, cache, false, opts)
+}
+
+func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, parse bool, opts Options) (*Result, error) {
 	res := &Result{}
 	p.Sleep(r.RT.Host.IterOverhead)
 	if parse {
@@ -556,6 +634,18 @@ func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache
 				start := p.Now()
 				sub, ok := cache.GetSub(p, r.Lib, sInst, &instr.Problem)
 				r.Tracer.Add(metrics.CatOverhead, "getsub:"+instr.Name, p.Name(), start, p.Now())
+				if !ok && opts.pressure() >= PressureElevated {
+					// Brownout on the warm/sequential path: forced
+					// cross-category reuse before a demand load, mirroring
+					// the interleaved loader's pressure branch.
+					if psub, pok := cache.GetSubAny(p, r.Lib, sInst, &instr.Problem); pok {
+						res.PressureReuse++
+						res.Substitutions = append(res.Substitutions, Substitution{
+							Layer: instr.Name, Want: sInst, Got: psub, Prob: instr.Problem, Forced: true,
+						})
+						sub, ok = psub, true
+					}
+				}
 				if ok {
 					res.SkippedLoads++
 					res.Skipped = append(res.Skipped, sInst)

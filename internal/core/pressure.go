@@ -1,0 +1,51 @@
+package core
+
+// PressureLevel is the overload-pressure signal the serving layer feeds into
+// Algorithm 1's per-layer decision. PASK's selective reuse (paper §III-B)
+// already trades per-layer optimality against load cost; under overload that
+// trade shifts further toward reuse — every avoided demand load shortens the
+// queue for everyone. Levels only ever raise reuse aggressiveness; they never
+// change which requests complete, only which code objects serve them.
+type PressureLevel int
+
+const (
+	// PressureNominal leaves Algorithm 1 untouched.
+	PressureNominal PressureLevel = iota
+	// PressureElevated forces cross-category reuse: a selective-phase layer
+	// whose categorical lookup misses runs on any applicable already-loaded
+	// instance (the GetSubAny / forced-reuse path from the fault ladder)
+	// before falling back to a demand load.
+	PressureElevated
+	// PressureSevere additionally overrides the eager phase: even before the
+	// parse milestone, layers prefer resident substitutes over unconditional
+	// loads — the full brownout, trading first-request optimality for not
+	// touching storage at all when something loaded can run.
+	PressureSevere
+)
+
+// String names the level for trace attributes and metrics labels.
+func (l PressureLevel) String() string {
+	switch {
+	case l <= PressureNominal:
+		return "nominal"
+	case l == PressureElevated:
+		return "elevated"
+	default:
+		return "severe"
+	}
+}
+
+// PressureSource supplies the current pressure level. Implementations must
+// be cheap and must not consume virtual time: the executor polls it inline
+// on the loading thread at every primitive decision. The serving layer's
+// brownout controller implements it; StaticPressure pins a level for
+// experiments and the public API.
+type PressureSource interface {
+	Pressure() PressureLevel
+}
+
+// StaticPressure is a PressureSource stuck at a fixed level.
+type StaticPressure PressureLevel
+
+// Pressure implements PressureSource.
+func (s StaticPressure) Pressure() PressureLevel { return PressureLevel(s) }

@@ -130,6 +130,7 @@ func (ms *ModelSetup) RunSchemeWarm(scheme core.Scheme, opts core.Options, rec *
 			rep.Lookups = res.Cache.Lookups
 			rep.Milestone = res.Milestone
 			rep.SkippedLoads = res.SkippedLoads
+			rep.PressureReuse = res.PressureReuse
 		}
 	})
 	if err := pr.Env.Run(); err != nil {

@@ -59,6 +59,22 @@ type Plan struct {
 	// DeviceResetAt, when positive, unloads every module at that virtual
 	// time — the driver-level device reset / preemption event.
 	DeviceResetAt time.Duration
+
+	// SlowLoadExtra models a sustained storage/driver brownout (an NFS or
+	// registry slowdown rather than a per-load spike): every module load
+	// whose start falls inside [SlowFrom, SlowUntil) pays this much extra.
+	// SlowUntil of zero with a positive SlowLoadExtra means "until forever".
+	SlowLoadExtra time.Duration
+	SlowFrom      time.Duration
+	SlowUntil     time.Duration
+
+	// FloodN, when positive, describes a synthetic request flood the serving
+	// layer splices into its arrival trace: FloodN extra requests starting at
+	// FloodAt, spaced FloodGap apart (default 0 — a simultaneous burst). The
+	// injector itself never sees requests; serving.ApplyFlood consumes these.
+	FloodN   int
+	FloodAt  time.Duration
+	FloodGap time.Duration
 }
 
 func (p Plan) burst() int {
@@ -80,6 +96,7 @@ type Stats struct {
 	TransientFaults int // reads failed with a retriable error
 	CorruptReads    int // reads answered with corrupted bytes
 	LatencySpikes   int // loads slowed by SpikeExtra
+	SlowLoads       int // loads slowed inside the slow-loader window
 	Resets          int // device resets fired
 }
 
@@ -194,20 +211,29 @@ func (inj *Injector) PermanentlyCorrupt(path string) bool {
 }
 
 // ExtraLoadLatency implements hip.LoadFaultInjector: the extra virtual time
-// a module load spends when a spike fires.
-func (inj *Injector) ExtraLoadLatency(path string) time.Duration {
-	if inj == nil || inj.plan.SpikeRate <= 0 {
+// a module load starting at now spends. Seeded per-load spikes and the
+// windowed slow-loader brownout stack — a spike during the window pays both.
+func (inj *Injector) ExtraLoadLatency(now time.Duration, path string) time.Duration {
+	if inj == nil {
 		return 0
 	}
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
-	n := inj.loadN[path]
-	inj.loadN[path] = n + 1
-	if inj.roll("spike", path, n) < inj.plan.SpikeRate {
-		inj.stats.LatencySpikes++
-		return inj.plan.spike()
+	var extra time.Duration
+	if inj.plan.SlowLoadExtra > 0 && now >= inj.plan.SlowFrom &&
+		(inj.plan.SlowUntil <= 0 || now < inj.plan.SlowUntil) {
+		inj.stats.SlowLoads++
+		extra += inj.plan.SlowLoadExtra
 	}
-	return 0
+	if inj.plan.SpikeRate > 0 {
+		n := inj.loadN[path]
+		inj.loadN[path] = n + 1
+		if inj.roll("spike", path, n) < inj.plan.SpikeRate {
+			inj.stats.LatencySpikes++
+			extra += inj.plan.spike()
+		}
+	}
+	return extra
 }
 
 // DisabledIDs returns the seeded subset of solution IDs the find path must
@@ -262,7 +288,8 @@ func (inj *Injector) Stats() Stats {
 
 // ParsePlan decodes a comma-separated fault spec such as
 //
-//	"transient=0.1,permanent=0.02,seed=7,burst=2,spike=0.05,spike_ms=3,reset_ms=40,disable=0.1"
+//	"transient=0.1,permanent=0.02,seed=7,burst=2,spike=0.05,spike_ms=3,reset_ms=40,disable=0.1,
+//	 slow_ms=1,slow_from_ms=10,slow_until_ms=30,flood_n=20,flood_ms=5,flood_gap_ms=0.1"
 //
 // Keys the plan does not own are returned in leftover for the caller —
 // command-line tools piggyback scenario keys (model=..., requests=...) on
@@ -324,6 +351,23 @@ func ParsePlan(spec string) (Plan, map[string]string, error) {
 			p.SpikeExtra, err = ms()
 		case "reset_ms":
 			p.DeviceResetAt, err = ms()
+		case "slow_ms":
+			p.SlowLoadExtra, err = ms()
+		case "slow_from_ms":
+			p.SlowFrom, err = ms()
+		case "slow_until_ms":
+			p.SlowUntil, err = ms()
+		case "flood_n":
+			var n int
+			n, err = strconv.Atoi(val)
+			if err != nil || n < 0 {
+				err = fmt.Errorf("faults: flood_n=%q is not a non-negative integer", val)
+			}
+			p.FloodN = n
+		case "flood_ms":
+			p.FloodAt, err = ms()
+		case "flood_gap_ms":
+			p.FloodGap, err = ms()
 		default:
 			leftover[key] = val
 		}

@@ -16,7 +16,7 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if err != nil || &got[0] != &data[0] {
 		t.Fatalf("nil injector altered read: %v %v", got, err)
 	}
-	if inj.ExtraLoadLatency("a.pko") != 0 {
+	if inj.ExtraLoadLatency(0, "a.pko") != 0 {
 		t.Fatal("nil injector injected latency")
 	}
 	if inj.DisabledIDs([]string{"x"}) != nil {
@@ -42,7 +42,7 @@ func TestDeterministicReplay(t *testing.T) {
 			got, err := inj.StoreGet(path, data)
 			ioFail = append(ioFail, err != nil)
 			corrupt = append(corrupt, err == nil && got[len(got)/2] != data[len(data)/2])
-			spiked = append(spiked, inj.ExtraLoadLatency(path) > 0)
+			spiked = append(spiked, inj.ExtraLoadLatency(0, path) > 0)
 		}
 		return ioFail, corrupt, spiked
 	}
@@ -201,5 +201,73 @@ func TestInjectedErrorsAreTyped(t *testing.T) {
 	_, err := inj.StoreGet("x.pko", []byte{0})
 	if !errors.Is(err, codeobj.ErrIO) {
 		t.Fatalf("injected error %v does not wrap codeobj.ErrIO", err)
+	}
+}
+
+func TestSlowLoaderWindow(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		now  time.Duration
+		want time.Duration
+	}{
+		{"before window", Plan{SlowLoadExtra: 5 * time.Millisecond, SlowFrom: 10 * time.Millisecond, SlowUntil: 30 * time.Millisecond}, 9 * time.Millisecond, 0},
+		{"at start (inclusive)", Plan{SlowLoadExtra: 5 * time.Millisecond, SlowFrom: 10 * time.Millisecond, SlowUntil: 30 * time.Millisecond}, 10 * time.Millisecond, 5 * time.Millisecond},
+		{"inside", Plan{SlowLoadExtra: 5 * time.Millisecond, SlowFrom: 10 * time.Millisecond, SlowUntil: 30 * time.Millisecond}, 20 * time.Millisecond, 5 * time.Millisecond},
+		{"at end (exclusive)", Plan{SlowLoadExtra: 5 * time.Millisecond, SlowFrom: 10 * time.Millisecond, SlowUntil: 30 * time.Millisecond}, 30 * time.Millisecond, 0},
+		{"zero until means forever", Plan{SlowLoadExtra: 5 * time.Millisecond, SlowFrom: 10 * time.Millisecond}, time.Hour, 5 * time.Millisecond},
+		{"no extra means disabled", Plan{SlowFrom: 0, SlowUntil: time.Hour}, time.Millisecond, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := New(tc.plan)
+			if got := inj.ExtraLoadLatency(tc.now, "m.pko"); got != tc.want {
+				t.Fatalf("ExtraLoadLatency(%v) = %v, want %v", tc.now, got, tc.want)
+			}
+			wantSlow := 0
+			if tc.want > 0 {
+				wantSlow = 1
+			}
+			if inj.Stats().SlowLoads != wantSlow {
+				t.Fatalf("SlowLoads = %d, want %d", inj.Stats().SlowLoads, wantSlow)
+			}
+		})
+	}
+}
+
+func TestSlowLoaderStacksWithSpike(t *testing.T) {
+	// SpikeRate 1 fires on every load; inside the window a load pays both
+	// the spike and the brownout extra.
+	inj := New(Plan{Seed: 1, SlowLoadExtra: 4 * time.Millisecond,
+		SpikeRate: 1, SpikeExtra: 3 * time.Millisecond})
+	if got := inj.ExtraLoadLatency(0, "m.pko"); got != 7*time.Millisecond {
+		t.Fatalf("stacked extra = %v, want 7ms", got)
+	}
+	st := inj.Stats()
+	if st.SlowLoads != 1 || st.LatencySpikes != 1 {
+		t.Fatalf("stats = %+v, want one slow load and one spike", st)
+	}
+}
+
+func TestParsePlanOverloadKeys(t *testing.T) {
+	p, left, err := ParsePlan("slow_ms=2,slow_from_ms=10,slow_until_ms=30,flood_n=20,flood_ms=5,flood_gap_ms=0.5")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.SlowLoadExtra != 2*time.Millisecond || p.SlowFrom != 10*time.Millisecond ||
+		p.SlowUntil != 30*time.Millisecond {
+		t.Fatalf("slow-loader fields mismatch: %+v", p)
+	}
+	if p.FloodN != 20 || p.FloodAt != 5*time.Millisecond || p.FloodGap != 500*time.Microsecond {
+		t.Fatalf("flood fields mismatch: %+v", p)
+	}
+	if len(left) != 0 {
+		t.Fatalf("unexpected leftovers: %v", left)
+	}
+	if _, _, err := ParsePlan("flood_n=-1"); err == nil {
+		t.Fatal("negative flood_n accepted")
+	}
+	if _, _, err := ParsePlan("flood_n=2.5"); err == nil {
+		t.Fatal("fractional flood_n accepted")
 	}
 }

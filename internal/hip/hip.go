@@ -96,9 +96,11 @@ func DefaultRetryPolicy() RetryPolicy {
 }
 
 // LoadFaultInjector adds latency to module loads — the seam the faults
-// package uses for load-time spikes. A nil injector costs nothing.
+// package uses for load-time spikes and windowed slow-loader brownouts (the
+// virtual start time of the load is passed so injectors can gate on it). A
+// nil injector costs nothing.
 type LoadFaultInjector interface {
-	ExtraLoadLatency(path string) time.Duration
+	ExtraLoadLatency(now time.Duration, path string) time.Duration
 }
 
 // RegistryObserver receives the shared registry's notable moments — the seam
@@ -463,7 +465,7 @@ func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
 		return nil, fmt.Errorf("hip: ModuleLoad: %w", err)
 	}
 	if rt.sh.loadFaults != nil {
-		if d := rt.sh.loadFaults.ExtraLoadLatency(path); d > 0 {
+		if d := rt.sh.loadFaults.ExtraLoadLatency(p.Now(), path); d > 0 {
 			p.Sleep(d)
 		}
 	}

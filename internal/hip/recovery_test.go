@@ -39,7 +39,7 @@ type spikeOnce struct {
 	seen  map[string]bool
 }
 
-func (h *spikeOnce) ExtraLoadLatency(path string) time.Duration {
+func (h *spikeOnce) ExtraLoadLatency(_ time.Duration, path string) time.Duration {
 	if h.seen == nil {
 		h.seen = make(map[string]bool)
 	}

@@ -78,6 +78,7 @@ func New() *Server {
 	s.mux.HandleFunc("POST /v1/coldstart", s.handleColdStartV1)
 	s.mux.HandleFunc("POST /v1/serve", s.handleServeV1)
 	s.mux.HandleFunc("POST /v1/multitenant", s.handleMultitenantV1)
+	s.mux.HandleFunc("POST /v1/overload", s.handleOverloadV1)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/warmup/{model}", s.handleWarmupProfile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -102,12 +103,18 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// statusFromErr maps the stack's typed sentinels to HTTP statuses: a missed
+// statusFromErr maps the stack's typed sentinels to HTTP statuses: a shed
+// request is 429 (the client should back off and retry), an open breaker is
+// 503 (the model is sick — retrying immediately won't help), a missed
 // deadline is a gateway timeout, a crashed instance or an exhausted
 // degradation ladder is service unavailability, a missing code object is a
 // 404, and anything unrecognized stays a blanket 500.
 func statusFromErr(err error) int {
 	switch {
+	case errors.Is(err, serving.ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serving.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, serving.ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, serving.ErrInstanceCrashed), errors.Is(err, core.ErrNoUsableSolution):
@@ -122,6 +129,10 @@ func statusFromErr(err error) int {
 // codeFromErr names the error for the machine-readable envelope field.
 func codeFromErr(err error, status int) string {
 	switch {
+	case errors.Is(err, serving.ErrShed):
+		return "shed"
+	case errors.Is(err, serving.ErrBreakerOpen):
+		return "breaker_open"
 	case errors.Is(err, serving.ErrDeadlineExceeded):
 		return "deadline_exceeded"
 	case errors.Is(err, serving.ErrInstanceCrashed):
@@ -849,6 +860,116 @@ func (s *Server) handleMultitenantLegacy(w http.ResponseWriter, r *http.Request)
 		writeErr(w, status, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// OverloadRequest parameterizes POST /v1/overload: one (device, trace-kind)
+// cell of the overload-protection experiment, across one arm or all three.
+type OverloadRequest struct {
+	Model  string `json:"model"`
+	Device string `json:"device,omitempty"`
+	Batch  int    `json:"batch,omitempty"`
+	// Trace is "burst" (default: a simultaneous-arrival spike under a
+	// slow-loader storm) or "poisson" (a device reset mid-trace trips the
+	// breaker).
+	Trace string `json:"trace,omitempty"`
+	// Arm is "none", "shed" or "brownout"; empty runs all three for a
+	// side-by-side comparison.
+	Arm string `json:"arm,omitempty"`
+	// Requests sizes the Poisson trace, Burst the spike (defaults 40/36,
+	// max 10000 each). Quick shrinks both to CI-smoke size.
+	Requests int  `json:"requests,omitempty"`
+	Burst    int  `json:"burst,omitempty"`
+	Quick    bool `json:"quick,omitempty"`
+}
+
+// OverloadResponse is the overload reply: the measured cells, one per arm.
+type OverloadResponse struct {
+	Model  string `json:"model"`
+	Device string `json:"device"`
+	Batch  int    `json:"batch"`
+	Trace  string `json:"trace"`
+	Seed   int64  `json:"seed"`
+
+	Cells []serving.OverloadCell `json:"cells"`
+
+	RunID    string `json:"run_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
+}
+
+// runOverload executes one validated overload request. rec may be nil.
+func (s *Server) runOverload(req OverloadRequest, rec *trace.Recorder) (*OverloadResponse, int, error) {
+	if req.Model == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing model")
+	}
+	prof, err := parseDevice(req.Device)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch < 1 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad batch %d", batch)
+	}
+	traceKind := req.Trace
+	if traceKind == "" {
+		traceKind = "burst"
+	}
+	if traceKind != "burst" && traceKind != "poisson" {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad trace %q (want burst or poisson)", req.Trace)
+	}
+	arms := serving.OverloadArms()
+	if req.Arm != "" {
+		arm, ok := serving.OverloadArmByName(req.Arm)
+		if !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad arm %q (want none, shed or brownout)", req.Arm)
+		}
+		arms = []serving.OverloadArm{arm}
+	}
+	if req.Requests < 0 || req.Requests > 10000 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad requests %d", req.Requests)
+	}
+	if req.Burst < 0 || req.Burst > 10000 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad burst %d", req.Burst)
+	}
+
+	ms, err := s.setup(req.Model, batch, prof)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cfg := serving.OverloadConfig{
+		Model: req.Model, Batch: batch,
+		Requests: req.Requests, Burst: req.Burst, Quick: req.Quick,
+	}.Filled()
+	cells, err := serving.OverloadRun(ms, cfg, traceKind, arms, rec)
+	if err != nil {
+		return nil, statusFromErr(err), err
+	}
+	return &OverloadResponse{
+		Model: req.Model, Device: prof.Name, Batch: batch, Trace: traceKind,
+		Seed:  cfg.Seed,
+		Cells: cells,
+	}, http.StatusOK, nil
+}
+
+// handleOverloadV1 runs one overload-protection cell from a JSON body,
+// recording its trace (breaker state and brownout pressure counters land in
+// the timeline when a brownout arm runs).
+func (s *Server) handleOverloadV1(w http.ResponseWriter, r *http.Request) {
+	var req OverloadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rec := trace.New()
+	resp, status, err := s.runOverload(req, rec)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	resp.RunID = s.storeRun(rec, nil)
+	resp.TraceURL = "/v1/runs/" + resp.RunID + "/trace"
 	writeJSON(w, http.StatusOK, resp)
 }
 

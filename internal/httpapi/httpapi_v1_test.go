@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"pask/internal/serving"
 	"pask/internal/trace"
 	"pask/internal/warmup"
 )
@@ -288,6 +289,93 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestV1OverloadEndpoint(t *testing.T) {
+	srv := New()
+	resp, body := postJSON(t, srv, "/v1/overload", `{"model":"res","trace":"burst","quick":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var or OverloadResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Cells) != 3 {
+		t.Fatalf("got %d cells, want all three arms: %s", len(or.Cells), body)
+	}
+	byArm := map[string]bool{}
+	for _, c := range or.Cells {
+		byArm[c.Arm] = true
+		if c.Requests == 0 {
+			t.Fatalf("cell %q has zero requests", c.Arm)
+		}
+	}
+	if !byArm["none"] || !byArm["shed"] || !byArm["brownout"] {
+		t.Fatalf("missing arms: %v", byArm)
+	}
+	if or.Seed == 0 || or.Device == "" {
+		t.Fatalf("effective config not reported: %+v", or)
+	}
+	if or.RunID == "" || or.TraceURL == "" {
+		t.Fatalf("missing run id / trace url: %+v", or)
+	}
+	traceResp, traceBody := getFull(t, srv, or.TraceURL)
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", traceResp.StatusCode)
+	}
+	if _, err := trace.ValidateChrome(traceBody); err != nil {
+		t.Fatalf("overload trace invalid: %v", err)
+	}
+}
+
+func TestV1OverloadSingleArmAndValidation(t *testing.T) {
+	srv := New()
+	resp, body := postJSON(t, srv, "/v1/overload", `{"model":"res","arm":"shed","quick":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var or OverloadResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Cells) != 1 || or.Cells[0].Arm != "shed" {
+		t.Fatalf("unexpected cells: %s", body)
+	}
+	if or.Trace != "burst" {
+		t.Fatalf("default trace = %q, want burst", or.Trace)
+	}
+
+	for _, bad := range []string{
+		`{"trace":"burst"}`,                // missing model
+		`{"model":"res","arm":"panic"}`,    // unknown arm
+		`{"model":"res","trace":"square"}`, // unknown trace kind
+		`{"model":"res","burst":99999}`,    // burst over cap
+	} {
+		resp, body := postJSON(t, srv, "/v1/overload", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestOverloadErrorMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{serving.ErrShed, http.StatusTooManyRequests, "shed"},
+		{serving.ErrBreakerOpen, http.StatusServiceUnavailable, "breaker_open"},
+	}
+	for _, tc := range cases {
+		if got := statusFromErr(tc.err); got != tc.status {
+			t.Errorf("statusFromErr(%v) = %d, want %d", tc.err, got, tc.status)
+		}
+		if got := codeFromErr(tc.err, tc.status); got != tc.code {
+			t.Errorf("codeFromErr(%v) = %q, want %q", tc.err, got, tc.code)
 		}
 	}
 }

@@ -177,6 +177,11 @@ type Report struct {
 	Milestone    int // index of the milestone layer
 	SkippedLoads int // loads avoided via reuse
 
+	// PressureReuse counts layers served by pressure-forced substitutes —
+	// reuse taken only because the serving layer signaled overload (zero
+	// under nominal pressure).
+	PressureReuse int
+
 	// Profile-warmup statistics (zero unless the run replayed a manifest).
 	WarmupEntries    int // manifest entries the prefetcher considered
 	WarmupPrefetched int // objects made resident by replay (paid + coalesced)

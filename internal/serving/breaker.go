@@ -1,0 +1,190 @@
+package serving
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"pask/internal/trace"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets probe requests through; successes close the
+	// breaker, one failure reopens it with a longer cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state for trace attributes.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig parameterizes the per-model circuit breakers. The zero value
+// disables them.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive request failures (serve errors
+	// or deadline overruns from the FaultTolerance machinery) that trips the
+	// breaker open. 0 disables the breaker.
+	Threshold int
+	// Cooldown is the base open→half-open wait (default 2ms). Repeated
+	// trips back off exponentially from it, capped at MaxCooldown, with
+	// deterministic seeded jitter — the same capped-backoff policy
+	// FaultTolerance retries use.
+	Cooldown time.Duration
+	// MaxCooldown caps the trip backoff (default 8×Cooldown).
+	MaxCooldown time.Duration
+	// HalfOpenProbes is how many consecutive successes in half-open close
+	// the breaker again (default 1).
+	HalfOpenProbes int
+	// Seed selects the deterministic jitter stream for cooldowns.
+	Seed int64
+}
+
+func (c BreakerConfig) enabled() bool { return c.Threshold > 0 }
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 2 * time.Millisecond
+}
+
+func (c BreakerConfig) maxCooldown() time.Duration {
+	if c.MaxCooldown > 0 {
+		return c.MaxCooldown
+	}
+	return 8 * c.cooldown()
+}
+
+func (c BreakerConfig) probes() int {
+	if c.HalfOpenProbes > 0 {
+		return c.HalfOpenProbes
+	}
+	return 1
+}
+
+// expBackoff returns base·2^attempt capped at max, with a deterministic
+// ±25% jitter drawn from (seed, key, attempt) — the same FNV construction
+// the fault injector uses, so identical configurations replay identical
+// waits in virtual time while distinct keys desynchronize (no thundering
+// herd of simultaneous retries).
+func expBackoff(base, max time.Duration, attempt int, seed int64, key string) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, key, attempt)
+	frac := float64(h.Sum64()>>11) / float64(1<<53) // uniform in [0,1)
+	return d + time.Duration((frac-0.5)*0.5*float64(d))
+}
+
+// breaker is one model's circuit over the shared runtime: closed→open on
+// Threshold consecutive failures, open→half-open after a deterministic
+// cooldown, half-open→closed after enough probe successes (or back to open
+// on any probe failure, with a longer cooldown). All transitions happen at
+// request-dispatch points, so breaker state is a pure function of the
+// virtual-time request/outcome sequence — same seed, same transitions.
+type breaker struct {
+	cfg   BreakerConfig
+	model string
+	stats *Stats
+	rec   *trace.Recorder
+
+	state    BreakerState
+	fails    int // consecutive failures while closed or half-open
+	okProbes int // consecutive half-open successes
+	streak   int // consecutive trips without an intervening close (backoff exponent)
+	reopenAt time.Duration
+}
+
+func newBreaker(cfg BreakerConfig, model string, stats *Stats, rec *trace.Recorder) *breaker {
+	return &breaker{cfg: cfg, model: model, stats: stats, rec: rec}
+}
+
+// transition moves the breaker and emits the counter/instant trail the
+// Chrome trace and /metrics surfaces read.
+func (b *breaker) transition(now time.Duration, to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	b.rec.Count("breaker_state:"+b.model, now, float64(to))
+	b.rec.Instant("overload", "breaker:"+b.model+":"+to.String(), now)
+	switch to {
+	case BreakerOpen:
+		b.stats.BreakerTrips++
+	case BreakerClosed:
+		b.stats.BreakerRecoveries++
+	}
+}
+
+// allow reports whether a request may pass at now, performing the
+// open→half-open transition when the cooldown has elapsed.
+func (b *breaker) allow(now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case BreakerOpen:
+		if now < b.reopenAt {
+			return false
+		}
+		b.okProbes = 0
+		b.transition(now, BreakerHalfOpen)
+		return true
+	default:
+		return true
+	}
+}
+
+// observe folds one request outcome into the breaker.
+func (b *breaker) observe(now time.Duration, err error) {
+	if b == nil {
+		return
+	}
+	if err == nil {
+		b.fails = 0
+		if b.state == BreakerHalfOpen {
+			b.okProbes++
+			if b.okProbes >= b.cfg.probes() {
+				b.streak = 0
+				b.transition(now, BreakerClosed)
+			}
+		}
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.cfg.Threshold {
+		b.trip(now)
+	}
+}
+
+// trip opens the breaker with the streak's capped-exponential cooldown.
+func (b *breaker) trip(now time.Duration) {
+	cool := expBackoff(b.cfg.cooldown(), b.cfg.maxCooldown(), b.streak, b.cfg.Seed, b.model)
+	b.streak++
+	b.fails = 0
+	b.reopenAt = now + cool
+	b.transition(now, BreakerOpen)
+}

@@ -18,6 +18,7 @@ import (
 	"pask/internal/faults"
 	"pask/internal/graphx"
 	"pask/internal/sim"
+	"pask/internal/warmup"
 )
 
 var (
@@ -293,5 +294,84 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 	if len(t1.Rows) != 3 {
 		t.Fatalf("rows = %d, want one per policy", len(t1.Rows))
+	}
+}
+
+// TestRecordFailureIdempotent pins the per-request failure accounting: a
+// request index recorded twice (e.g. by a future code path that re-reports
+// a replacement's error) must count one failure, keeping the
+// served+failed==requests identity intact.
+func TestRecordFailureIdempotent(t *testing.T) {
+	s := &Stats{}
+	s.recordFailure(3, ErrDeadlineExceeded)
+	s.recordFailure(3, ErrInstanceCrashed)
+	if s.Failed != 1 {
+		t.Fatalf("Failed = %d after double report, want 1", s.Failed)
+	}
+	if len(s.FailedRequests) != 1 {
+		t.Fatalf("FailedRequests = %v", s.FailedRequests)
+	}
+	if !errors.Is(s.FailedRequests[3], ErrInstanceCrashed) {
+		t.Fatal("second report must keep the latest error")
+	}
+}
+
+// TestReplacementAccountingSingleCounted is the spot-preemption audit
+// regression: instances are preempted mid-trace AND crash on a permanently
+// corrupt object, every replacement runs a warmup replay whose manifest is
+// entirely stale — and the Stats must still single-count everything. Each
+// instance folds its replay exactly once, each failed request counts once,
+// and served+failed covers the trace.
+func TestReplacementAccountingSingleCounted(t *testing.T) {
+	ms := resSetup(t)
+	rec, err := ms.RunSchemeWarm(core.SchemePaSK, core.Options{}, nil, nil, true)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	man := rec.Profile
+	if man == nil || len(man.Entries) == 0 {
+		t.Fatal("recording produced no profile")
+	}
+	for i := range man.Entries {
+		man.Entries[i].Checksum++ // every replay entry is stale
+	}
+
+	plan := faults.Plan{PermanentRate: 0.05}
+	plan.Seed = findHostileSeed(t, ms, plan)
+	pol := Policy{
+		Scheme: core.SchemePaSK,
+		FT:     FaultTolerance{MaxRetries: 1, ContinueOnError: true},
+		Warmup: map[string]*warmup.Manifest{"res": man},
+		Faults: faults.New(plan),
+	}
+	const n = 12
+	trace := PoissonTrace(n, 2*time.Millisecond, 3)
+	stats, migrations, err := SpotPreemption(ms, pol, trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrations == 0 {
+		t.Fatal("preemption points produced no migrations")
+	}
+	if got := len(stats.Latencies) + stats.Failed; got != n {
+		t.Fatalf("served %d + failed %d != %d requests", len(stats.Latencies), stats.Failed, n)
+	}
+	if stats.Failed != len(stats.FailedRequests) {
+		t.Fatalf("Failed = %d but FailedRequests holds %d entries", stats.Failed, len(stats.FailedRequests))
+	}
+	// One replay fold per instance: the initial one, one per preemption
+	// replacement, one per crash replacement. A double fold would overshoot.
+	instances := 1 + migrations + stats.Crashes
+	if stats.WarmupReplays != instances {
+		t.Fatalf("WarmupReplays = %d, want %d (1 initial + %d migrations + %d crashes)",
+			stats.WarmupReplays, instances, migrations, stats.Crashes)
+	}
+	// Every replay saw the same all-stale manifest; a re-folded prefetcher
+	// would double the stale count.
+	if want := instances * len(man.Entries); stats.WarmupStale != want {
+		t.Fatalf("WarmupStale = %d, want %d", stats.WarmupStale, want)
+	}
+	if stats.WarmupLoads != 0 {
+		t.Fatalf("stale replays must load nothing, got %d", stats.WarmupLoads)
 	}
 }

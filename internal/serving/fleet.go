@@ -93,6 +93,9 @@ func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg
 	env := sim.NewEnv()
 	restore := InstallFaults(defSetup, cfg.Policy.Faults)
 	defer restore()
+	if cfg.Policy.Faults != nil {
+		trace = ApplyFlood(trace, cfg.Policy.Faults.Plan())
+	}
 
 	var host *GPUHost
 	if cfg.Shared {
@@ -100,6 +103,9 @@ func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg
 	}
 
 	stats := &FleetStats{ColdByModel: make(map[string][]time.Duration)}
+	// The guard installs the brownout controller as the policy's pressure
+	// source before any instance copies the policy.
+	guard := newOverloadGuard(&cfg.Policy, &stats.Stats)
 	var pool []*fleetInstance
 	freed := sim.NewSignal(env)
 	var firstErr error
@@ -216,6 +222,27 @@ func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg
 				return
 			}
 			p.SleepUntil(req.At)
+			// Admission is decided when the dispatcher reaches the request:
+			// a deep backlog sheds the oldest waiters first (drop-head), and
+			// a request that already outwaited its queue deadline while the
+			// dispatcher was blocked on a saturated pool is dropped as stale
+			// instead of occupying an instance.
+			if guard.admit(p.Now(), trace, i) != nil {
+				pending--
+				if pending == 0 {
+					done.Fire()
+				}
+				continue
+			}
+			brk := guard.breaker(model)
+			if brk != nil && !brk.allow(p.Now()) {
+				guard.reject(p.Now(), i)
+				pending--
+				if pending == 0 {
+					done.Fire()
+				}
+				continue
+			}
 			reap(p.Now())
 			fi := pick(p, model)
 			if firstErr != nil {
@@ -240,7 +267,9 @@ func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg
 						done.Fire()
 					}
 				}()
-				if _, err := fi.srv.serve(rp, i); err != nil {
+				_, err := fi.srv.serve(rp, i)
+				brk.observe(rp.Now(), err)
+				if err != nil {
 					if !cfg.Policy.FT.ContinueOnError {
 						fail(fmt.Errorf("request %d (%s): %w", i, model, err))
 					}
@@ -249,6 +278,7 @@ func ServeFleetModels(setups map[string]*experiments.ModelSetup, def string, cfg
 				// End-to-end latency from arrival: queueing + service.
 				latencies[i] = rp.Now() - arrived
 				served[i] = true
+				stats.observeSLO(latencies[i], cfg.Policy.SLO)
 				if wasCold {
 					stats.ColdStarts++
 					stats.ColdLatencies = append(stats.ColdLatencies, latencies[i])

@@ -1,0 +1,380 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"pask/internal/core"
+	"pask/internal/faults"
+)
+
+// TestBreakerStateMachine walks the closed→open→half-open→closed cycle with
+// explicit virtual times and checks every transition and its accounting.
+func TestBreakerStateMachine(t *testing.T) {
+	stats := &Stats{}
+	cfg := BreakerConfig{Threshold: 3, Cooldown: 2 * time.Millisecond, HalfOpenProbes: 2, Seed: 1}
+	b := newBreaker(cfg, "res", stats, nil)
+	fail := errors.New("boom")
+
+	if b.state != BreakerClosed {
+		t.Fatalf("initial state = %v", b.state)
+	}
+	// Two failures, a success, two more failures: the success resets the
+	// consecutive count, so the breaker must still be closed.
+	b.observe(0, fail)
+	b.observe(1, fail)
+	b.observe(2, nil)
+	b.observe(3, fail)
+	b.observe(4, fail)
+	if b.state != BreakerClosed {
+		t.Fatalf("state after interleaved success = %v", b.state)
+	}
+	// Third consecutive failure trips it.
+	b.observe(5, fail)
+	if b.state != BreakerOpen {
+		t.Fatalf("state after %d consecutive failures = %v", cfg.Threshold, b.state)
+	}
+	if stats.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d", stats.BreakerTrips)
+	}
+	if b.allow(5) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	// The cooldown is deterministic: base 2ms (attempt 0) with ±25% jitter.
+	cool := b.reopenAt - 5
+	if want := expBackoff(2*time.Millisecond, 16*time.Millisecond, 0, 1, "res"); cool != want {
+		t.Fatalf("cooldown = %v, want %v", cool, want)
+	}
+	if cool < 1500*time.Microsecond || cool > 2500*time.Microsecond {
+		t.Fatalf("cooldown %v outside the ±25%% jitter band", cool)
+	}
+	// After the cooldown the next request is a half-open probe.
+	if !b.allow(b.reopenAt) {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v", b.state)
+	}
+	// One probe success is not enough with HalfOpenProbes=2...
+	b.observe(b.reopenAt+1, nil)
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("state after first probe success = %v", b.state)
+	}
+	// ...the second closes it.
+	b.observe(b.reopenAt+2, nil)
+	if b.state != BreakerClosed {
+		t.Fatalf("state after probe successes = %v", b.state)
+	}
+	if stats.BreakerRecoveries != 1 {
+		t.Fatalf("BreakerRecoveries = %d", stats.BreakerRecoveries)
+	}
+}
+
+// TestBreakerHalfOpenFailureBacksOff verifies a failed probe reopens the
+// breaker immediately and that repeated trips stretch the cooldown
+// exponentially until the cap.
+func TestBreakerHalfOpenFailureBacksOff(t *testing.T) {
+	stats := &Stats{}
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Millisecond, MaxCooldown: 4 * time.Millisecond, Seed: 9}
+	b := newBreaker(cfg, "m", stats, nil)
+	fail := errors.New("boom")
+
+	now := time.Duration(0)
+	var cooldowns []time.Duration
+	for i := 0; i < 5; i++ {
+		b.observe(now, fail) // trips (threshold 1; in half-open any failure)
+		if b.state != BreakerOpen {
+			t.Fatalf("trip %d: state = %v", i, b.state)
+		}
+		cooldowns = append(cooldowns, b.reopenAt-now)
+		now = b.reopenAt
+		if !b.allow(now) || b.state != BreakerHalfOpen {
+			t.Fatalf("trip %d: breaker did not half-open", i)
+		}
+	}
+	// Cooldowns grow while uncapped...
+	if cooldowns[1] <= cooldowns[0] || cooldowns[2] <= cooldowns[1] {
+		t.Fatalf("cooldowns not growing: %v", cooldowns)
+	}
+	// ...and settle at the cap (±25% jitter of MaxCooldown).
+	last := cooldowns[len(cooldowns)-1]
+	if last < 3*time.Millisecond || last > 5*time.Millisecond {
+		t.Fatalf("capped cooldown %v outside the jittered cap band", last)
+	}
+	if stats.BreakerTrips != 5 {
+		t.Fatalf("BreakerTrips = %d", stats.BreakerTrips)
+	}
+	// A probe success after all that closes it and resets the streak.
+	b.observe(now, nil)
+	if b.state != BreakerClosed || b.streak != 0 {
+		t.Fatalf("state=%v streak=%d after recovery", b.state, b.streak)
+	}
+}
+
+// TestExpBackoff pins the deterministic-jitter contract: same inputs, same
+// wait; distinct keys desynchronize; the cap holds under jitter on attempt
+// growth; zero base disables it.
+func TestExpBackoff(t *testing.T) {
+	if expBackoff(0, time.Second, 3, 1, "k") != 0 {
+		t.Fatal("zero base must yield zero backoff")
+	}
+	a := expBackoff(time.Millisecond, 8*time.Millisecond, 2, 42, "res")
+	b := expBackoff(time.Millisecond, 8*time.Millisecond, 2, 42, "res")
+	if a != b {
+		t.Fatalf("backoff not deterministic: %v vs %v", a, b)
+	}
+	if c := expBackoff(time.Millisecond, 8*time.Millisecond, 2, 42, "vgg"); c == a {
+		t.Fatal("distinct keys should draw distinct jitter")
+	}
+	// attempt 2 doubles twice: 4ms ±25%.
+	if a < 3*time.Millisecond || a > 5*time.Millisecond {
+		t.Fatalf("attempt-2 backoff %v outside [3ms,5ms]", a)
+	}
+	// Far past the cap the value stays inside the jittered cap band.
+	d := expBackoff(time.Millisecond, 8*time.Millisecond, 30, 42, "res")
+	if d < 6*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("capped backoff %v outside [6ms,10ms]", d)
+	}
+}
+
+func TestAdmissionShouldShed(t *testing.T) {
+	tr := Trace{{At: 0}, {At: 1 * time.Millisecond}, {At: 2 * time.Millisecond}, {At: 3 * time.Millisecond}, {At: 90 * time.Millisecond}}
+	cases := []struct {
+		name  string
+		adm   AdmissionConfig
+		i     int
+		now   time.Duration
+		shed  bool
+		depth int
+	}{
+		// Depth is reported even with no bounds set — the guard's queue
+		// counter and the brownout controller read it.
+		{"disabled", AdmissionConfig{}, 0, 50 * time.Millisecond, false, 3},
+		// Backlog behind request 0 at t=5ms: requests 1..3 have arrived.
+		{"queue under", AdmissionConfig{MaxQueue: 4}, 0, 5 * time.Millisecond, false, 3},
+		{"queue at", AdmissionConfig{MaxQueue: 3}, 0, 5 * time.Millisecond, true, 3},
+		// Request 4 hasn't arrived by 5ms, so it never counts.
+		{"future excluded", AdmissionConfig{MaxQueue: 4}, 0, 5 * time.Millisecond, false, 3},
+		// Staleness: request 0 admitted late.
+		{"deadline ok", AdmissionConfig{QueueDeadline: 60 * time.Millisecond}, 0, 50 * time.Millisecond, false, 3},
+		{"deadline over", AdmissionConfig{QueueDeadline: 40 * time.Millisecond}, 0, 50 * time.Millisecond, true, 3},
+	}
+	for _, c := range cases {
+		shed, depth := c.adm.shouldShed(tr, c.i, c.now)
+		if shed != c.shed || depth != c.depth {
+			t.Errorf("%s: shouldShed = (%v,%d), want (%v,%d)", c.name, shed, depth, c.shed, c.depth)
+		}
+	}
+}
+
+func TestApplyFlood(t *testing.T) {
+	base := Trace{{At: 0}, {At: 10 * time.Millisecond}}
+	out := ApplyFlood(base, faults.Plan{FloodN: 3, FloodAt: 4 * time.Millisecond, FloodGap: time.Millisecond})
+	if len(out) != 5 {
+		t.Fatalf("flooded trace length %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].At < out[i-1].At {
+			t.Fatalf("flooded trace not time-sorted: %v", out)
+		}
+	}
+	// The three flood arrivals land at 4,5,6ms between the base requests.
+	var floodAts []time.Duration
+	for _, r := range out {
+		if r.At >= 4*time.Millisecond && r.At <= 6*time.Millisecond {
+			floodAts = append(floodAts, r.At)
+		}
+	}
+	if len(floodAts) != 3 {
+		t.Fatalf("flood arrivals = %v", floodAts)
+	}
+	// No flood in the plan: the trace passes through untouched.
+	if same := ApplyFlood(base, faults.Plan{}); len(same) != len(base) {
+		t.Fatalf("plan without flood changed the trace: %d requests", len(same))
+	}
+}
+
+// TestBrownoutHysteresis drives the controller through rise and relax and
+// checks the one-level-per-observation drain plus the shed trip.
+func TestBrownoutHysteresis(t *testing.T) {
+	stats := &Stats{}
+	b := newBrownout(BrownoutConfig{Enabled: true, EnterDepth: 3, SevereDepth: 6, ExitDepth: 1}, stats, nil)
+
+	b.observeDepth(0, 2) // below enter, above exit: no change
+	if b.Pressure() != core.PressureNominal {
+		t.Fatalf("pressure at depth 2 = %v", b.Pressure())
+	}
+	b.observeDepth(1, 3)
+	if b.Pressure() != core.PressureElevated {
+		t.Fatalf("pressure at enter depth = %v", b.Pressure())
+	}
+	b.observeDepth(2, 9)
+	if b.Pressure() != core.PressureSevere {
+		t.Fatalf("pressure at severe depth = %v", b.Pressure())
+	}
+	// In the hysteresis band nothing moves.
+	b.observeDepth(3, 2)
+	if b.Pressure() != core.PressureSevere {
+		t.Fatalf("pressure inside hysteresis band = %v", b.Pressure())
+	}
+	// At or below exit depth: one level per observation, not a cliff.
+	b.observeDepth(4, 1)
+	if b.Pressure() != core.PressureElevated {
+		t.Fatalf("first relax = %v", b.Pressure())
+	}
+	b.observeDepth(5, 0)
+	if b.Pressure() != core.PressureNominal {
+		t.Fatalf("second relax = %v", b.Pressure())
+	}
+	if stats.BrownoutEnters != 1 || stats.PressurePeak != int(core.PressureSevere) {
+		t.Fatalf("enters=%d peak=%d", stats.BrownoutEnters, stats.PressurePeak)
+	}
+
+	// Sustained shedding raises pressure even with a shallow queue.
+	sh := newBrownout(BrownoutConfig{Enabled: true, ShedTrip: 2}, stats, nil)
+	sh.observeShed(6)
+	if sh.Pressure() != core.PressureNominal {
+		t.Fatalf("pressure after one shed = %v", sh.Pressure())
+	}
+	sh.observeShed(7)
+	if sh.Pressure() != core.PressureElevated {
+		t.Fatalf("pressure after shed trip = %v", sh.Pressure())
+	}
+}
+
+// TestServeTraceSheddingInvariant floods a single instance beyond a tight
+// queue bound and checks the accounting identity: every request is exactly
+// one of served, failed, shed or breaker-rejected.
+func TestServeTraceSheddingInvariant(t *testing.T) {
+	ms := resSetup(t)
+	pol := Policy{
+		Scheme:    core.SchemePaSK,
+		FT:        FaultTolerance{ContinueOnError: true},
+		Admission: AdmissionConfig{MaxQueue: 2},
+	}
+	const n = 16
+	stats, err := ServeTrace(ms, pol, BurstTrace(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed == 0 {
+		t.Fatal("a 16-request burst against MaxQueue=2 must shed")
+	}
+	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected
+	if got != n {
+		t.Fatalf("served+failed+shed+rejected = %d, want %d (served=%d failed=%d shed=%d rejected=%d)",
+			got, n, len(stats.Latencies), stats.Failed, stats.Shed, stats.BreakerRejected)
+	}
+	for idx, ferr := range stats.FailedRequests {
+		if !errors.Is(ferr, ErrShed) {
+			t.Fatalf("request %d: %v is not ErrShed", idx, ferr)
+		}
+	}
+	// Drop-head: the shed requests are the oldest waiters, so the tail of
+	// the burst (the newest arrivals) is what got served.
+	if _, shedLast := stats.FailedRequests[n-1]; shedLast {
+		t.Fatal("drop-head admission shed the newest arrival")
+	}
+}
+
+// TestFleetOverloadInvariant runs the protected fleet on a burst and checks
+// the same identity under breakers and brownout.
+func TestFleetOverloadInvariant(t *testing.T) {
+	ms := resSetup(t)
+	pol := Policy{
+		Scheme:    core.SchemePaSK,
+		FT:        FaultTolerance{ContinueOnError: true},
+		Admission: AdmissionConfig{QueueDeadline: 150 * time.Millisecond},
+		Breaker:   BreakerConfig{Threshold: 3},
+		Brownout:  BrownoutConfig{Enabled: true},
+	}
+	const n = 24
+	stats, err := ServeFleet(ms, FleetConfig{Policy: pol, MaxInstances: 2}, BurstTrace(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected
+	if got != n {
+		t.Fatalf("served+failed+shed+rejected = %d, want %d", got, n)
+	}
+	if stats.Shed == 0 {
+		t.Fatal("deadline admission must shed under a 24-request burst on 2 instances")
+	}
+	if stats.PressurePeak == 0 {
+		t.Fatal("brownout never raised pressure under a saturating burst")
+	}
+	if stats.PressureReuse == 0 {
+		t.Fatal("severe pressure produced no forced reuse on cold starts")
+	}
+}
+
+// TestOverloadDeterministic runs the quick experiment twice and requires
+// byte-identical bench JSON — the acceptance bar for reproducibility.
+func TestOverloadDeterministic(t *testing.T) {
+	_, b1, err := Overload(OverloadConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b2, err := Overload(OverloadConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatal("overload bench JSON differs across identical runs")
+	}
+}
+
+// TestOverloadAcceptance runs the full experiment and checks the headline
+// claims on every device profile: on the burst trace the brownout arm beats
+// the unprotected arm on both p99 and loss rate, and on the Poisson trace
+// the protected arms' breakers both trip and recover.
+func TestOverloadAcceptance(t *testing.T) {
+	_, bench, err := Overload(OverloadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range bench.Devices {
+		cells := make(map[string]OverloadCell)
+		for _, c := range dev.Cells {
+			cells[c.Trace+"/"+c.Arm] = c
+		}
+		none, brown := cells["burst/none"], cells["burst/brownout"]
+		if brown.P99Ms >= none.P99Ms {
+			t.Errorf("%s burst: brownout p99 %.2fms not below none %.2fms", dev.Device, brown.P99Ms, none.P99Ms)
+		}
+		if brown.LossRate >= none.LossRate {
+			t.Errorf("%s burst: brownout loss %.2f not below none %.2f", dev.Device, brown.LossRate, none.LossRate)
+		}
+		if brown.PressureReuse == 0 {
+			t.Errorf("%s burst: brownout arm recorded no pressure-forced reuse", dev.Device)
+		}
+		if brown.ModuleLoads >= none.ModuleLoads {
+			t.Errorf("%s burst: brownout loads %d not below none %d", dev.Device, brown.ModuleLoads, none.ModuleLoads)
+		}
+		for _, arm := range []string{"shed", "brownout"} {
+			c := cells["poisson/"+arm]
+			if c.BreakerTrips == 0 || c.BreakerRecoveries == 0 {
+				t.Errorf("%s poisson/%s: trips=%d recoveries=%d, want both > 0", dev.Device, arm, c.BreakerTrips, c.BreakerRecoveries)
+			}
+			if c.BreakerRejected == 0 {
+				t.Errorf("%s poisson/%s: open breaker rejected nothing", dev.Device, arm)
+			}
+		}
+		// Each cell's accounting identity.
+		for key, c := range cells {
+			if got := c.Served + c.Failed + c.Shed + c.BreakerRejected; got != c.Requests {
+				t.Errorf("%s %s: served+failed+shed+rejected = %d, want %d", dev.Device, key, got, c.Requests)
+			}
+		}
+	}
+}

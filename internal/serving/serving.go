@@ -61,6 +61,21 @@ type Policy struct {
 	// its first request finds modules resident. Stale or partial manifests
 	// degrade the instance to a plain cold start; they never fail it.
 	Warmup map[string]*warmup.Manifest
+	// Admission bounds the request queue in front of the instances; excess
+	// load is shed with ErrShed. The zero value admits everything.
+	Admission AdmissionConfig
+	// Breaker trips a per-model circuit breaker on consecutive request
+	// failures; requests arriving while it is open are rejected with
+	// ErrBreakerOpen. The zero value disables breakers.
+	Breaker BreakerConfig
+	// Brownout raises PASK's reuse aggressiveness (core pressure signal)
+	// when the queue deepens, so layers run on already-loaded generic
+	// solutions instead of issuing new loads. Zero value disables it.
+	Brownout BrownoutConfig
+	// SLO is the end-to-end latency objective (queueing + service): served
+	// requests slower than it count in Stats.SLOMisses but stay in the
+	// latency distribution. 0 means no objective.
+	SLO time.Duration
 }
 
 // FaultTolerance is the degradation contract a serving scenario applies per
@@ -75,9 +90,17 @@ type FaultTolerance struct {
 	// MaxRetries re-runs a failed request on the same instance up to this
 	// many extra times before declaring the instance crashed.
 	MaxRetries int
-	// RetryBackoff is the virtual-time wait before the first retry,
-	// doubling per attempt (default 500µs).
+	// RetryBackoff is the virtual-time wait before the first retry, growing
+	// exponentially per attempt (default 500µs).
 	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential retry backoff (default 4×RetryBackoff
+	// — the historical cap).
+	MaxBackoff time.Duration
+	// BackoffSeed selects the deterministic jitter stream applied to every
+	// backoff step: waits get a seeded ±25% perturbation so co-failing
+	// servers do not retry in lockstep, while identical configurations
+	// still replay identical virtual-time schedules.
+	BackoffSeed int64
 	// ContinueOnError records failed requests in Stats.FailedRequests and
 	// keeps serving the rest of the trace instead of aborting it.
 	ContinueOnError bool
@@ -92,6 +115,21 @@ func (ft FaultTolerance) backoff() time.Duration {
 		return ft.RetryBackoff
 	}
 	return 500 * time.Microsecond
+}
+
+func (ft FaultTolerance) maxBackoff() time.Duration {
+	if ft.MaxBackoff > 0 {
+		return ft.MaxBackoff
+	}
+	return 4 * ft.backoff()
+}
+
+// backoffFor returns the wait before retry attempt (0-based): capped
+// exponential growth from RetryBackoff with deterministic seeded jitter.
+// The circuit breakers reuse the same policy (expBackoff) for their
+// open→half-open cooldowns.
+func (ft FaultTolerance) backoffFor(attempt int, key string) time.Duration {
+	return expBackoff(ft.backoff(), ft.maxBackoff(), attempt, ft.BackoffSeed, key)
 }
 
 // Instance is one process serving one model. The first request on a fresh
@@ -203,7 +241,7 @@ func (in *Instance) Serve(p *sim.Proc) (time.Duration, error) {
 	case in.Warm() && (in.policy.Scheme == core.SchemePaSK || in.policy.Scheme == core.SchemePaSKR):
 		// Subsequent requests keep following Algorithm 1 against the warm
 		// cache, with the parsed program retained (paper §VI).
-		in.lastResult, err = core.RunWarmReuse(p, in.pr.Runner, model, in.cache)
+		in.lastResult, err = core.RunWarmReuseOpts(p, in.pr.Runner, model, in.cache, in.policy.Options)
 	case in.Warm():
 		err = in.pr.Runner.RunHot(p, model)
 	case in.policy.Scheme == core.SchemeBaseline:
@@ -217,7 +255,7 @@ func (in *Instance) Serve(p *sim.Proc) (time.Duration, error) {
 	case in.policy.Scheme == core.SchemeNNV12 || in.policy.Scheme == core.SchemePaSKI:
 		_, err = core.RunInterleaved(p, in.pr.Runner, model, core.NewCategoricalCache(), false, in.policy.Options)
 	case in.policy.Scheme == core.SchemePaSKR:
-		in.lastResult, err = core.RunSequentialReuse(p, in.pr.Runner, model, in.cache)
+		in.lastResult, err = core.RunSequentialReuseOpts(p, in.pr.Runner, model, in.cache, in.policy.Options)
 	default: // PaSK
 		in.lastResult, err = core.RunInterleaved(p, in.pr.Runner, model, in.cache, true, in.policy.Options)
 	}
@@ -324,19 +362,48 @@ type Stats struct {
 	DegradedLayers int           // layers served by a forced substitute
 	FailedRequests map[int]error // request index -> final typed error
 
+	// Overload-protection accounting, populated when the policy enables
+	// admission control, breakers or brownout. Shed and BreakerRejected
+	// requests never reach an instance and are counted apart from Failed:
+	// the invariant is served + Failed + Shed + BreakerRejected == requests.
+	Shed              int // requests dropped by admission control (ErrShed)
+	BreakerRejected   int // requests refused while a breaker was open
+	SLOMisses         int // served requests whose end-to-end latency broke Policy.SLO
+	BreakerTrips      int // closed/half-open → open transitions
+	BreakerRecoveries int // half-open → closed transitions
+	BrownoutEnters    int // pressure transitions out of nominal
+	PressurePeak      int // highest pressure level reached (core.PressureLevel)
+	PressureReuse     int // layers served by pressure-forced substitutes
+
 	// sorted caches the ascending copy of Latencies for Percentile;
 	// sortedN is the Latencies length it was computed at.
 	sorted  []time.Duration
 	sortedN int
 }
 
-// recordFailure indexes a request's final error.
+// recordFailure indexes a request's final error. Idempotent per request
+// index: crash recovery can surface the same request's failure through more
+// than one path (replacement serve, deadline check), and the first recorded
+// error must count it exactly once.
 func (s *Stats) recordFailure(idx int, err error) {
-	s.Failed++
 	if s.FailedRequests == nil {
 		s.FailedRequests = make(map[int]error)
 	}
+	if _, dup := s.FailedRequests[idx]; !dup {
+		s.Failed++
+	}
 	s.FailedRequests[idx] = err
+}
+
+// recordShed indexes a request dropped by admission control. Shed requests
+// carry their typed error in FailedRequests but are counted in Shed, not
+// Failed — they were never attempted.
+func (s *Stats) recordShed(idx int) {
+	s.Shed++
+	if s.FailedRequests == nil {
+		s.FailedRequests = make(map[int]error)
+	}
+	s.FailedRequests[idx] = ErrShed
 }
 
 // Percentile returns the q-quantile latency. q is clamped into [0,1]
@@ -452,6 +519,7 @@ func (s *ftServer) replace() {
 func (s *ftServer) harvest(prev *core.Result) {
 	if res := s.inst.lastResult; res != nil && res != prev {
 		s.stats.DegradedLayers += res.Degraded()
+		s.stats.PressureReuse += res.PressureReuse
 	}
 }
 
@@ -503,13 +571,12 @@ func (s *ftServer) serveChecked(p *sim.Proc, idx int) (time.Duration, error) {
 	return lat, nil
 }
 
-// serveAttempts retries a failing request on the live instance with doubling
-// backoff, then declares the instance crashed, replaces it and makes one
-// final attempt on the fresh process (which also starts with an empty
-// negative load cache).
+// serveAttempts retries a failing request on the live instance with capped
+// exponential backoff (seeded jitter, see FaultTolerance.backoffFor), then
+// declares the instance crashed, replaces it and makes one final attempt on
+// the fresh process (which also starts with an empty negative load cache).
 func (s *ftServer) serveAttempts(p *sim.Proc) (time.Duration, error) {
 	ft := s.policy.FT
-	backoff := ft.backoff()
 	var err error
 	for attempt := 0; ; attempt++ {
 		prev := s.inst.lastResult
@@ -523,10 +590,7 @@ func (s *ftServer) serveAttempts(p *sim.Proc) (time.Duration, error) {
 			break
 		}
 		s.stats.Retries++
-		p.Sleep(backoff)
-		if backoff < 4*ft.backoff() {
-			backoff *= 2
-		}
+		p.Sleep(ft.backoffFor(attempt, s.ms.Spec.Abbr))
 	}
 	s.stats.Crashes++
 	s.replace()
@@ -546,11 +610,22 @@ func (s *ftServer) serveAttempts(p *sim.Proc) (time.Duration, error) {
 // ContinueOnError set, per-request failures are recorded in the stats and
 // the trace keeps going; otherwise the first failure aborts the run and the
 // partial stats are returned alongside the error.
+//
+// A policy with overload protections changes admission, not execution:
+// requests the admission bound sheds (or an open breaker rejects) are
+// recorded in the stats and skipped — the trace always continues past them,
+// because dropping load deliberately is the protection working, not a
+// failure. A fault plan carrying a request flood is spliced into the trace
+// before serving begins.
 func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEvery int) (*Stats, error) {
 	env := sim.NewEnv()
 	restore := InstallFaults(ms, policy.Faults)
 	defer restore()
+	if policy.Faults != nil {
+		trace = ApplyFlood(trace, policy.Faults.Plan())
+	}
 	stats := &Stats{}
+	guard := newOverloadGuard(&policy, stats)
 	srv := newFTServer(env, ms, policy, stats)
 	var runErr error
 	env.Spawn("server", func(p *sim.Proc) {
@@ -568,8 +643,17 @@ func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEve
 				}
 				p.SleepUntil(req.At)
 			}
+			if guard.admit(p.Now(), trace, i) != nil {
+				continue
+			}
+			brk := guard.breaker(ms.Spec.Abbr)
+			if brk != nil && !brk.allow(p.Now()) {
+				guard.reject(p.Now(), i)
+				continue
+			}
 			wasCold := !srv.inst.Warm()
 			lat, err := srv.serve(p, i)
+			brk.observe(p.Now(), err)
 			if err != nil {
 				if policy.FT.ContinueOnError {
 					continue
@@ -578,6 +662,7 @@ func ServeTrace(ms *experiments.ModelSetup, policy Policy, trace Trace, evictEve
 				return
 			}
 			stats.Latencies = append(stats.Latencies, lat)
+			stats.observeSLO(p.Now()-req.At, policy.SLO)
 			if wasCold {
 				stats.ColdStarts++
 				stats.ColdLatencies = append(stats.ColdLatencies, lat)

@@ -58,6 +58,105 @@ func TestBurstTraceAllAtZero(t *testing.T) {
 	}
 }
 
+// TestPoissonTraceSeeds pins the generator's seed contract across a grid of
+// (n, interval, seed): equal seeds replay the identical trace, different
+// seeds diverge, and the empirical mean inter-arrival stays within a factor
+// of two of the requested one (a loose sanity bound, not a statistics test).
+func TestPoissonTraceSeeds(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		interval time.Duration
+		seed     int64
+	}{
+		{"short fast", 20, time.Millisecond, 1},
+		{"short slow", 20, 50 * time.Millisecond, 2},
+		{"long", 200, 5 * time.Millisecond, 3},
+		{"seed zero", 50, 10 * time.Millisecond, 0},
+		{"negative seed", 50, 10 * time.Millisecond, -9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := PoissonTrace(c.n, c.interval, c.seed)
+			b := PoissonTrace(c.n, c.interval, c.seed)
+			if len(a) != c.n {
+				t.Fatalf("length %d, want %d", len(a), c.n)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("same seed diverged at request %d", i)
+				}
+				if i > 0 && a[i].At < a[i-1].At {
+					t.Fatalf("arrivals not monotonic at %d", i)
+				}
+			}
+			diff := PoissonTrace(c.n, c.interval, c.seed+1)
+			same := true
+			for i := range a {
+				if a[i] != diff[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("adjacent seeds produced identical traces")
+			}
+			mean := a[c.n-1].At / time.Duration(c.n)
+			if mean < c.interval/2 || mean > 2*c.interval {
+				t.Fatalf("empirical mean interval %v implausible for %v", mean, c.interval)
+			}
+		})
+	}
+}
+
+// TestTraceGeneratorShapes is the table-driven ordering contract for the
+// deterministic generators: lengths, monotonic arrival times, and for the
+// interleaved trace strict round-robin model assignment.
+func TestTraceGeneratorShapes(t *testing.T) {
+	models := []string{"res", "vgg", "bert"}
+	cases := []struct {
+		name string
+		tr   Trace
+		n    int
+	}{
+		{"burst empty", BurstTrace(0), 0},
+		{"burst", BurstTrace(7), 7},
+		{"interleaved empty", InterleavedTrace(nil, 3, time.Millisecond), 0},
+		{"interleaved", InterleavedTrace(models, 4, 2*time.Millisecond), 12},
+		{"poisson", PoissonTrace(30, time.Millisecond, 5), 30},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if len(c.tr) != c.n {
+				t.Fatalf("length %d, want %d", len(c.tr), c.n)
+			}
+			for i := 1; i < len(c.tr); i++ {
+				if c.tr[i].At < c.tr[i-1].At {
+					t.Fatalf("arrivals not monotonic at %d", i)
+				}
+			}
+		})
+	}
+	// Round-robin: request i carries models[i%len] at exactly i×interval.
+	iv := 2 * time.Millisecond
+	tr := InterleavedTrace(models, 4, iv)
+	counts := make(map[string]int)
+	for i, r := range tr {
+		if r.Model != models[i%len(models)] {
+			t.Fatalf("request %d model %q breaks round-robin", i, r.Model)
+		}
+		if r.At != time.Duration(i)*iv {
+			t.Fatalf("request %d at %v, want %v", i, r.At, time.Duration(i)*iv)
+		}
+		counts[r.Model]++
+	}
+	for _, m := range models {
+		if counts[m] != 4 {
+			t.Fatalf("model %s got %d requests, want 4", m, counts[m])
+		}
+	}
+}
+
 func TestStatsPercentiles(t *testing.T) {
 	s := &Stats{Latencies: []time.Duration{4, 1, 3, 2, 5}}
 	if s.Percentile(0.5) != 3 {

@@ -113,10 +113,13 @@ func formatPromValue(v float64) string {
 // sanitizeMetricName maps a counter-series name onto the Prometheus metric
 // charset [a-zA-Z0-9_:].
 func sanitizeMetricName(name string) string {
+	// Colons, though syntactically legal, are reserved by convention for
+	// recording rules — counter series like "breaker_state:res" flatten to
+	// underscores instead.
 	var b strings.Builder
 	for i, r := range name {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
 			b.WriteRune(r)
 		case r >= '0' && r <= '9' && i > 0:
 			b.WriteRune(r)

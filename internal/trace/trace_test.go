@@ -214,6 +214,9 @@ func TestRecorderConcurrency(t *testing.T) {
 
 func TestPrometheusOutput(t *testing.T) {
 	r := sampleRecorder()
+	// Per-model counter series like breaker_state:res must flatten their
+	// colon (reserved for recording rules) to an underscore.
+	r.Count("breaker_state:res", 1*ms, 1)
 	p := NewPromWriter()
 	r.AppendPrometheus(p)
 	ReportMetrics(p, &metrics.Report{
@@ -237,6 +240,7 @@ func TestPrometheusOutput(t *testing.T) {
 		`pask_run_loaded_bytes{scheme="PaSK",model="res"} 1048576`,
 		`pask_run_reuse_hits{scheme="PaSK",model="res"} 46`,
 		`pask_run_total_seconds{scheme="PaSK",model="res"} 0.009`,
+		"pask_breaker_state_res 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Prometheus output missing %q\n---\n%s", want, out)

@@ -115,6 +115,27 @@ func WithTrace(w io.Writer) Option {
 	return optionFunc(func(c *runConfig) { c.traceW = w })
 }
 
+// PressureLevel is the serving layer's overload signal, re-exported from the
+// executor. Under Elevated pressure PASK forces reuse of already-resident
+// generic solutions on categorical misses; under Severe it prefers residents
+// even when a specialist load would otherwise be taken.
+type PressureLevel = core.PressureLevel
+
+// The pressure levels, least to most aggressive.
+const (
+	PressureNominal  = core.PressureNominal
+	PressureElevated = core.PressureElevated
+	PressureSevere   = core.PressureSevere
+)
+
+// WithPressure pins the run's overload-pressure level (brownout mode). In
+// the serving stack the level moves with queue depth; pinning it here lets a
+// single cold start demonstrate the same load-shedding reuse: fewer module
+// loads, with the shortfall reported in Report.PressureReuse.
+func WithPressure(level PressureLevel) Option {
+	return optionFunc(func(c *runConfig) { c.opts.Pressure = core.StaticPressure(level) })
+}
+
 // WithWarmupProfile replays the load profile recorded at path: a prefetcher
 // thread loads the manifest's code objects concurrently with process
 // bring-up, so the pipeline finds them resident. A missing, corrupt or
@@ -195,6 +216,11 @@ type Report struct {
 	Lookups      int
 	SkippedLoads int
 	Milestone    int
+
+	// PressureReuse counts layers served by pressure-forced substitutes —
+	// nonzero only when WithPressure (or the serving layer's brownout
+	// controller) raised the level above nominal.
+	PressureReuse int
 
 	// Warmup replay statistics (zero unless WithWarmupProfile was used and
 	// the manifest was readable).
@@ -364,18 +390,19 @@ func convertReport(scheme Scheme, rep *metrics.Report) *Report {
 		bd[k] = v
 	}
 	return &Report{
-		Scheme:       scheme,
-		Model:        rep.Model,
-		Batch:        rep.Batch,
-		Total:        rep.Total,
-		GPUBusy:      rep.GPUBusy,
-		Loads:        rep.Loads,
-		LoadedBytes:  rep.LoadedBytes,
-		ReuseQueries: rep.ReuseQueries,
-		ReuseHits:    rep.ReuseHits,
-		Lookups:      rep.Lookups,
-		SkippedLoads: rep.SkippedLoads,
-		Milestone:    rep.Milestone,
+		Scheme:        scheme,
+		Model:         rep.Model,
+		Batch:         rep.Batch,
+		Total:         rep.Total,
+		GPUBusy:       rep.GPUBusy,
+		Loads:         rep.Loads,
+		LoadedBytes:   rep.LoadedBytes,
+		ReuseQueries:  rep.ReuseQueries,
+		ReuseHits:     rep.ReuseHits,
+		Lookups:       rep.Lookups,
+		SkippedLoads:  rep.SkippedLoads,
+		Milestone:     rep.Milestone,
+		PressureReuse: rep.PressureReuse,
 
 		WarmupEntries:    rep.WarmupEntries,
 		WarmupPrefetched: rep.WarmupPrefetched,

@@ -136,3 +136,27 @@ func TestReportDerivedValues(t *testing.T) {
 		t.Fatalf("breakdown sums to %d, total %d", sum, rep.Total)
 	}
 }
+
+func TestWithPressureOption(t *testing.T) {
+	sys, err := NewSystem(Config{Model: "res"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.RunScheme(PaSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PressureReuse != 0 {
+		t.Fatalf("nominal run reported PressureReuse = %d", plain.PressureReuse)
+	}
+	severe, err := sys.RunScheme(PaSK, WithPressure(PressureSevere))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if severe.PressureReuse == 0 {
+		t.Fatal("severe pressure produced no forced reuse")
+	}
+	if severe.Loads >= plain.Loads {
+		t.Fatalf("severe pressure loads %d not below nominal %d", severe.Loads, plain.Loads)
+	}
+}
