@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|coldstart|warmup|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant|overload]
+//	paskbench [-exp all|coldstart|warmup|cacheimage|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant|overload]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
 //	          [-trace out.json] [-validate-trace file.json] [-out BENCH_warmup.json]
@@ -24,6 +24,14 @@
 // starts across every device profile and writes the comparison to -out
 // (default BENCH_warmup.json); with -trace it also exports the first warmed
 // run's timeline. -quick shrinks it to the CI smoke size (model alex).
+// -exp cacheimage builds a content-addressed kernel-cache image per device
+// profile, pre-distributes it to a simulated fleet at varying coverage, and
+// measures time-to-first-inference for warm attach versus cold start; a chaos
+// arm corrupts and truncates transfers and kills nodes mid-pull to prove the
+// validation ladder degrades to cold starts instead of wrong results. It
+// writes the comparison to -out (default BENCH_cacheimage.json); with -trace
+// it exports the first device's chaos-arm counters. -quick shrinks the fleet
+// to the CI smoke size.
 // -exp overload compares the unprotected, shedding and brownout arms of the
 // overload-protection layer on a Poisson trace with a mid-trace device reset
 // and a burst trace under a slow-loader storm, across every device profile.
@@ -52,14 +60,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant, overload)")
+	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, cacheimage, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant, overload)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
-	traceOut := flag.String("trace", "", "with -exp coldstart or warmup: write the run's Chrome trace_event JSON here")
-	benchOut := flag.String("out", "", "with -exp warmup or overload: write the machine-readable comparison here (default BENCH_warmup.json / BENCH_overload.json)")
+	traceOut := flag.String("trace", "", "with -exp coldstart, warmup, cacheimage or overload: write the run's Chrome trace_event JSON here")
+	benchOut := flag.String("out", "", "with -exp warmup, cacheimage or overload: write the machine-readable comparison here (default BENCH_<exp>.json)")
 	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace JSON file, print its summary and exit")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -118,6 +126,23 @@ func main() {
 		}
 		if err := runWarmup(model, batches[0], out, *traceOut); err != nil {
 			fatal(fmt.Errorf("warmup: %w", err))
+		}
+		return
+	}
+
+	// cacheimage is a single cross-device fleet sweep, not part of -exp all
+	// (it measures the distribution layer, not a paper figure).
+	if *exp == "cacheimage" {
+		model := ""
+		if *modelsFlag != "" {
+			model = models[0]
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_cacheimage.json"
+		}
+		if err := runCacheImage(model, batches[0], *quick, out, *traceOut); err != nil {
+			fatal(fmt.Errorf("cacheimage: %w", err))
 		}
 		return
 	}
@@ -387,6 +412,51 @@ func runOverload(model string, batch int, quick bool, out, traceOut string) erro
 		cfg.Rec = rec
 	}
 	tbl, bench, err := serving.Overload(cfg)
+	if err != nil {
+		return err
+	}
+	if err := show(tbl, nil); err != nil {
+		return err
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbench payload written to %s\n", out)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// runCacheImage runs the cache-image fleet experiment across every device
+// profile — TTFI versus pre-distribution coverage plus a chaos arm — writes
+// the bench JSON to out, and with traceOut exports the first device's chaos
+// timeline (attach and pull counters).
+func runCacheImage(model string, batch int, quick bool, out, traceOut string) error {
+	cfg := serving.CacheImageConfig{Model: model, Batch: batch, Quick: quick}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+		cfg.Rec = rec
+	}
+	tbl, bench, err := serving.CacheImage(cfg)
 	if err != nil {
 		return err
 	}

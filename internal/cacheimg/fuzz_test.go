@@ -1,0 +1,82 @@
+package cacheimg
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// TestGoldenImage pins the wire format byte-for-byte: the fixture image
+// must encode to exactly testdata/golden.pki, and the golden must decode.
+// A diff here means the format changed — bump Version and regenerate with
+// -update instead of shipping a silent break; published images embed these
+// bytes and their content address.
+func TestGoldenImage(t *testing.T) {
+	img, _ := buildImage(t)
+	raw, err := img.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join("testdata", "golden.pki")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(disk, raw) {
+		t.Fatalf("wire format drifted from golden: %d bytes on disk, %d encoded", len(disk), len(raw))
+	}
+	dec, err := Decode(disk)
+	if err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if dec.Model != img.Model || len(dec.Objects) != len(img.Objects) {
+		t.Fatalf("golden decodes to a different image: %+v", dec)
+	}
+}
+
+// FuzzDecode drives Decode with arbitrary bytes and enforces its contract:
+// either a valid image comes back (and survives an encode/decode round
+// trip), or the error unwraps to exactly ErrCorrupt or ErrVersion. It must
+// never panic — attach feeds Decode whatever bytes survived a node crash
+// or a faulted transfer.
+func FuzzDecode(f *testing.F) {
+	if golden, err := os.ReadFile(filepath.Join("testdata", "golden.pki")); err == nil {
+		f.Add(golden)
+		f.Add(golden[:len(golden)/2])
+		mut := bytes.Clone(golden)
+		mut[len(mut)/2] ^= 0x01
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte("PKI1\x02\x00"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		img, err := Decode(raw)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode error outside contract: %v", err)
+			}
+			return
+		}
+		reenc, err := img.Encode()
+		if err != nil {
+			t.Fatalf("decoded image does not re-encode: %v", err)
+		}
+		if _, err := Decode(reenc); err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+	})
+}

@@ -301,3 +301,46 @@ func TestParseTrailingGarbageFails(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFingerprintGolden pins the fingerprint algorithm to a known value.
+// Cache images embed the fingerprint of the store they were built from and
+// reject attachment when the live store drifts, so a silent change to the
+// hash (input framing, separator, ordering) would invalidate every image
+// already published. If this test fails, the format changed: bump the
+// cache-image version rather than updating the constant casually.
+func TestFingerprintGolden(t *testing.T) {
+	s := NewStore()
+	s.Put("b.pko", []byte("bravo"))
+	s.Put("a.pko", []byte("alpha"))
+	s.Put("c.pko", []byte{0x00, 0xff, 0x10})
+	const golden = 0x16e37c0a
+	if got := s.Fingerprint(); got != golden {
+		t.Fatalf("Fingerprint = %#08x, want %#08x", got, golden)
+	}
+}
+
+// TestFingerprintOrderIndependent checks insertion order does not leak into
+// the fingerprint: equal contents hash equal, any content change does not.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	paths := []string{"a.pko", "b.pko", "c.pko", "d.pko"}
+	bodies := map[string][]byte{
+		"a.pko": []byte("alpha"), "b.pko": []byte("bravo"),
+		"c.pko": []byte("charlie"), "d.pko": []byte("delta"),
+	}
+	fwd := NewStore()
+	for _, p := range paths {
+		fwd.Put(p, bodies[p])
+	}
+	rev := NewStore()
+	for i := len(paths) - 1; i >= 0; i-- {
+		rev.Put(paths[i], bodies[paths[i]])
+	}
+	if fwd.Fingerprint() != rev.Fingerprint() {
+		t.Fatalf("insertion order changed fingerprint: %#08x vs %#08x",
+			fwd.Fingerprint(), rev.Fingerprint())
+	}
+	rev.Put("d.pko", []byte("delta!"))
+	if fwd.Fingerprint() == rev.Fingerprint() {
+		t.Fatal("content change did not change fingerprint")
+	}
+}

@@ -75,6 +75,21 @@ type Plan struct {
 	FloodN   int
 	FloodAt  time.Duration
 	FloodGap time.Duration
+
+	// Cache-image distribution faults (DESIGN.md §14). These fire on the
+	// fleet seeder's image pulls, not on store reads: the wire is damaged,
+	// the node's "disk" copy of everything else stays pristine.
+	//
+	// ImgCorruptRate is the per-pull probability that the transferred image
+	// bytes land flipped — caught at attach, where the content address no
+	// longer matches the advertised ID, and the image is quarantined.
+	ImgCorruptRate float64
+	// ImgTruncateRate is the per-pull-attempt probability that the transfer
+	// dies partway: nothing lands, and the puller retries with backoff.
+	ImgTruncateRate float64
+	// NodeKillRate is the per-node probability that the node dies mid-pull
+	// and never finishes seeding — it serves cold.
+	NodeKillRate float64
 }
 
 func (p Plan) burst() int {
@@ -98,6 +113,9 @@ type Stats struct {
 	LatencySpikes   int // loads slowed by SpikeExtra
 	SlowLoads       int // loads slowed inside the slow-loader window
 	Resets          int // device resets fired
+	PullCorrupts    int // image pulls landed with flipped bytes
+	PullTruncates   int // image pull attempts that died partway
+	NodeKills       int // nodes killed mid-pull
 }
 
 // Injector implements the fault plan. It satisfies codeobj.FaultHook (store
@@ -108,9 +126,10 @@ type Injector struct {
 
 	mu     sync.Mutex
 	exempt map[string]bool
-	readN  map[string]int // store accesses per path
-	burstN map[string]int // consecutive transient failures per path
-	loadN  map[string]int // latency-spike rolls per path
+	readN  map[string]int  // store accesses per path
+	burstN map[string]int  // consecutive transient failures per path
+	loadN  map[string]int  // latency-spike rolls per path
+	killed map[string]bool // nodes already counted dead (kill fires once)
 	armed  bool
 	stats  Stats
 }
@@ -129,12 +148,16 @@ func New(plan Plan) *Injector {
 	clamp(&plan.PermanentRate)
 	clamp(&plan.SpikeRate)
 	clamp(&plan.DisableRate)
+	clamp(&plan.ImgCorruptRate)
+	clamp(&plan.ImgTruncateRate)
+	clamp(&plan.NodeKillRate)
 	return &Injector{
 		plan:   plan,
 		exempt: make(map[string]bool),
 		readN:  make(map[string]int),
 		burstN: make(map[string]int),
 		loadN:  make(map[string]int),
+		killed: make(map[string]bool),
 	}
 }
 
@@ -158,8 +181,18 @@ func (inj *Injector) Exempt(paths ...string) {
 func (inj *Injector) roll(kind, key string, n int) float64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%d", inj.plan.Seed, kind, key, n)
+	// FNV barely avalanches its final bytes: without extra mixing, two
+	// inputs differing only in the trailing counter produce nearly equal
+	// rolls, so "per-access" rates degenerate to per-path ones. Finalize
+	// with a splitmix64-style mixer before mapping to [0,1).
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
 	// 53 bits of hash → uniform in [0,1).
-	return float64(h.Sum64()>>11) / float64(1<<53)
+	return float64(x>>11) / float64(1<<53)
 }
 
 // StoreGet implements codeobj.FaultHook. It never mutates data: corrupted
@@ -252,6 +285,66 @@ func (inj *Injector) DisabledIDs(ids []string) []string {
 	return out
 }
 
+// PullOutcome is the fate of one cache-image pull attempt.
+type PullOutcome int
+
+const (
+	// PullOK: the transfer completes and the bytes land intact.
+	PullOK PullOutcome = iota
+	// PullCorrupt: the transfer completes but the landed bytes are damaged.
+	// The attach-side content address catches it.
+	PullCorrupt
+	// PullTruncated: the transfer dies partway; nothing lands and the
+	// puller retries with backoff.
+	PullTruncated
+	// PullKilled: the node dies mid-pull and never seeds — it serves cold.
+	PullKilled
+)
+
+// String names the outcome for traces and test failures.
+func (o PullOutcome) String() string {
+	switch o {
+	case PullOK:
+		return "ok"
+	case PullCorrupt:
+		return "corrupt"
+	case PullTruncated:
+		return "truncated"
+	case PullKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("PullOutcome(%d)", int(o))
+}
+
+// PullFault rolls the image-distribution fate of one pull attempt by node.
+// Node death is rolled once per node (attempt-independent) and wins over
+// the transfer faults; truncation is rolled per attempt, so a retried pull
+// faces fresh odds and bounded retry can win; corruption is rolled per
+// attempt after truncation. Deterministic in (seed, node, attempt).
+func (inj *Injector) PullFault(node string, attempt int) PullOutcome {
+	if inj == nil {
+		return PullOK
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.plan.NodeKillRate > 0 && inj.roll("img-kill", node, 0) < inj.plan.NodeKillRate {
+		if !inj.killed[node] {
+			inj.killed[node] = true
+			inj.stats.NodeKills++
+		}
+		return PullKilled
+	}
+	if inj.plan.ImgTruncateRate > 0 && inj.roll("img-trunc", node, attempt) < inj.plan.ImgTruncateRate {
+		inj.stats.PullTruncates++
+		return PullTruncated
+	}
+	if inj.plan.ImgCorruptRate > 0 && inj.roll("img-corrupt", node, attempt) < inj.plan.ImgCorruptRate {
+		inj.stats.PullCorrupts++
+		return PullCorrupt
+	}
+	return PullOK
+}
+
 // ArmReset spawns a watcher that fires the plan's device reset (calling
 // reset, typically Runtime.UnloadAll) at DeviceResetAt. Arming is
 // idempotent: one watcher per injector regardless of instance churn.
@@ -289,7 +382,8 @@ func (inj *Injector) Stats() Stats {
 // ParsePlan decodes a comma-separated fault spec such as
 //
 //	"transient=0.1,permanent=0.02,seed=7,burst=2,spike=0.05,spike_ms=3,reset_ms=40,disable=0.1,
-//	 slow_ms=1,slow_from_ms=10,slow_until_ms=30,flood_n=20,flood_ms=5,flood_gap_ms=0.1"
+//	 slow_ms=1,slow_from_ms=10,slow_until_ms=30,flood_n=20,flood_ms=5,flood_gap_ms=0.1,
+//	 img_corrupt=0.2,img_truncate=0.2,img_kill=0.1"
 //
 // Keys the plan does not own are returned in leftover for the caller —
 // command-line tools piggyback scenario keys (model=..., requests=...) on
@@ -368,6 +462,12 @@ func ParsePlan(spec string) (Plan, map[string]string, error) {
 			p.FloodAt, err = ms()
 		case "flood_gap_ms":
 			p.FloodGap, err = ms()
+		case "img_corrupt":
+			p.ImgCorruptRate, err = rate()
+		case "img_truncate":
+			p.ImgTruncateRate, err = rate()
+		case "img_kill":
+			p.NodeKillRate, err = rate()
 		default:
 			leftover[key] = val
 		}

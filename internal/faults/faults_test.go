@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -269,5 +270,90 @@ func TestParsePlanOverloadKeys(t *testing.T) {
 	}
 	if _, _, err := ParsePlan("flood_n=2.5"); err == nil {
 		t.Fatal("fractional flood_n accepted")
+	}
+}
+
+func TestParsePlanImageKeys(t *testing.T) {
+	p, left, err := ParsePlan("img_corrupt=0.2,img_truncate=0.3,img_kill=0.1")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.ImgCorruptRate != 0.2 || p.ImgTruncateRate != 0.3 || p.NodeKillRate != 0.1 {
+		t.Fatalf("image fields mismatch: %+v", p)
+	}
+	if len(left) != 0 {
+		t.Fatalf("unexpected leftovers: %v", left)
+	}
+	if _, _, err := ParsePlan("img_corrupt=1.5"); err == nil {
+		t.Fatal("rate >1 accepted")
+	}
+}
+
+func TestPullFaultDeterministicAndTyped(t *testing.T) {
+	var nilInj *Injector
+	if got := nilInj.PullFault("node-0", 0); got != PullOK {
+		t.Fatalf("nil injector pull = %v, want ok", got)
+	}
+
+	plan := Plan{Seed: 11, ImgCorruptRate: 0.3, ImgTruncateRate: 0.3, NodeKillRate: 0.2}
+	a, b := New(plan), New(plan)
+	for node := 0; node < 10; node++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			key := fmt.Sprintf("node-%d", node)
+			if got, want := a.PullFault(key, attempt), b.PullFault(key, attempt); got != want {
+				t.Fatalf("pull %s/%d not deterministic: %v vs %v", key, attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestPullFaultKillWinsAndCountsOnce(t *testing.T) {
+	inj := New(Plan{Seed: 3, NodeKillRate: 1, ImgTruncateRate: 1})
+	for attempt := 0; attempt < 3; attempt++ {
+		if got := inj.PullFault("node-7", attempt); got != PullKilled {
+			t.Fatalf("attempt %d: got %v, want killed", attempt, got)
+		}
+	}
+	st := inj.Stats()
+	if st.NodeKills != 1 {
+		t.Fatalf("node killed %d times in stats, want 1", st.NodeKills)
+	}
+	if st.PullTruncates != 0 {
+		t.Fatalf("truncates counted on a killed node: %+v", st)
+	}
+}
+
+func TestPullFaultTruncateRetriesFreshOdds(t *testing.T) {
+	// At a 50% truncate rate some attempt must eventually succeed — the
+	// roll is per (node, attempt), so retries face fresh odds.
+	inj := New(Plan{Seed: 5, ImgTruncateRate: 0.5})
+	recovered := false
+	for node := 0; node < 32 && !recovered; node++ {
+		key := fmt.Sprintf("node-%d", node)
+		if inj.PullFault(key, 0) != PullTruncated {
+			continue
+		}
+		for attempt := 1; attempt < 8; attempt++ {
+			if inj.PullFault(key, attempt) == PullOK {
+				recovered = true
+				break
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("no truncated pull ever recovered on retry across 32 nodes x 8 attempts")
+	}
+	if inj.Stats().PullTruncates == 0 {
+		t.Fatal("no truncations counted")
+	}
+}
+
+func TestPullFaultCorruptCounted(t *testing.T) {
+	inj := New(Plan{Seed: 1, ImgCorruptRate: 1})
+	if got := inj.PullFault("node-0", 0); got != PullCorrupt {
+		t.Fatalf("got %v, want corrupt", got)
+	}
+	if inj.Stats().PullCorrupts != 1 {
+		t.Fatalf("stats: %+v", inj.Stats())
 	}
 }

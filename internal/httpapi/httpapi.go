@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"slices"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"pask/internal/cacheimg"
 	"pask/internal/codeobj"
 	"pask/internal/core"
 	"pask/internal/device"
@@ -61,6 +63,12 @@ type Server struct {
 	// profiles holds the latest recorded warmup manifest per model abbr,
 	// retrievable at GET /v1/warmup/{model} and replayed by "warm" runs.
 	profiles map[string]*warmup.Manifest
+	// images is the server's node-local cache-image store (DESIGN.md §14),
+	// opened lazily in a temp directory on first use. POST /v1/cacheimages
+	// records and publishes; coldstart runs with "attach_image": true walk
+	// its validation ladder, and every rejection lands in its stats (and in
+	// /metrics as pask_cacheimg_*).
+	images *cacheimg.Store
 }
 
 // New returns a ready-to-serve handler.
@@ -81,6 +89,8 @@ func New() *Server {
 	s.mux.HandleFunc("POST /v1/overload", s.handleOverloadV1)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/warmup/{model}", s.handleWarmupProfile)
+	s.mux.HandleFunc("GET /v1/cacheimages", s.handleCacheImagesList)
+	s.mux.HandleFunc("POST /v1/cacheimages", s.handleCacheImagesBuild)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Deprecated unversioned aliases: same behavior, plus a Deprecation
 	// header naming the successor route.
@@ -119,8 +129,12 @@ func statusFromErr(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, serving.ErrInstanceCrashed), errors.Is(err, core.ErrNoUsableSolution):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, codeobj.ErrNotFound):
+	case errors.Is(err, codeobj.ErrNotFound), errors.Is(err, cacheimg.ErrNoImage):
 		return http.StatusNotFound
+	case errors.Is(err, cacheimg.ErrProfileMismatch), errors.Is(err, cacheimg.ErrStale):
+		return http.StatusConflict
+	case errors.Is(err, cacheimg.ErrCorrupt), errors.Is(err, cacheimg.ErrVersion):
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}
@@ -141,6 +155,16 @@ func codeFromErr(err error, status int) string {
 		return "no_usable_solution"
 	case errors.Is(err, codeobj.ErrNotFound):
 		return "object_not_found"
+	case errors.Is(err, cacheimg.ErrNoImage):
+		return "no_image"
+	case errors.Is(err, cacheimg.ErrProfileMismatch):
+		return "image_profile_mismatch"
+	case errors.Is(err, cacheimg.ErrStale):
+		return "image_stale"
+	case errors.Is(err, cacheimg.ErrCorrupt):
+		return "image_corrupt"
+	case errors.Is(err, cacheimg.ErrVersion):
+		return "image_version"
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -291,6 +315,14 @@ type ColdStartRequest struct {
 	// error — the run simply starts cold.
 	RecordProfile bool `json:"record_profile,omitempty"`
 	Warm          bool `json:"warm,omitempty"`
+
+	// AttachImage walks the server's cache-image store down the validation
+	// ladder for this (model, device) and replays the attached image's
+	// manifest. Any rejection — no image, wrong profile, stale fingerprint,
+	// quarantined corruption — degrades the run to a plain cold start; the
+	// typed outcome is reported in image_attach and counted in the store's
+	// stats (pask_cacheimg_* in /metrics).
+	AttachImage bool `json:"attach_image,omitempty"`
 }
 
 // ColdStartResponse is the coldstart reply.
@@ -318,6 +350,12 @@ type ColdStartResponse struct {
 	WarmupPrefetched int  `json:"warmup_prefetched,omitempty"`
 	WarmupHits       int  `json:"warmup_hits,omitempty"`
 	WarmupStale      int  `json:"warmup_stale,omitempty"`
+
+	// Cache-image attach outcome (set when attach_image was requested):
+	// ImageAttach is "ok" or the typed rejection code, ImageID the content
+	// address the run replayed.
+	ImageAttach string `json:"image_attach,omitempty"`
+	ImageID     string `json:"image_id,omitempty"`
 
 	// RunID and TraceURL are set on v1 runs: the recorded timeline is
 	// retrievable at TraceURL until the run ages out of the store.
@@ -356,12 +394,28 @@ func (s *Server) runColdStart(req ColdStartRequest, rec *trace.Recorder) (*ColdS
 		man = s.profiles[req.Model]
 		s.mu.Unlock()
 	}
+	var imageAttach, imageID string
+	if req.AttachImage {
+		st, serr := s.imageStore()
+		if serr != nil {
+			return nil, nil, http.StatusInternalServerError, serr
+		}
+		if att, aerr := st.Attach(req.Model, prof, ms.Store.Fingerprint()); aerr == nil {
+			man = att.Image.Manifest
+			imageAttach, imageID = "ok", att.ID
+		} else {
+			// Degrade to a plain cold start; the ladder's typed outcome is
+			// reported, never failed on.
+			imageAttach = codeFromErr(aerr, http.StatusNotFound)
+		}
+	}
 	wr, err := ms.RunSchemeWarm(scheme, core.Options{}, rec, man, req.RecordProfile)
 	if err != nil {
 		return nil, nil, statusFromErr(err), err
 	}
 	rep := wr.Rep
 	resp := toResponse(req.Model, string(scheme), prof.Name, batch, rep)
+	resp.ImageAttach, resp.ImageID = imageAttach, imageID
 	if req.RecordProfile && wr.Profile != nil {
 		s.mu.Lock()
 		s.profiles[req.Model] = wr.Profile
@@ -468,6 +522,131 @@ func (s *Server) handleWarmupProfile(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// imageStore lazily opens the server's cache-image store in a fresh temp
+// directory. The directory lives for the process — images published through
+// the API survive across requests, not across server restarts.
+func (s *Server) imageStore() (*cacheimg.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.images != nil {
+		return s.images, nil
+	}
+	dir, err := os.MkdirTemp("", "pask-images-*")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: image store: %w", err)
+	}
+	st, err := cacheimg.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.images = st
+	return st, nil
+}
+
+// CacheImagesResponse is the GET /v1/cacheimages reply.
+type CacheImagesResponse struct {
+	Images []cacheimg.Info `json:"images"`
+	Stats  cacheimg.Stats  `json:"stats"`
+}
+
+// handleCacheImagesList serves the published images and the store's
+// validation-ladder counters.
+func (s *Server) handleCacheImagesList(w http.ResponseWriter, r *http.Request) {
+	st, err := s.imageStore()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	infos, err := st.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if infos == nil {
+		infos = []cacheimg.Info{}
+	}
+	writeJSON(w, http.StatusOK, CacheImagesResponse{Images: infos, Stats: st.Stats()})
+}
+
+// CacheImageBuildRequest is the POST /v1/cacheimages body: record one cold
+// run of (model, device, batch) and seal it into a published image.
+type CacheImageBuildRequest struct {
+	Model  string `json:"model"`
+	Device string `json:"device,omitempty"` // default "MI100"
+	Batch  int    `json:"batch,omitempty"`  // default 1
+}
+
+// CacheImageBuildResponse describes the published image.
+type CacheImageBuildResponse struct {
+	ID               string `json:"id"`
+	Model            string `json:"model"`
+	Device           string `json:"device"`
+	Batch            int    `json:"batch"`
+	Bytes            int    `json:"bytes"`
+	Objects          int    `json:"objects"`
+	Entries          int    `json:"entries"`
+	StoreFingerprint string `json:"store_fingerprint"`
+}
+
+// handleCacheImagesBuild records a load profile for the requested (model,
+// device, batch), seals it with its code objects into a content-addressed
+// image and publishes it atomically to the server's store, where later
+// coldstart runs with "attach_image": true can validate and replay it.
+func (s *Server) handleCacheImagesBuild(w http.ResponseWriter, r *http.Request) {
+	var req CacheImageBuildRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		badRequest(w, "missing model")
+		return
+	}
+	prof, err := parseDevice(req.Device)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch < 1 {
+		badRequest(w, "bad batch %d", batch)
+		return
+	}
+	ms, err := s.setup(req.Model, batch, prof)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	st, err := s.imageStore()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	img, _, err := ms.BuildCacheImage()
+	if err != nil {
+		writeErr(w, statusFromErr(err), err)
+		return
+	}
+	id, err := st.Publish(img)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	raw, err := img.Encode()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CacheImageBuildResponse{
+		ID: id, Model: img.Model, Device: img.Device, Batch: img.Batch,
+		Bytes: len(raw), Objects: len(img.Objects),
+		Entries:          len(img.Manifest.Entries),
+		StoreFingerprint: fmt.Sprintf("%08x", img.StoreFingerprint),
+	})
+}
+
 // handleMetrics serves the Prometheus text-format snapshot: per-run headline
 // gauges (load counts, reuse hits, bytes) for the latest run of each
 // (scheme, model), the latest run's counter series (resident bytes, cache
@@ -491,6 +670,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Sample("pask_server_loads_total", float64(loads))
 	p.Declare("pask_server_reuse_hits_total", "counter", "Cache reuse hits across all retained runs.")
 	p.Sample("pask_server_reuse_hits_total", float64(hits))
+	s.mu.Lock()
+	imgStore := s.images
+	s.mu.Unlock()
+	if imgStore != nil {
+		st := imgStore.Stats()
+		for _, m := range []struct {
+			name string
+			help string
+			v    int
+		}{
+			{"pask_cacheimg_published_total", "Cache images atomically published to the store.", st.Published},
+			{"pask_cacheimg_attach_ok_total", "Cache-image attaches that passed the validation ladder.", st.AttachOK},
+			{"pask_cacheimg_rejected_profile_total", "Attaches rejected for a device-profile mismatch.", st.RejectedProfile},
+			{"pask_cacheimg_quarantined_total", "Corrupt or misnamed images quarantined on attach.", st.Quarantined},
+			{"pask_cacheimg_stale_total", "Attaches rejected for a stale store fingerprint.", st.Stale},
+			{"pask_cacheimg_no_image_total", "Attaches that found no candidate image.", st.NoImage},
+			{"pask_cacheimg_torn_cleaned_total", "Torn temp files swept at store open.", st.TornCleaned},
+		} {
+			p.Declare(m.name, "counter", m.help)
+			p.Sample(m.name, float64(m.v))
+		}
+	}
 	keys := make([]string, 0, len(latest))
 	for k := range latest {
 		keys = append(keys, k)

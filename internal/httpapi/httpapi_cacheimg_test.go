@@ -1,0 +1,151 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestV1CacheImagesLifecycle walks the full API surface: empty list, attach
+// before any image exists (degrades cold, reports "no_image"), build +
+// publish, attach hit, cross-device attach rejection, and the /metrics
+// counters that tally each rung of the ladder.
+func TestV1CacheImagesLifecycle(t *testing.T) {
+	srv := New()
+
+	// Empty store: list succeeds with no images and zeroed stats.
+	resp, body := getFull(t, srv, "/v1/cacheimages")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d: %s", resp.StatusCode, body)
+	}
+	var list CacheImagesResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Images) != 0 || list.Stats.Published != 0 {
+		t.Fatalf("fresh store not empty: %+v", list)
+	}
+
+	// Attach with nothing published: the run degrades to a plain cold start
+	// and reports the typed outcome instead of failing.
+	resp, body = postJSON(t, srv, "/v1/coldstart", `{"model":"alex","attach_image":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coldstart pre-build: status %d: %s", resp.StatusCode, body)
+	}
+	var cs ColdStartResponse
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.ImageAttach != "no_image" || cs.ImageID != "" {
+		t.Fatalf("pre-build attach outcome %q / id %q, want no_image / empty", cs.ImageAttach, cs.ImageID)
+	}
+	if cs.TotalMs <= 0 {
+		t.Fatalf("degraded run did not complete: %+v", cs)
+	}
+
+	// Build and publish an image for (alex, MI100).
+	resp, body = postJSON(t, srv, "/v1/cacheimages", `{"model":"alex"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d: %s", resp.StatusCode, body)
+	}
+	var built CacheImageBuildResponse
+	if err := json.Unmarshal(body, &built); err != nil {
+		t.Fatal(err)
+	}
+	if built.ID == "" || built.Bytes == 0 || built.Objects == 0 || built.Entries == 0 {
+		t.Fatalf("empty build reply: %+v", built)
+	}
+	if built.Model != "alex" || built.Device != "MI100" || built.Batch != 1 {
+		t.Fatalf("build defaults wrong: %+v", built)
+	}
+	if built.StoreFingerprint == "" {
+		t.Fatalf("missing store fingerprint: %+v", built)
+	}
+
+	// The image shows up in the list with its content address and size.
+	_, body = getFull(t, srv, "/v1/cacheimages")
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Images) != 1 || list.Images[0].ID != built.ID || list.Images[0].Bytes != int64(built.Bytes) {
+		t.Fatalf("list after build: %+v, want image %s (%d bytes)", list, built.ID, built.Bytes)
+	}
+	if list.Stats.Published != 1 {
+		t.Fatalf("published count %d, want 1", list.Stats.Published)
+	}
+
+	// Attach on the matching device replays the image's manifest.
+	resp, body = postJSON(t, srv, "/v1/coldstart", `{"model":"alex","attach_image":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coldstart post-build: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.ImageAttach != "ok" || cs.ImageID != built.ID {
+		t.Fatalf("attach outcome %q / id %q, want ok / %s", cs.ImageAttach, cs.ImageID, built.ID)
+	}
+
+	// A different device walks the ladder to a typed profile rejection and
+	// still completes cold.
+	resp, body = postJSON(t, srv, "/v1/coldstart", `{"model":"alex","device":"A100","attach_image":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cross-device coldstart: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.ImageAttach != "image_profile_mismatch" {
+		t.Fatalf("cross-device attach outcome %q, want image_profile_mismatch", cs.ImageAttach)
+	}
+	if cs.TotalMs <= 0 {
+		t.Fatalf("rejected attach must still serve cold: %+v", cs)
+	}
+
+	// Every rung taken above is visible in the store stats and /metrics.
+	_, body = getFull(t, srv, "/v1/cacheimages")
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	st := list.Stats
+	if st.AttachOK != 1 || st.NoImage != 1 || st.RejectedProfile != 1 {
+		t.Fatalf("ladder stats %+v, want attach_ok=1 no_image=1 rejected_profile=1", st)
+	}
+	_, metrics := getFull(t, srv, "/metrics")
+	for _, want := range []string{
+		"pask_cacheimg_published_total 1",
+		"pask_cacheimg_attach_ok_total 1",
+		"pask_cacheimg_rejected_profile_total 1",
+		"pask_cacheimg_no_image_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestV1CacheImagesBuildValidation(t *testing.T) {
+	srv := New()
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"model":"nope"}`, http.StatusBadRequest},
+		{`{"model":"alex","device":"H100"}`, http.StatusBadRequest},
+		{`{"model":"alex","batch":-1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv, "/v1/cacheimages", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.body, resp.StatusCode, tc.status)
+			continue
+		}
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+			t.Errorf("%s: body %q lacks the error envelope", tc.body, body)
+		}
+	}
+}

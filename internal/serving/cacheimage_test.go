@@ -1,0 +1,119 @@
+package serving
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pask/internal/trace"
+)
+
+func TestTransferModelDuration(t *testing.T) {
+	tm := TransferModel{Latency: time.Millisecond, BytesPerSec: 1000}
+	if got := tm.duration(500); got != time.Millisecond+500*time.Millisecond {
+		t.Fatalf("duration = %v", got)
+	}
+	// Zero value gets defaults rather than dividing by zero.
+	if got := (TransferModel{}).duration(1 << 20); got <= 0 {
+		t.Fatalf("zero-value duration = %v", got)
+	}
+}
+
+func TestCacheImageDeterministic(t *testing.T) {
+	_, b1, err := CacheImage(CacheImageConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b2, err := CacheImage(CacheImageConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(b1)
+	j2, _ := json.Marshal(b2)
+	if string(j1) != string(j2) {
+		t.Fatal("cacheimage bench JSON differs across identical runs")
+	}
+}
+
+// TestCacheImageAcceptance runs the quick sweep and checks the headline
+// claims on every device profile: full-coverage warm attach beats the
+// all-cold baseline, and the chaos arm completes every request correctly
+// via cold-start fallback with its rejections counted.
+func TestCacheImageAcceptance(t *testing.T) {
+	rec := trace.New()
+	_, bench, err := CacheImage(CacheImageConfig{Quick: true, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Devices) != 3 {
+		t.Fatalf("expected 3 device profiles, got %d", len(bench.Devices))
+	}
+	for _, dev := range bench.Devices {
+		if dev.ImageID == "" || dev.ImageBytes == 0 || dev.Objects == 0 {
+			t.Errorf("%s: empty image metadata: %+v", dev.Device, dev)
+		}
+		var cold, full *CacheImageCell
+		for i := range dev.Cells {
+			c := &dev.Cells[i]
+			if c.Coverage == 0 {
+				cold = c
+			}
+			if c.Coverage == 1 {
+				full = c
+			}
+		}
+		if cold == nil || full == nil {
+			t.Fatalf("%s: sweep missing coverage endpoints: %+v", dev.Device, dev.Cells)
+		}
+		if cold.ColdMeanMs <= 0 || full.WarmMeanMs <= 0 {
+			t.Fatalf("%s: missing TTFI means: cold %+v full %+v", dev.Device, cold, full)
+		}
+		if full.WarmMeanMs >= cold.ColdMeanMs {
+			t.Errorf("%s: warm-attach TTFI %.3fms not below cold %.3fms",
+				dev.Device, full.WarmMeanMs, cold.ColdMeanMs)
+		}
+		if full.Attached != full.Nodes {
+			t.Errorf("%s: fault-free full coverage attached %d/%d", dev.Device, full.Attached, full.Nodes)
+		}
+
+		chaos := dev.Chaos
+		if chaos == nil {
+			t.Fatalf("%s: no chaos arm", dev.Device)
+		}
+		if chaos.Failed != 0 {
+			t.Errorf("%s chaos: %d failed requests, want 0 (degradation must be cold, not wrong)", dev.Device, chaos.Failed)
+		}
+		if chaos.Served != chaos.Nodes {
+			t.Errorf("%s chaos: served %d/%d", dev.Device, chaos.Served, chaos.Nodes)
+		}
+		if !chaos.StoreUntouched {
+			t.Errorf("%s chaos: shared code-object store fingerprint changed", dev.Device)
+		}
+		// The planted decoys make the typed-reject rungs deterministic.
+		if chaos.RejectedProfile == 0 {
+			t.Errorf("%s chaos: no profile rejects despite planted decoy", dev.Device)
+		}
+		if chaos.StaleRejects == 0 {
+			t.Errorf("%s chaos: no stale rejects despite planted decoy", dev.Device)
+		}
+		if chaos.Attached >= chaos.Nodes {
+			t.Errorf("%s chaos: every node attached — fault injection did nothing", dev.Device)
+		}
+		// All cells: every request lands somewhere, and the store stays pristine.
+		for _, c := range append(dev.Cells, *chaos) {
+			if c.Served+c.Failed != c.Nodes {
+				t.Errorf("%s n=%d c=%.2f: served+failed = %d, want %d", dev.Device, c.Nodes, c.Coverage, c.Served+c.Failed, c.Nodes)
+			}
+			if !c.StoreUntouched {
+				t.Errorf("%s n=%d c=%.2f: store mutated", dev.Device, c.Nodes, c.Coverage)
+			}
+		}
+	}
+	// The chaos counters landed on the first device's timeline.
+	for _, name := range []string{"cacheimg_attach_ok", "cacheimg_quarantined",
+		"cacheimg_reject_profile", "cacheimg_reject_stale", "cacheimg_nodes_killed"} {
+		if _, ok := rec.CounterLast(name); !ok {
+			t.Errorf("counter %s never emitted", name)
+		}
+	}
+}

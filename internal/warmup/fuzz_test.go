@@ -1,0 +1,42 @@
+package warmup
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecode drives Decode with arbitrary bytes and enforces its contract:
+// either the manifest parses (and re-encodes cleanly), or the error unwraps
+// to exactly ErrCorrupt or ErrVersion. It must never panic — replay paths
+// feed Decode bytes read off disk after crashes and torn writes.
+func FuzzDecode(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("testdata", "forward_compat.json")); err == nil {
+		f.Add(data)
+	}
+	if enc, err := sampleManifest().Encode(); err == nil {
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"version":999}`))
+	f.Add([]byte(`{"entries":[{"path":""}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode error outside contract: %v", err)
+			}
+			return
+		}
+		reenc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded manifest does not re-encode: %v", err)
+		}
+		if _, err := Decode(reenc); err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+	})
+}

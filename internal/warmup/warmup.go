@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"pask/internal/codeobj"
 	"pask/internal/device"
@@ -197,13 +198,34 @@ func Decode(data []byte) (*Manifest, error) {
 	return &m, nil
 }
 
-// WriteFile serializes the manifest to path.
+// WriteFile serializes the manifest to path. The write is atomic — the
+// bytes land in a temp file in the same directory which is then renamed
+// over path — so a crash mid-write leaves either the old manifest or a
+// stray temp file, never a truncated manifest at path.
 func WriteFile(path string, m *Manifest) error {
 	data, err := m.Encode()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("warmup: write manifest: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("warmup: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("warmup: write manifest: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("warmup: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("warmup: write manifest: %w", err)
 	}
 	return nil

@@ -224,3 +224,46 @@ func TestPrefetcherReplay(t *testing.T) {
 		t.Fatalf("accounting: %+v", got)
 	}
 }
+
+// TestWriteFileAtomic pins the crash-safety contract: WriteFile lands via a
+// same-directory temp file and rename, so path never holds a half-written
+// manifest, and a truncated leftover (a simulated torn write) is rejected
+// by ReadFile as corrupt rather than silently replayed.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+
+	// Overwriting an existing manifest leaves no temp droppings behind.
+	if err := WriteFile(path, sampleManifest()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m2 := sampleManifest()
+	m2.Model = "res"
+	if err := WriteFile(path, m2); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0].Name() != "profile.json" {
+		t.Fatalf("directory not clean after write: %v", names)
+	}
+	got, err := ReadFile(path)
+	if err != nil || got.Model != "res" {
+		t.Fatalf("ReadFile after overwrite: %+v, %v", got, err)
+	}
+
+	// A torn write — the old non-atomic failure mode — must not decode.
+	full, err := sampleManifest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(torn); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated manifest: err = %v, want ErrCorrupt", err)
+	}
+}
