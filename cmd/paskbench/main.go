@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paskbench [-exp all|coldstart|warmup|cacheimage|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant|overload]
+//	paskbench [-exp all|coldstart|warmup|cacheimage|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant|overload|placement]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
 //	          [-trace out.json] [-validate-trace file.json] [-out BENCH_warmup.json]
@@ -39,6 +39,14 @@
 // BENCH_overload.json); with -trace it exports the first device's
 // brownout-arm timeline (breaker state and queue-pressure counters).
 // -quick shrinks the traces to the CI smoke size.
+// -exp placement compares tenant-placement policies (first-fit,
+// residency-affinity, load-balanced) with cross-GPU cache peering off and on,
+// on a heterogeneous four-GPU fleet (two primary-profile GPUs plus two
+// cross-vendor GPUs split across NUMA nodes) for every device profile,
+// measuring per-tenant time-to-first-inference. It writes the comparison to
+// -out (default BENCH_placement.json); with -trace it exports the first
+// fleet's affinity+peering timeline. -quick shrinks the arrival sequence to
+// the CI smoke size.
 package main
 
 import (
@@ -60,14 +68,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, cacheimage, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant, overload)")
+	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, cacheimage, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant, overload, placement)")
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
 	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
-	traceOut := flag.String("trace", "", "with -exp coldstart, warmup, cacheimage or overload: write the run's Chrome trace_event JSON here")
-	benchOut := flag.String("out", "", "with -exp warmup, cacheimage or overload: write the machine-readable comparison here (default BENCH_<exp>.json)")
+	traceOut := flag.String("trace", "", "with -exp coldstart, warmup, cacheimage, overload or placement: write the run's Chrome trace_event JSON here")
+	benchOut := flag.String("out", "", "with -exp warmup, cacheimage, overload or placement: write the machine-readable comparison here (default BENCH_<exp>.json)")
 	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace JSON file, print its summary and exit")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -161,6 +169,23 @@ func main() {
 		}
 		if err := runOverload(model, batches[0], *quick, out, *traceOut); err != nil {
 			fatal(fmt.Errorf("overload: %w", err))
+		}
+		return
+	}
+
+	// placement is a single cross-device fleet comparison, not part of -exp
+	// all (it measures the multi-GPU serving layer, not a paper figure).
+	if *exp == "placement" {
+		var pmodels []string
+		if *modelsFlag != "" {
+			pmodels = models
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_placement.json"
+		}
+		if err := runPlacement(pmodels, batches[0], *quick, out, *traceOut); err != nil {
+			fatal(fmt.Errorf("placement: %w", err))
 		}
 		return
 	}
@@ -457,6 +482,52 @@ func runCacheImage(model string, batch int, quick bool, out, traceOut string) er
 		cfg.Rec = rec
 	}
 	tbl, bench, err := serving.CacheImage(cfg)
+	if err != nil {
+		return err
+	}
+	if err := show(tbl, nil); err != nil {
+		return err
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbench payload written to %s\n", out)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// runPlacement runs the placement-policy × cache-peering comparison on
+// heterogeneous four-GPU fleets across every device profile, writes the
+// bench JSON to out, and with traceOut exports the first fleet's
+// affinity+peering timeline (per-GPU residency gauges, peer-fetch instants
+// and TTFI counters).
+func runPlacement(models []string, batch int, quick bool, out, traceOut string) error {
+	cfg := serving.PlacementConfig{Models: models, Batch: batch, Quick: quick}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+		cfg.Rec = rec
+	}
+	tbl, bench, err := serving.Placement(cfg)
 	if err != nil {
 		return err
 	}

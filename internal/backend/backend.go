@@ -1,0 +1,261 @@
+// Package backend defines the pluggable device-backend seam of the simulated
+// stack: the Backend interface every layer above the driver consumes, and the
+// generic per-GPU module Registry that implements it. The paper's evaluation
+// spans ROCm (MI100, RX 6900 XT) and CUDA (A100) devices whose drivers share
+// the *lazy loading* semantics that cause DNN cold start (paper §II-A, Fig 3)
+// but differ in error surfaces, retry posture and where symbol-resolution
+// cost lands. Those driver-specific parts live in a Flavor; internal/hip and
+// internal/cuda are the two flavors, and everything above — core, graphx,
+// blas, miopen, warmup, serving — holds a Backend and never names a driver.
+//
+// The registry semantics are the multi-tenant ones of §III-B/C: the unit of
+// kernel residency is the GPU, not the OS process. New creates the *root
+// view* of a shared module registry and Attach hands out refcounted tenant
+// views over the same state; loaded modules, the in-flight load table
+// (singleflight dedup), the negative cache and the retry policy are shared
+// across views. A PeerSource, when installed, lets a load miss be served by
+// a neighbor GPU's resident copy over the host's PCIe/NUMA link model when
+// that transfer is cheaper than re-reading the store — the cross-GPU cache
+// peering the placement layer builds on.
+package backend
+
+import (
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/sim"
+)
+
+// Module is a loaded code object registered in device memory.
+type Module struct {
+	Path     string
+	Object   *codeobj.Object
+	LoadedAt time.Duration
+	// lastUsed drives LRU eviction under device code-memory pressure.
+	lastUsed time.Duration
+	// resident modules live inside the library binary and are never evicted.
+	resident bool
+	// resolved tracks symbols whose resolution cost has been charged, for
+	// flavors that defer it to first use (CUDA lazy module loading). Nil for
+	// eager flavors.
+	resolved map[string]bool
+}
+
+// Function is a resolved kernel symbol inside a loaded module.
+type Function struct {
+	Module *Module
+	Kernel codeobj.Kernel
+}
+
+// Name returns the kernel's global symbol name.
+func (f *Function) Name() string { return f.Kernel.Name }
+
+// Stats aggregates the shared registry's loading activity across all views.
+type Stats struct {
+	ModuleLoads       int           // completed store loads (cache misses)
+	LoadHits          int           // ModuleLoad calls satisfied by the registry
+	BytesLoaded       int64         // container bytes read and relocated
+	LoadTimeTotal     time.Duration // virtual time spent inside loads
+	FailedLoads       int
+	Evictions         int // modules dropped under code-memory pressure
+	TransientRetries  int // load attempts repeated after a retriable error
+	PermanentFailures int // loads negatively cached (parse/arch/missing)
+	NegativeHits      int // ModuleLoad calls answered from the negative cache
+	CoalescedWaits    int // callers that waited on another view's in-flight load
+	PeerFetches       int // misses served by a neighbor GPU's resident copy
+	PeerBytes         int64
+}
+
+// TenantStats attributes a shared runtime's loading activity to one view —
+// the accounting multi-tenant serving reports per tenant. Loads counts the
+// loads this view initiated and paid for; SharedHits the calls answered by a
+// module already resident (loaded earlier, possibly by another tenant);
+// CoalescedWaits the calls that blocked on another view's in-flight load of
+// the same object and got the result without paying the load itself;
+// PeerFetches the misses this view resolved from a neighbor GPU instead of
+// the store.
+type TenantStats struct {
+	Tenant         string
+	Loads          int
+	BytesLoaded    int64
+	LoadTime       time.Duration
+	SharedHits     int
+	CoalescedWaits int
+	FailedLoads    int
+	NegativeHits   int
+	PeerFetches    int
+	Pinned         int // modules currently pinned by this view
+}
+
+// IsTransient reports whether a load error is retriable (a store I/O
+// hiccup) rather than permanent (missing object, parse failure, arch
+// mismatch). Only permanent errors are negatively cached.
+func IsTransient(err error) bool { return codeobj.IsTransient(err) }
+
+// RetryPolicy bounds the transient-error retry loop inside ModuleLoad.
+type RetryPolicy struct {
+	MaxRetries int           // extra attempts after the first; negative disables retry
+	Backoff    time.Duration // virtual-time sleep before the first retry
+	MaxBackoff time.Duration // cap for the doubling backoff
+}
+
+// LoadFaultInjector adds latency to module loads — the seam the faults
+// package uses for load-time spikes and windowed slow-loader brownouts (the
+// virtual start time of the load is passed so injectors can gate on it). A
+// nil injector costs nothing.
+type LoadFaultInjector interface {
+	ExtraLoadLatency(now time.Duration, path string) time.Duration
+}
+
+// RegistryObserver receives the shared registry's notable moments — the seam
+// the trace recorder implements. RegistryEvent marks instants (kind is one of
+// "evict", "coalesced_wait", "negative_hit", "transient_retry", "peer_fetch",
+// "unload", "reset"); RegistrySample carries gauge samples
+// ("<driver>_resident_bytes", "<driver>_resident_modules"). Both are called
+// with the registry's virtual time.
+type RegistryObserver interface {
+	RegistryEvent(kind, path string, at time.Duration)
+	RegistrySample(name string, at time.Duration, value float64)
+}
+
+// OnLoadFunc observes every completed module load (or peer fetch) a view
+// initiated; start/end are virtual times.
+type OnLoadFunc func(path string, start, end time.Duration, err error)
+
+// PeerModule is a neighbor GPU's resident copy of a code object, offered to
+// a loading registry together with the cost of moving it over the host's
+// interconnect.
+type PeerModule struct {
+	Object *codeobj.Object
+	From   string        // peer identifier, for traces
+	Cost   time.Duration // transfer time over the link model
+}
+
+// PeerSource answers residency queries against neighbor GPUs. PeerLookup
+// returns the cheapest peer copy of path, if any peer of a compatible
+// architecture holds it resident. The registry only takes the peer path when
+// the offered cost undercuts its own store-load estimate.
+type PeerSource interface {
+	PeerLookup(path string) (PeerModule, bool)
+}
+
+// Flavor captures the driver-specific surface of a backend: its name, its
+// error texts, its default retry posture and where per-symbol resolution
+// cost lands. The generic Registry implements the shared semantics
+// (residency, singleflight dedup, negative caching, LRU eviction, tenant
+// pinning); a Flavor turns it into a concrete driver. internal/hip and
+// internal/cuda are the implementations.
+type Flavor interface {
+	// Driver names the backend ("hip", "cuda"); it prefixes trace gauge
+	// series and identifies the flavor in experiment output.
+	Driver() string
+	// DefaultRetry is the policy used when SetRetry was never called.
+	DefaultRetry() RetryPolicy
+	// LazySymbols reports whether per-symbol resolution cost is deferred
+	// from module load to the first lookup of each symbol (the CUDA
+	// lazy-module-loading behavior); eager drivers charge it inside the
+	// load.
+	LazySymbols() bool
+
+	// LoadError decorates a store-read failure during ModuleLoad.
+	LoadError(path string, cause error) error
+	// ParseError decorates a rejected container during ModuleLoad.
+	ParseError(path string, cause error) error
+	// ArchError reports an object whose ISA does not match the device.
+	ArchError(path, objArch, devArch string) error
+	// SymbolError reports a kernel symbol missing from a loaded module.
+	SymbolError(name, module string) error
+	// ResidentLoadError decorates a store-read failure during
+	// RegisterResident; ResidentParseError a rejected container there.
+	ResidentLoadError(path string, cause error) error
+	ResidentParseError(path string, cause error) error
+}
+
+// Backend is the device-backend handle every layer above the driver holds:
+// one view of a GPU's shared module registry plus the device, host-cost and
+// clock accessors the executors charge time against. New returns the root
+// view; Attach returns additional refcounted tenant views over the same
+// shared state.
+type Backend interface {
+	// Driver returns the flavor name ("hip", "cuda").
+	Driver() string
+	// Env returns the simulation environment the backend runs in.
+	Env() *sim.Env
+	// GPU returns the device this backend registers modules on.
+	GPU() *device.GPU
+	// Host returns the host-side framework cost profile.
+	Host() device.HostProfile
+	// Store returns the backing code-object store.
+	Store() *codeobj.Store
+
+	// InitContext creates the GPU context, charging the device's context
+	// initialization cost once per shared runtime; ContextReady reports
+	// whether it has completed.
+	InitContext(p *sim.Proc)
+	ContextReady() bool
+
+	// ModuleLoad returns the module at path, loading it if absent;
+	// GetFunction additionally resolves a kernel symbol (loading lazily —
+	// the reactive path the paper attributes cold start to), and
+	// ModuleGetFunction resolves a symbol in an already-loaded module.
+	ModuleLoad(p *sim.Proc, path string) (*Module, error)
+	GetFunction(p *sim.Proc, path, name string) (*Function, error)
+	ModuleGetFunction(p *sim.Proc, m *Module, name string) (*Function, error)
+	// RegisterResident maps a code object that ships inside an already-open
+	// shared library, charging only the cheap mapping cost.
+	RegisterResident(p *sim.Proc, path string) (*Module, error)
+	// Preload loads every listed module, stopping at the first error.
+	Preload(p *sim.Proc, paths []string) error
+
+	// Residency queries.
+	Loaded(path string) bool
+	NumLoaded() int
+	ModuleBytes(path string) int64
+	LoadedCodeBytes() int64
+	// ResidentObject returns the parsed object of a resident module — the
+	// bytes a peering neighbor serves. ResidentPaths lists resident module
+	// paths, sorted.
+	ResidentObject(path string) (*codeobj.Object, bool)
+	ResidentPaths() []string
+
+	// Unload evicts one module (ignoring pins: forced device-side
+	// eviction); UnloadAll models a device reset that keeps the process
+	// and its mapped library binary alive.
+	Unload(path string) bool
+	UnloadAll()
+
+	// Tenant views. Attach creates a refcounted view over the shared
+	// state; Detach releases the view's eviction pins; Refs/PinnedPaths
+	// expose pin state (PinnedPaths sorted); NumViews counts views
+	// including the root.
+	Attach(name string) Backend
+	Detach()
+	Detached() bool
+	Tenant() string
+	Refs(path string) int
+	PinnedPaths() []string
+	NumViews() int
+
+	// Accounting. AllTenantStats returns the root view first, then every
+	// tenant view sorted by name — a deterministic order under multi-GPU
+	// fan-out.
+	Stats() Stats
+	TenantStats() TenantStats
+	AllTenantStats() []TenantStats
+
+	// Shared configuration seams (registry-wide, across all views).
+	SetRetry(RetryPolicy)
+	SetLoadFaults(LoadFaultInjector)
+	SetObserver(RegistryObserver)
+	SetPeers(PeerSource)
+	// SetOnLoad observes every completed load this view initiated (per
+	// view, for the metrics tracer).
+	SetOnLoad(OnLoadFunc)
+
+	// Negative-cache management (operators repair objects in place; tenant
+	// replacement clears the slate a fresh process would have).
+	ForgetFailure(path string) bool
+	ClearFailures() int
+	FailedPermanently(path string) bool
+}

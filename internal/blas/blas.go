@@ -14,9 +14,9 @@ import (
 	"slices"
 	"time"
 
+	"pask/internal/backend"
 	"pask/internal/codeobj"
 	"pask/internal/device"
-	"pask/internal/hip"
 	"pask/internal/kernels"
 	"pask/internal/sim"
 	"pask/internal/tensor"
@@ -185,7 +185,7 @@ const coreObjectKernels = 24
 
 // Library is the per-process GEMM library handle.
 type Library struct {
-	RT   *hip.Runtime
+	RT   backend.Backend
 	Hook SelectHook
 
 	kernels   []*Kernel
@@ -195,7 +195,7 @@ type Library struct {
 }
 
 // NewLibrary binds the GEMM ladder to a process runtime.
-func NewLibrary(rt *hip.Runtime) *Library {
+func NewLibrary(rt backend.Backend) *Library {
 	return &Library{RT: rt, kernels: Kernels(), find: make(map[string][]Ranked)}
 }
 
@@ -208,7 +208,7 @@ func (l *Library) Find(p *Problem) []Ranked {
 	var out []Ranked
 	occ := gemmOccupancy(p)
 	for _, k := range l.kernels {
-		if !k.Applicable(l.RT.GPU.Profile, p) {
+		if !k.Applicable(l.RT.GPU().Profile, p) {
 			continue
 		}
 		eff := k.effFn(p) * occ
@@ -216,7 +216,7 @@ func (l *Library) Find(p *Problem) []Ranked {
 			eff = 0.01
 		}
 		inst := Instance{Kern: k, Binding: k.Binding(p)}
-		out = append(out, Ranked{Inst: inst, Est: l.RT.GPU.Profile.KernelTime(p.Workload(), eff)})
+		out = append(out, Ranked{Inst: inst, Est: l.RT.GPU().Profile.KernelTime(p.Workload(), eff)})
 	}
 	slices.SortFunc(out, func(a, b Ranked) int {
 		if a.Est != b.Est {
@@ -248,7 +248,7 @@ func (l *Library) Materialize(store *codeobj.Store, problems []Problem) error {
 				CodeSize: 256 << 10, // 24 x 256 KiB: a 6 MiB kernel archive
 			}
 		}
-		if err := store.PutBuilt(CoreObjectPath, l.RT.GPU.Profile.Arch, specs); err != nil {
+		if err := store.PutBuilt(CoreObjectPath, l.RT.GPU().Profile.Arch, specs); err != nil {
 			return fmt.Errorf("blas: materialize core: %w", err)
 		}
 	}
@@ -258,7 +258,7 @@ func (l *Library) Materialize(store *codeobj.Store, problems []Problem) error {
 			if store.Has(path) {
 				continue
 			}
-			if err := store.PutBuilt(path, l.RT.GPU.Profile.Arch, r.Inst.ObjectSpec()); err != nil {
+			if err := store.PutBuilt(path, l.RT.GPU().Profile.Arch, r.Inst.ObjectSpec()); err != nil {
 				return fmt.Errorf("blas: materialize %s: %w", path, err)
 			}
 		}
@@ -313,7 +313,7 @@ func (l *Library) EnsureCore(proc *sim.Proc) error {
 // the PASK-for-BLAS extension), lazily loading the shared archive and the
 // instance's own code object.
 func (l *Library) RunInstance(proc *sim.Proc, stream *device.Stream, p *Problem, inst Instance) (*sim.Signal, error) {
-	if !inst.Applicable(l.RT.GPU.Profile, p) {
+	if !inst.Applicable(l.RT.GPU().Profile, p) {
 		return nil, fmt.Errorf("%w: %s to %s", ErrNotApplicable, inst.Path(), p.Key())
 	}
 	if err := l.EnsureCore(proc); err != nil {

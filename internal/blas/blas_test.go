@@ -108,9 +108,9 @@ func TestRunLazyLoadsAndLaunches(t *testing.T) {
 	var loadedDuringRun bool
 	var execTime time.Duration
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
+		defer lib.RT.GPU().CloseAll()
 		start := proc.Now()
-		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		sig, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p)
 		if err != nil {
 			t.Error(err)
 			return
@@ -141,9 +141,9 @@ func TestRunSecondCallSkipsLoad(t *testing.T) {
 	}
 	var firstDur, secondDur time.Duration
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
+		defer lib.RT.GPU().CloseAll()
 		t0 := proc.Now()
-		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		sig, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p)
 		if err != nil {
 			t.Error(err)
 			return
@@ -151,7 +151,7 @@ func TestRunSecondCallSkipsLoad(t *testing.T) {
 		sig.Wait(proc)
 		firstDur = proc.Now() - t0
 		t1 := proc.Now()
-		sig, err = lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		sig, err = lib.Run(proc, lib.RT.GPU().DefaultStream(), &p)
 		if err != nil {
 			t.Error(err)
 			return
@@ -178,8 +178,8 @@ func TestSelectHookSubstitutes(t *testing.T) {
 		return naive // force the generic kernel
 	}
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
-		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err != nil {
+		defer lib.RT.GPU().CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p); err != nil {
 			t.Error(err)
 			return
 		}
@@ -206,8 +206,8 @@ func TestHookReturningInapplicableFails(t *testing.T) {
 		return Instance{Kern: xd, Binding: "m32n32_f16"} // wrong binding
 	}
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
-		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err == nil {
+		defer lib.RT.GPU().CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p); err == nil {
 			t.Error("expected error for inapplicable substitution")
 		}
 	})
@@ -251,8 +251,8 @@ func TestRunFallsBackOnLoadFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
-		sig, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p)
+		defer lib.RT.GPU().CloseAll()
+		sig, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p)
 		if err != nil {
 			t.Errorf("Run did not degrade past the broken object: %v", err)
 			return
@@ -285,8 +285,8 @@ func TestRunFailsWhenLadderExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
-		if _, err := lib.Run(proc, lib.RT.GPU.DefaultStream(), &p); err == nil {
+		defer lib.RT.GPU().CloseAll()
+		if _, err := lib.Run(proc, lib.RT.GPU().DefaultStream(), &p); err == nil {
 			t.Error("Run succeeded with every applicable object broken")
 		}
 	})

@@ -147,7 +147,7 @@ func (c *CategoricalCache) getSubWith(extra *CacheStats, requireLoaded bool, pro
 	if extra != nil {
 		extra.Queries++
 	}
-	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	proc.Sleep(lib.RT.Host().CacheQueryFixed)
 	pat := want.CacheKey()
 	// Iterate over a snapshot: CheckApplicable sleeps in virtual time, and on
 	// a shared cache another tenant's Insert/promote may shift the live list's
@@ -194,7 +194,7 @@ func (c *CategoricalCache) getSubAnyWith(extra *CacheStats, proc *sim.Proc, lib 
 	if extra != nil {
 		extra.Queries++
 	}
-	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	proc.Sleep(lib.RT.Host().CacheQueryFixed)
 	pats := []miopen.Pattern{want.CacheKey()}
 	for _, pat := range miopen.Patterns() {
 		if pat != pats[0] {
@@ -278,7 +278,7 @@ func (c *NaiveCache) Touch(inst miopen.Instance) { c.Insert(inst) }
 // applicable one with the best predicted performance.
 func (c *NaiveCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
 	c.stats.Queries++
-	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	proc.Sleep(lib.RT.Host().CacheQueryFixed)
 	best := -1
 	var bestEst time.Duration
 	for i := range c.list {
@@ -304,7 +304,7 @@ func (c *NaiveCache) GetSub(proc *sim.Proc, lib *miopen.Library, want miopen.Ins
 // instance and any entry whose module is no longer resident.
 func (c *NaiveCache) GetSubAny(proc *sim.Proc, lib *miopen.Library, want miopen.Instance, p *miopen.Problem) (miopen.Instance, bool) {
 	c.stats.Queries++
-	proc.Sleep(lib.RT.Host.CacheQueryFixed)
+	proc.Sleep(lib.RT.Host().CacheQueryFixed)
 	best := -1
 	var bestEst time.Duration
 	for i := range c.list {

@@ -219,7 +219,7 @@ func TestGetSubChargesCheckTime(t *testing.T) {
 		if _, ok := c.GetSub(p, lib, spec, &prob); !ok {
 			t.Error("expected hit")
 		}
-		host := lib.RT.Host
+		host := lib.RT.Host()
 		want := host.CacheQueryFixed + host.ApplicabilityCheck
 		if got := p.Now() - before; got != want {
 			t.Errorf("query cost %v, want %v", got, want)

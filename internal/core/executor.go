@@ -196,7 +196,7 @@ func RunInterleaved(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cach
 	done := sim.NewSignal(env)
 
 	env.Spawn("pask-parser", func(pp *sim.Proc) {
-		pp.Sleep(r.RT.Host.IterOverhead)
+		pp.Sleep(r.RT.Host().IterOverhead)
 		r.OpenModel(pp)
 		for i := range m.Instrs {
 			r.ParseOne(pp, &m.Instrs[i])
@@ -520,8 +520,8 @@ func (pl *pipeline) decideGemm(lp *sim.Proc, instr *graphx.Instruction) (blas.In
 	pl.res.BlasQueries++
 	start := lp.Now()
 	for i := range pl.blasList {
-		lp.Sleep(pl.r.RT.Host.ApplicabilityCheck)
-		if pl.blasList[i].Applicable(pl.r.RT.GPU.Profile, &instr.Gemm) {
+		lp.Sleep(pl.r.RT.Host().ApplicabilityCheck)
+		if pl.blasList[i].Applicable(pl.r.RT.GPU().Profile, &instr.Gemm) {
 			inst := pl.blasList[i]
 			pl.blasList = append([]blas.Instance{inst}, append(pl.blasList[:i:i], pl.blasList[i+1:]...)...)
 			pl.res.BlasHits++
@@ -577,7 +577,7 @@ func RunWarmReuseOpts(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, ca
 
 func runSequential(p *sim.Proc, r *graphx.Runner, m *graphx.CompiledModel, cache Cache, parse bool, opts Options) (*Result, error) {
 	res := &Result{}
-	p.Sleep(r.RT.Host.IterOverhead)
+	p.Sleep(r.RT.Host().IterOverhead)
 	if parse {
 		r.OpenModel(p)
 		for i := range m.Instrs {

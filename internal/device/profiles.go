@@ -1,6 +1,9 @@
 package device
 
-import "time"
+import (
+	"strings"
+	"time"
+)
 
 // Calibrated device profiles. Magnitudes follow public spec sheets (peak
 // FLOPs, memory bandwidth) and measured driver behavior (module-load costs in
@@ -70,13 +73,20 @@ func Profiles() []Profile {
 	return []Profile{MI100(), A100(), RX6900XT()}
 }
 
+// profilesByName indexes the built-in constructors by lower-cased name so
+// lookups from flag parsing and HTTP handlers stay O(1) as profiles grow.
+var profilesByName = map[string]func() Profile{
+	"mi100":  MI100,
+	"a100":   A100,
+	"6900xt": RX6900XT,
+}
+
 // ProfileByName looks up one of the built-in profiles ("MI100", "A100",
-// "6900XT"); ok is false for unknown names.
+// "6900XT"). The match is case-insensitive; ok is false for unknown names.
 func ProfileByName(name string) (Profile, bool) {
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p, true
-		}
+	mk, ok := profilesByName[strings.ToLower(name)]
+	if !ok {
+		return Profile{}, false
 	}
-	return Profile{}, false
+	return mk(), true
 }

@@ -1,0 +1,96 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"pask/internal/sim"
+)
+
+// The paper's three evaluation devices resolve by name, case-insensitively
+// (Table I; flag values arrive in whatever case the operator typed).
+func TestProfileByNamePinsPaperDevices(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want string
+		arch string
+	}{
+		{"MI100", "MI100", "gfx908"},
+		{"mi100", "MI100", "gfx908"},
+		{"A100", "A100", "sm_80"},
+		{"a100", "A100", "sm_80"},
+		{"6900XT", "6900XT", "gfx1030"},
+		{"6900xt", "6900XT", "gfx1030"},
+	} {
+		p, ok := ProfileByName(tc.name)
+		if !ok {
+			t.Fatalf("ProfileByName(%q) not found", tc.name)
+		}
+		if p.Name != tc.want || p.Arch != tc.arch {
+			t.Fatalf("ProfileByName(%q) = %s/%s, want %s/%s", tc.name, p.Name, p.Arch, tc.want, tc.arch)
+		}
+	}
+	if _, ok := ProfileByName("H100"); ok {
+		t.Fatal("unknown device must not resolve")
+	}
+}
+
+// Every registered profile round-trips through its own name, so the lookup
+// map cannot silently drift from the profile list.
+func TestProfileByNameCoversProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %v/%v", p.Name, got.Name, ok)
+		}
+	}
+}
+
+// A multi-GPU host prices peer transfers by locality: same-NUMA links run at
+// the endpoints' lower PCIe bandwidth with small latency, cross-node links
+// pay the interconnect discount and higher latency.
+func TestHostLinkModel(t *testing.T) {
+	env := sim.NewEnv()
+	h := NewHost(env)
+	if i := h.AddGPU(MI100(), 0); i != 0 {
+		t.Fatalf("first AddGPU index = %d", i)
+	}
+	h.AddGPU(MI100(), 0)
+	h.AddGPU(A100(), 1)
+
+	same := h.LinkBetween(0, 1)
+	if same.Latency != 5*time.Microsecond {
+		t.Fatalf("same-node latency = %v", same.Latency)
+	}
+	cross := h.LinkBetween(0, 2)
+	if cross.Latency != 15*time.Microsecond {
+		t.Fatalf("cross-node latency = %v", cross.Latency)
+	}
+	if cross.BW >= same.BW {
+		t.Fatalf("cross-node BW %v not discounted below same-node %v", cross.BW, same.BW)
+	}
+	// Symmetry and monotonicity of the cost function.
+	if h.PeerCopyTime(0, 2, 1<<20) != h.PeerCopyTime(2, 0, 1<<20) {
+		t.Fatal("peer copy time must be symmetric")
+	}
+	if h.PeerCopyTime(0, 1, 1<<20) >= h.PeerCopyTime(0, 2, 1<<20) {
+		t.Fatal("cross-node copy must cost more than same-node")
+	}
+	if h.PeerCopyTime(0, 1, 1<<10) >= h.PeerCopyTime(0, 1, 1<<20) {
+		t.Fatal("copy time must grow with size")
+	}
+	h.CloseAll()
+}
+
+func TestHostLinkBetweenSelfPanics(t *testing.T) {
+	env := sim.NewEnv()
+	h := NewHost(env)
+	h.AddGPU(MI100(), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LinkBetween(i, i) must panic")
+		}
+		h.CloseAll()
+	}()
+	h.LinkBetween(0, 0)
+}

@@ -6,11 +6,14 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"pask/internal/backend"
 	"pask/internal/blas"
 	"pask/internal/codeobj"
 	"pask/internal/core"
+	"pask/internal/cuda"
 	"pask/internal/device"
 	"pask/internal/graphx"
 	"pask/internal/hip"
@@ -130,7 +133,7 @@ func PrepareModelTyped(abbr string, batch int, prof device.Profile, dt tensor.DT
 type Process struct {
 	Env    *sim.Env
 	GPU    *device.GPU
-	RT     *hip.Runtime
+	RT     backend.Backend
 	Runner *graphx.Runner
 	Tracer *metrics.Tracer
 	Rec    *trace.Recorder
@@ -182,13 +185,31 @@ func (ms *ModelSetup) NewProcessIn(env *sim.Env) *Process {
 type Tenancy struct {
 	Env  *sim.Env
 	GPU  *device.GPU
-	Root *hip.Runtime // root view; tenants attach refcounted views
+	Root backend.Backend // root view; tenants attach refcounted views
 }
 
 // NewTenancy creates a cold shared GPU runtime over the given store.
 func NewTenancy(env *sim.Env, prof device.Profile, store *codeobj.Store) *Tenancy {
 	gpu := device.NewGPU(env, prof)
 	return &Tenancy{Env: env, GPU: gpu, Root: hip.NewRuntime(env, gpu, device.DefaultHost(), store)}
+}
+
+// BackendFor creates a runtime of the flavor matching the device's ISA:
+// sm_* architectures get the CUDA backend, everything else (gfx*) HIP —
+// the vendor split of the paper's testbed (MI100/RX6900XT under ROCm, A100
+// under CUDA).
+func BackendFor(env *sim.Env, gpu *device.GPU, store *codeobj.Store) backend.Backend {
+	if strings.HasPrefix(gpu.Profile.Arch, "sm_") {
+		return cuda.NewRuntime(env, gpu, device.DefaultHost(), store)
+	}
+	return hip.NewRuntime(env, gpu, device.DefaultHost(), store)
+}
+
+// NewTenancyOn creates a cold shared runtime over an *existing* device —
+// multi-GPU hosts own their devices, so the tenancy must not create one —
+// selecting the backend flavor by the device's ISA.
+func NewTenancyOn(env *sim.Env, gpu *device.GPU, store *codeobj.Store) *Tenancy {
+	return &Tenancy{Env: env, GPU: gpu, Root: BackendFor(env, gpu, store)}
 }
 
 // AttachIn creates a tenant process for this model on the shared GPU: a

@@ -217,7 +217,7 @@ func TestBaselineRunsAllModelsEndToEnd(t *testing.T) {
 			}
 			var runErr error
 			env.Spawn("host", func(p *sim.Proc) {
-				defer runner.RT.GPU.CloseAll()
+				defer runner.RT.GPU().CloseAll()
 				runErr = runner.RunBaseline(p, m)
 			})
 			if err := env.Run(); err != nil {
@@ -229,7 +229,7 @@ func TestBaselineRunsAllModelsEndToEnd(t *testing.T) {
 			if runner.RT.Stats().ModuleLoads == 0 {
 				t.Fatal("cold baseline must load code objects")
 			}
-			if runner.RT.GPU.BusyTime() <= 0 {
+			if runner.RT.GPU().BusyTime() <= 0 {
 				t.Fatal("GPU never ran")
 			}
 		})
@@ -249,7 +249,7 @@ func TestHotRunMuchFasterThanCold(t *testing.T) {
 	}
 	var cold, hot time.Duration
 	env.Spawn("host", func(p *sim.Proc) {
-		defer runner.RT.GPU.CloseAll()
+		defer runner.RT.GPU().CloseAll()
 		t0 := p.Now()
 		if err := runner.RunBaseline(p, m); err != nil {
 			t.Error(err)
@@ -285,7 +285,7 @@ func TestIdealPreloadRemovesLoadTime(t *testing.T) {
 	}
 	var idealTime time.Duration
 	env.Spawn("host", func(p *sim.Proc) {
-		defer runner.RT.GPU.CloseAll()
+		defer runner.RT.GPU().CloseAll()
 		if err := runner.PreloadAll(p, m); err != nil {
 			t.Error(err)
 			return
@@ -322,7 +322,7 @@ func TestTracerCollectsAllCategories(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Spawn("host", func(p *sim.Proc) {
-		defer runner.RT.GPU.CloseAll()
+		defer runner.RT.GPU().CloseAll()
 		if err := runner.RunBaseline(p, m); err != nil {
 			t.Error(err)
 		}

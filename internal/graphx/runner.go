@@ -5,9 +5,9 @@ import (
 
 	"fmt"
 
+	"pask/internal/backend"
 	"pask/internal/blas"
 	"pask/internal/device"
-	"pask/internal/hip"
 	"pask/internal/metrics"
 	"pask/internal/miopen"
 	"pask/internal/sim"
@@ -18,7 +18,7 @@ import (
 // provides the building blocks every scheme's executor is made of: parse
 // steps, the parameter copy, per-instruction execution and synchronization.
 type Runner struct {
-	RT     *hip.Runtime
+	RT     backend.Backend
 	Lib    *miopen.Library
 	Blas   *blas.Library
 	Tracer *metrics.Tracer
@@ -36,13 +36,13 @@ type Runner struct {
 
 // NewRunner wires the runtime's load events and the GPU's kernel events into
 // the tracer and returns a runner using the device's default stream.
-func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, tracer *metrics.Tracer) *Runner {
+func NewRunner(rt backend.Backend, lib *miopen.Library, blasLib *blas.Library, tracer *metrics.Tracer) *Runner {
 	r := &Runner{
 		RT: rt, Lib: lib, Blas: blasLib, Tracer: tracer,
-		Stream:         rt.GPU.DefaultStream(),
+		Stream:         rt.GPU().DefaultStream(),
 		paramsResident: make(map[string]bool),
 	}
-	rt.OnLoad = func(path string, start, end time.Duration, err error) {
+	rt.SetOnLoad(func(path string, start, end time.Duration, err error) {
 		s := metrics.Span{Cat: metrics.CatLoad, Name: path, Thread: "loader", Start: start, End: end}
 		if err == nil {
 			s.Attrs = append(s.Attrs, metrics.Attr{Key: "bytes", Value: fmt.Sprint(rt.ModuleBytes(path))})
@@ -50,12 +50,12 @@ func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, trac
 			s.Attrs = append(s.Attrs, metrics.Attr{Key: "error", Value: err.Error()})
 		}
 		tracer.AddSpan(s)
-	}
+	})
 	// The GPU carries a single kernel hook. When several tenant runners share
 	// one device (multi-tenant serving), only the first attaches its tracer:
 	// kernel spans are a device-level event stream, not a per-tenant one.
-	if rt.GPU.OnKernel == nil {
-		rt.GPU.OnKernel = func(name string, start, end time.Duration) {
+	if rt.GPU().OnKernel == nil {
+		rt.GPU().OnKernel = func(name string, start, end time.Duration) {
 			tracer.Add(metrics.CatExec, name, "gpu", start, end)
 		}
 	}
@@ -65,14 +65,14 @@ func NewRunner(rt *hip.Runtime, lib *miopen.Library, blasLib *blas.Library, trac
 // OpenModel charges the cost of opening and mapping the compiled model file.
 func (r *Runner) OpenModel(p *sim.Proc) {
 	start := p.Now()
-	p.Sleep(r.RT.Host.ModelOpen)
+	p.Sleep(r.RT.Host().ModelOpen)
 	r.Tracer.Add(metrics.CatParse, "model-open", p.Name(), start, p.Now())
 }
 
 // ParseOne charges the deserialization of one instruction.
 func (r *Runner) ParseOne(p *sim.Proc, in *Instruction) {
 	start := p.Now()
-	p.Sleep(r.RT.Host.ParseInstr)
+	p.Sleep(r.RT.Host().ParseInstr)
 	r.Tracer.Add(metrics.CatParse, "parse:"+in.Name, p.Name(), start, p.Now())
 }
 
@@ -161,7 +161,7 @@ func (r *Runner) ExecInstr(p *sim.Proc, in *Instruction) (*sim.Signal, error) {
 func (r *Runner) Sync(p *sim.Proc) {
 	start := p.Now()
 	r.Stream.Synchronize(p)
-	p.Sleep(r.RT.Host.SyncOverhead)
+	p.Sleep(r.RT.Host().SyncOverhead)
 	r.Tracer.Add(metrics.CatSync, "sync", p.Name(), start, p.Now())
 }
 
@@ -169,7 +169,7 @@ func (r *Runner) Sync(p *sim.Proc) {
 // parse every instruction, copy parameters, then launch layer by layer with
 // lazy on-demand code loading.
 func (r *Runner) RunBaseline(p *sim.Proc, m *CompiledModel) error {
-	p.Sleep(r.RT.Host.IterOverhead)
+	p.Sleep(r.RT.Host().IterOverhead)
 	r.OpenModel(p)
 	for i := range m.Instrs {
 		r.ParseOne(p, &m.Instrs[i])
@@ -188,7 +188,7 @@ func (r *Runner) RunBaseline(p *sim.Proc, m *CompiledModel) error {
 // loaded, only launches and GPU execution remain (the denominator of the
 // paper's Fig 1a slowdowns).
 func (r *Runner) RunHot(p *sim.Proc, m *CompiledModel) error {
-	p.Sleep(r.RT.Host.IterOverhead)
+	p.Sleep(r.RT.Host().IterOverhead)
 	for i := range m.Instrs {
 		if _, err := r.ExecInstr(p, &m.Instrs[i]); err != nil {
 			return err

@@ -1,630 +1,112 @@
-// Package hip implements the host GPU runtime of the simulated stack — the
-// analogue of the HIP/CUDA driver API that the paper interposes on. It owns
-// the per-GPU module registry with the *lazy loading* semantics that cause
-// DNN cold start: a kernel's code object is read, validated and relocated
-// only when something asks for it, and the calling process is charged the
-// full load time (paper §II-A, Fig 3).
+// Package hip is the ROCm/HIP flavor of the pluggable device backend — the
+// analogue of the HIP driver API that the paper interposes on, and the first
+// implementation extracted into the generic internal/backend registry. It
+// keeps the per-GPU module registry with the *lazy loading* semantics that
+// cause DNN cold start: a kernel's code object is read, validated and
+// relocated only when something asks for it, and the calling process is
+// charged the full load time (paper §II-A, Fig 3).
 //
-// Since the multi-tenant refactor the unit of kernel residency is the GPU,
-// not the OS process: NewRuntime creates the *root view* of a shared module
-// registry, and Attach hands out additional refcounted tenant views over the
-// same state. Loaded modules, the in-flight load table (singleflight dedup),
-// the negative cache and the retry policy are shared across views — a code
-// object loaded for one tenant's model is immediately resident for every
-// other tenant on the GPU, the cross-model sharing lever of §III-B/C.
-// Per-view state is limited to attribution: which loads a view initiated and
-// paid for, which it enjoyed for free, and which modules it has pinned
-// against eviction.
+// HIP is an *eager* flavor: per-symbol resolution cost is charged inside the
+// module load (SymbolResolve × NumSymbols), matching hipModuleLoad, which
+// finalizes the whole code object up front. Since the multi-tenant refactor
+// the unit of kernel residency is the GPU, not the OS process: NewRuntime
+// creates the *root view* of a shared module registry and Attach hands out
+// refcounted tenant views over the same state (§III-B/C). The registry
+// mechanics — singleflight dedup, negative cache, retries, LRU eviction,
+// tenant pinning, cache peering — live in internal/backend; this package
+// contributes only the driver-specific surface: error texts shaped like HIP
+// runtime errors and the default retry posture.
 package hip
 
 import (
 	"fmt"
 	"time"
 
+	"pask/internal/backend"
 	"pask/internal/codeobj"
 	"pask/internal/device"
 	"pask/internal/sim"
 )
 
-// Module is a loaded code object registered in device memory.
-type Module struct {
-	Path     string
-	Object   *codeobj.Object
-	LoadedAt time.Duration
-	// lastUsed drives LRU eviction under device code-memory pressure.
-	lastUsed time.Duration
-	// resident modules live inside the library binary and are never evicted.
-	resident bool
-}
-
-// Function is a resolved kernel symbol inside a loaded module.
-type Function struct {
-	Module *Module
-	Kernel codeobj.Kernel
-}
-
-// Name returns the kernel's global symbol name.
-func (f *Function) Name() string { return f.Kernel.Name }
-
-// Stats aggregates the shared registry's loading activity across all views.
-type Stats struct {
-	ModuleLoads       int           // completed loads (cache misses)
-	LoadHits          int           // ModuleLoad calls satisfied by the registry
-	BytesLoaded       int64         // container bytes read and relocated
-	LoadTimeTotal     time.Duration // virtual time spent inside loads
-	FailedLoads       int
-	Evictions         int // modules dropped under code-memory pressure
-	TransientRetries  int // load attempts repeated after a retriable error
-	PermanentFailures int // loads negatively cached (parse/arch/missing)
-	NegativeHits      int // ModuleLoad calls answered from the negative cache
-	CoalescedWaits    int // callers that waited on another view's in-flight load
-}
-
-// TenantStats attributes a shared runtime's loading activity to one view —
-// the accounting multi-tenant serving reports per tenant. Loads counts the
-// loads this view initiated and paid for; SharedHits the calls answered by a
-// module already resident (loaded earlier, possibly by another tenant);
-// CoalescedWaits the calls that blocked on another view's in-flight load of
-// the same object and got the result without paying the load itself.
-type TenantStats struct {
-	Tenant         string
-	Loads          int
-	BytesLoaded    int64
-	LoadTime       time.Duration
-	SharedHits     int
-	CoalescedWaits int
-	FailedLoads    int
-	NegativeHits   int
-	Pinned         int // modules currently pinned by this view
-}
+// Aliases re-export the backend vocabulary under the historical hip names so
+// existing call sites and tests keep reading naturally.
+type (
+	// Module is a loaded code object registered in device memory.
+	Module = backend.Module
+	// Function is a resolved kernel symbol inside a loaded module.
+	Function = backend.Function
+	// Stats aggregates the shared registry's loading activity.
+	Stats = backend.Stats
+	// TenantStats attributes a shared runtime's loading to one view.
+	TenantStats = backend.TenantStats
+	// RetryPolicy bounds the transient-error retry loop inside ModuleLoad.
+	RetryPolicy = backend.RetryPolicy
+	// LoadFaultInjector adds latency to module loads.
+	LoadFaultInjector = backend.LoadFaultInjector
+	// RegistryObserver receives the shared registry's notable moments.
+	RegistryObserver = backend.RegistryObserver
+	// Runtime is one view of a GPU's shared module registry.
+	Runtime = backend.Registry
+)
 
 // IsTransient reports whether a load error is retriable (a store I/O
 // hiccup) rather than permanent (missing object, parse failure, arch
 // mismatch). Only permanent errors are negatively cached.
-func IsTransient(err error) bool { return codeobj.IsTransient(err) }
-
-// RetryPolicy bounds the transient-error retry loop inside ModuleLoad.
-type RetryPolicy struct {
-	MaxRetries int           // extra attempts after the first; negative disables retry
-	Backoff    time.Duration // virtual-time sleep before the first retry
-	MaxBackoff time.Duration // cap for the doubling backoff
-}
+func IsTransient(err error) bool { return backend.IsTransient(err) }
 
 // DefaultRetryPolicy returns the policy a zero-valued retry config uses.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 3, Backoff: 200 * time.Microsecond, MaxBackoff: time.Millisecond}
 }
 
-// LoadFaultInjector adds latency to module loads — the seam the faults
-// package uses for load-time spikes and windowed slow-loader brownouts (the
-// virtual start time of the load is passed so injectors can gate on it). A
-// nil injector costs nothing.
-type LoadFaultInjector interface {
-	ExtraLoadLatency(now time.Duration, path string) time.Duration
+// Flavor is the HIP driver surface plugged into the generic registry:
+// hip-prefixed error strings (the shapes the recovery ladder and tests
+// match on), eager symbol resolution, and a patient retry posture (ROCm
+// tolerates slower distributed stores on the MI100-class training parks the
+// paper profiles).
+type Flavor struct{}
+
+// Driver names the backend.
+func (Flavor) Driver() string { return "hip" }
+
+// DefaultRetry is the policy used when SetRetry was never called.
+func (Flavor) DefaultRetry() backend.RetryPolicy { return DefaultRetryPolicy() }
+
+// LazySymbols is false: hipModuleLoad finalizes every symbol up front.
+func (Flavor) LazySymbols() bool { return false }
+
+// LoadError decorates a store-read failure during ModuleLoad.
+func (Flavor) LoadError(path string, cause error) error {
+	return fmt.Errorf("hip: ModuleLoad: %w", cause)
 }
 
-// RegistryObserver receives the shared registry's notable moments — the seam
-// the trace recorder implements. RegistryEvent marks instants (kind is one of
-// "evict", "coalesced_wait", "negative_hit", "transient_retry", "unload",
-// "reset"); RegistrySample carries gauge samples ("hip_resident_bytes",
-// "hip_resident_modules"). Both are called with the registry's virtual time.
-type RegistryObserver interface {
-	RegistryEvent(kind, path string, at time.Duration)
-	RegistrySample(name string, at time.Duration, value float64)
+// ParseError decorates a rejected container during ModuleLoad.
+func (Flavor) ParseError(path string, cause error) error {
+	return fmt.Errorf("hip: ModuleLoad %q: %w", path, cause)
 }
 
-// shared is the per-GPU registry state every view of a Runtime aliases:
-// module residency, singleflight load dedup, the negative cache, retry
-// policy, the driver lock and the aggregate stats.
-type shared struct {
-	store      *codeobj.Store
-	modules    map[string]*Module
-	inflight   map[string]*loadState
-	failed     map[string]error // negative cache: permanent failures only
-	refs       map[string]int   // path -> live tenant pins (eviction guard)
-	driverLock *sim.Resource
-	ctxReady   bool
-	stats      Stats
-	retry      RetryPolicy
-	loadFaults LoadFaultInjector
-	obs        RegistryObserver
-	views      []*Runtime // root first, then every Attach in order
+// ArchError reports an object whose ISA does not match the device.
+func (Flavor) ArchError(path, objArch, devArch string) error {
+	return fmt.Errorf("hip: ModuleLoad %q: object arch %q does not match device %q", path, objArch, devArch)
 }
 
-// observe emits an instant event to the shared observer, if any.
-func (sh *shared) observe(env *sim.Env, kind, path string) {
-	if sh.obs != nil {
-		sh.obs.RegistryEvent(kind, path, env.Now())
-	}
+// SymbolError reports a kernel symbol missing from a loaded module.
+func (Flavor) SymbolError(name, module string) error {
+	return fmt.Errorf("hip: symbol %q not found in module %q", name, module)
 }
 
-// sampleResidency emits the resident-bytes/modules gauges after any change
-// to the module map.
-func (rt *Runtime) sampleResidency() {
-	if rt.sh.obs == nil {
-		return
-	}
-	now := rt.Env.Now()
-	rt.sh.obs.RegistrySample("hip_resident_bytes", now, float64(rt.LoadedCodeBytes()))
-	rt.sh.obs.RegistrySample("hip_resident_modules", now, float64(len(rt.sh.modules)))
+// ResidentLoadError decorates a store-read failure during RegisterResident.
+func (Flavor) ResidentLoadError(path string, cause error) error {
+	return fmt.Errorf("hip: RegisterResident: %w", cause)
 }
 
-// Runtime is one view of a GPU's shared module registry. NewRuntime returns
-// the root view; Attach returns additional tenant views that pin the modules
-// they reference so eviction cannot pull a live tenant's kernels out from
-// under it. All views observe the same residency, negative cache and retry
-// state; OnLoad and the tenant attribution stats are per view.
-type Runtime struct {
-	Env  *sim.Env
-	GPU  *device.GPU
-	Host device.HostProfile
-
-	sh *shared
-
-	tenant   string
-	pinned   map[string]bool // nil for the root view: no pinning
-	tstats   TenantStats
-	detached bool
-
-	// OnLoad, when set, observes every completed module load this view
-	// initiated (for the metrics tracer). start/end are virtual times.
-	OnLoad func(path string, start, end time.Duration, err error)
+// ResidentParseError decorates a rejected container during RegisterResident.
+func (Flavor) ResidentParseError(path string, cause error) error {
+	return fmt.Errorf("hip: RegisterResident %q: %w", path, cause)
 }
 
-type loadState struct {
-	done *sim.Signal
-	mod  *Module
-	err  error
-}
-
-// NewRuntime creates a cold runtime over the given device and code-object
-// store and returns its root view.
+// NewRuntime creates a cold HIP-flavored runtime over the given device and
+// code-object store and returns its root view.
 func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *codeobj.Store) *Runtime {
-	rt := &Runtime{
-		Env:  env,
-		GPU:  gpu,
-		Host: host,
-		sh: &shared{
-			store:      store,
-			modules:    make(map[string]*Module),
-			inflight:   make(map[string]*loadState),
-			failed:     make(map[string]error),
-			refs:       make(map[string]int),
-			driverLock: sim.NewResource(env, 1),
-		},
-	}
-	rt.sh.views = []*Runtime{rt}
-	return rt
-}
-
-// Attach creates a tenant view named name over this runtime's shared state.
-// The view sees every module already resident, coalesces its loads with
-// other views' in-flight loads, and pins each module it references so
-// eviction under code-memory pressure cannot drop another tenant's live
-// kernels. Detach releases the pins.
-func (rt *Runtime) Attach(name string) *Runtime {
-	v := &Runtime{
-		Env:    rt.Env,
-		GPU:    rt.GPU,
-		Host:   rt.Host,
-		sh:     rt.sh,
-		tenant: name,
-		pinned: make(map[string]bool),
-	}
-	v.tstats.Tenant = name
-	rt.sh.views = append(rt.sh.views, v)
-	return v
-}
-
-// Detach releases every module pin this view holds. Pinned modules stay
-// resident (they are the warm cache the next tenant benefits from) but
-// become evictable under memory pressure. Detaching never unloads a module
-// another view still pins. Detach is idempotent.
-func (rt *Runtime) Detach() {
-	if rt.detached {
-		return
-	}
-	for path := range rt.pinned {
-		if rt.sh.refs[path]--; rt.sh.refs[path] <= 0 {
-			delete(rt.sh.refs, path)
-		}
-	}
-	rt.pinned = nil
-	rt.tstats.Pinned = 0
-	rt.detached = true
-}
-
-// Detached reports whether Detach has been called on this view.
-func (rt *Runtime) Detached() bool { return rt.detached }
-
-// Tenant returns the view's name ("" for the root view).
-func (rt *Runtime) Tenant() string { return rt.tenant }
-
-// pin records that this view references path, guarding the module against
-// eviction. The root view does not pin (preserving the single-tenant LRU
-// behavior); tenant views pin each path once.
-func (rt *Runtime) pin(path string) {
-	if rt.pinned == nil || rt.pinned[path] {
-		return
-	}
-	rt.pinned[path] = true
-	rt.sh.refs[path]++
-	rt.tstats.Pinned++
-}
-
-// Refs returns the number of live tenant pins on path.
-func (rt *Runtime) Refs(path string) int { return rt.sh.refs[path] }
-
-// PinnedPaths returns the paths this view currently pins.
-func (rt *Runtime) PinnedPaths() []string {
-	out := make([]string, 0, len(rt.pinned))
-	for p := range rt.pinned {
-		out = append(out, p)
-	}
-	return out
-}
-
-// SetRetry sets the shared transient-retry policy (MaxRetries < 0 disables
-// retrying; the zero value means DefaultRetryPolicy).
-func (rt *Runtime) SetRetry(p RetryPolicy) { rt.sh.retry = p }
-
-// SetLoadFaults installs (or with nil removes) the shared load-latency fault
-// injector.
-func (rt *Runtime) SetLoadFaults(inj LoadFaultInjector) { rt.sh.loadFaults = inj }
-
-// SetObserver installs (or with nil removes) the shared registry observer.
-// Like the retry policy it is registry-wide: every view's activity is
-// reported to the same observer.
-func (rt *Runtime) SetObserver(o RegistryObserver) { rt.sh.obs = o }
-
-// retryPolicy resolves the effective retry policy.
-func (rt *Runtime) retryPolicy() RetryPolicy {
-	if rt.sh.retry.MaxRetries < 0 {
-		return RetryPolicy{}
-	}
-	if rt.sh.retry == (RetryPolicy{}) {
-		return DefaultRetryPolicy()
-	}
-	return rt.sh.retry
-}
-
-// Store returns the backing code-object store.
-func (rt *Runtime) Store() *codeobj.Store { return rt.sh.store }
-
-// Stats returns a snapshot of the shared loading statistics.
-func (rt *Runtime) Stats() Stats { return rt.sh.stats }
-
-// TenantStats returns this view's attribution counters.
-func (rt *Runtime) TenantStats() TenantStats { return rt.tstats }
-
-// AllTenantStats returns the attribution counters of every view, root first,
-// in attach order (detached views included — their history still counts).
-func (rt *Runtime) AllTenantStats() []TenantStats {
-	out := make([]TenantStats, 0, len(rt.sh.views))
-	for _, v := range rt.sh.views {
-		out = append(out, v.tstats)
-	}
-	return out
-}
-
-// NumViews returns the number of views over the shared state (root
-// included).
-func (rt *Runtime) NumViews() int { return len(rt.sh.views) }
-
-// ContextReady reports whether InitContext has completed.
-func (rt *Runtime) ContextReady() bool { return rt.sh.ctxReady }
-
-// InitContext creates the GPU context, charging the device's context
-// initialization cost once per shared runtime. Tenants attaching to a warm
-// runtime skip it — the per-GPU daemon already holds the context.
-func (rt *Runtime) InitContext(p *sim.Proc) {
-	if rt.sh.ctxReady {
-		return
-	}
-	p.Sleep(rt.GPU.Profile.ContextInit)
-	rt.sh.ctxReady = true
-}
-
-// Loaded reports whether the module at path is resident.
-func (rt *Runtime) Loaded(path string) bool {
-	_, ok := rt.sh.modules[path]
-	return ok
-}
-
-// NumLoaded returns the number of resident modules.
-func (rt *Runtime) NumLoaded() int { return len(rt.sh.modules) }
-
-// ModuleLoad returns the module at path, loading it if absent. Loading reads
-// the object from the store, validates it (real parse), resolves symbols and
-// charges the device profile's load time. Concurrent loads of the same path
-// coalesce — across views too, so two tenants requesting the same .pko pay
-// exactly one load. Distinct loads serialize on the driver lock, as real
-// drivers do.
-//
-// Transient store errors are retried with capped doubling backoff (see
-// SetRetry); permanent errors (missing object, parse failure, arch mismatch)
-// are negatively cached so repeat callers fail fast without re-reading a
-// known-bad object.
-func (rt *Runtime) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
-	sh := rt.sh
-	if m, ok := sh.modules[path]; ok {
-		sh.stats.LoadHits++
-		rt.tstats.SharedHits++
-		rt.pin(path)
-		return m, nil
-	}
-	if err, ok := sh.failed[path]; ok {
-		sh.stats.NegativeHits++
-		rt.tstats.NegativeHits++
-		sh.observe(rt.Env, "negative_hit", path)
-		return nil, err
-	}
-	if st, ok := sh.inflight[path]; ok {
-		sh.stats.CoalescedWaits++
-		rt.tstats.CoalescedWaits++
-		sh.observe(rt.Env, "coalesced_wait", path)
-		st.done.Wait(p)
-		if st.err == nil {
-			rt.pin(path)
-		}
-		return st.mod, st.err
-	}
-	st := &loadState{done: sim.NewSignal(p.Env())}
-	sh.inflight[path] = st
-
-	start := p.Now()
-	st.mod, st.err = rt.loadWithRetry(p, path)
-
-	delete(sh.inflight, path)
-	if st.err == nil {
-		rt.evictForSpace(int64(st.mod.Object.Size()))
-		sh.modules[path] = st.mod
-		sh.stats.ModuleLoads++
-		sh.stats.BytesLoaded += int64(st.mod.Object.Size())
-		rt.tstats.Loads++
-		rt.tstats.BytesLoaded += int64(st.mod.Object.Size())
-		rt.pin(path)
-	} else {
-		sh.stats.FailedLoads++
-		rt.tstats.FailedLoads++
-		if !IsTransient(st.err) {
-			sh.failed[path] = st.err
-			sh.stats.PermanentFailures++
-		}
-	}
-	sh.stats.LoadTimeTotal += p.Now() - start
-	rt.tstats.LoadTime += p.Now() - start
-	if st.err == nil {
-		rt.sampleResidency()
-	}
-	if rt.OnLoad != nil {
-		rt.OnLoad(path, start, p.Now(), st.err)
-	}
-	st.done.Fire()
-	return st.mod, st.err
-}
-
-// loadWithRetry drives loadLocked through the retry policy, holding the
-// driver lock only per attempt so backoff sleeps don't stall other loads.
-func (rt *Runtime) loadWithRetry(p *sim.Proc, path string) (*Module, error) {
-	pol := rt.retryPolicy()
-	backoff := pol.Backoff
-	for attempt := 0; ; attempt++ {
-		rt.sh.driverLock.Acquire(p)
-		m, err := rt.loadLocked(p, path)
-		rt.sh.driverLock.Release()
-		if err == nil || !IsTransient(err) || attempt >= pol.MaxRetries {
-			return m, err
-		}
-		rt.sh.stats.TransientRetries++
-		rt.sh.observe(rt.Env, "transient_retry", path)
-		if backoff > 0 {
-			p.Sleep(backoff)
-			backoff *= 2
-			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
-				backoff = pol.MaxBackoff
-			}
-		}
-	}
-}
-
-// ForgetFailure drops path from the negative cache — operators repair
-// objects in place and the next ModuleLoad should try again.
-func (rt *Runtime) ForgetFailure(path string) bool {
-	if _, ok := rt.sh.failed[path]; !ok {
-		return false
-	}
-	delete(rt.sh.failed, path)
-	return true
-}
-
-// ClearFailures empties the shared negative cache and returns how many
-// entries it dropped. Tenant replacement uses it so a fresh tenant view
-// starts with the same clean slate a fresh isolated process would have.
-func (rt *Runtime) ClearFailures() int {
-	n := len(rt.sh.failed)
-	for path := range rt.sh.failed {
-		delete(rt.sh.failed, path)
-	}
-	return n
-}
-
-// FailedPermanently reports whether path is negatively cached.
-func (rt *Runtime) FailedPermanently(path string) bool {
-	_, ok := rt.sh.failed[path]
-	return ok
-}
-
-// loadLocked performs the actual read + validate + relocate under the driver
-// lock, charging virtual time proportional to the object size and symbols.
-func (rt *Runtime) loadLocked(p *sim.Proc, path string) (*Module, error) {
-	data, err := rt.sh.store.Get(path)
-	if err != nil {
-		// A failed open still costs the fixed driver overhead.
-		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
-		return nil, fmt.Errorf("hip: ModuleLoad: %w", err)
-	}
-	if rt.sh.loadFaults != nil {
-		if d := rt.sh.loadFaults.ExtraLoadLatency(p.Now(), path); d > 0 {
-			p.Sleep(d)
-		}
-	}
-	obj, perr := codeobj.Parse(data)
-	if perr != nil {
-		// The driver read and checksummed the file before rejecting it.
-		p.Sleep(rt.GPU.Profile.LoadTime(int64(len(data)), 0))
-		return nil, fmt.Errorf("hip: ModuleLoad %q: %w", path, perr)
-	}
-	if arch := rt.GPU.Profile.Arch; obj.Arch != arch {
-		p.Sleep(rt.GPU.Profile.ModuleLoadFixed)
-		return nil, fmt.Errorf("hip: ModuleLoad %q: object arch %q does not match device %q", path, obj.Arch, arch)
-	}
-	p.Sleep(rt.GPU.Profile.LoadTime(int64(obj.Size()), obj.NumSymbols()))
-	return &Module{Path: path, Object: obj, LoadedAt: p.Now()}, nil
-}
-
-// evictForSpace drops least-recently-used non-resident modules until a new
-// object of the given size fits into the device's code-memory budget — the
-// memory pressure that forces edge devices to re-pay cold starts (paper §I).
-// Modules pinned by a live tenant view are never victims: eviction may only
-// touch modules no attached tenant references. When only resident or pinned
-// modules remain the budget is allowed to overshoot.
-func (rt *Runtime) evictForSpace(incoming int64) {
-	budget := rt.GPU.Profile.CodeMemory
-	if budget <= 0 {
-		return
-	}
-	sh := rt.sh
-	for rt.LoadedCodeBytes()+incoming > budget {
-		var victim *Module
-		for _, m := range sh.modules {
-			if m.resident || sh.refs[m.Path] > 0 {
-				continue
-			}
-			if victim == nil || m.lastUsed < victim.lastUsed ||
-				(m.lastUsed == victim.lastUsed && m.Path < victim.Path) {
-				victim = m
-			}
-		}
-		if victim == nil {
-			return // only resident or pinned modules remain
-		}
-		delete(sh.modules, victim.Path)
-		sh.stats.Evictions++
-		sh.observe(rt.Env, "evict", victim.Path)
-	}
-}
-
-// ModuleGetFunction resolves a kernel symbol in a loaded module.
-func (rt *Runtime) ModuleGetFunction(m *Module, name string) (*Function, error) {
-	k, ok := m.Object.Symbol(name)
-	if !ok {
-		return nil, fmt.Errorf("hip: symbol %q not found in module %q", name, m.Path)
-	}
-	m.lastUsed = rt.Env.Now()
-	return &Function{Module: m, Kernel: k}, nil
-}
-
-// GetFunction loads the module at path if needed (the lazy path the reactive
-// baseline hits at launch time) and resolves the symbol.
-func (rt *Runtime) GetFunction(p *sim.Proc, path, name string) (*Function, error) {
-	m, err := rt.ModuleLoad(p, path)
-	if err != nil {
-		return nil, err
-	}
-	return rt.ModuleGetFunction(m, name)
-}
-
-// RegisterResident maps a code object that ships inside an already-open
-// shared library: the bytes are parsed and the symbols registered, but only
-// the cheap mapping cost is charged (no file read or relocation pass). A
-// tenant attaching after another view already mapped the object pays
-// nothing.
-func (rt *Runtime) RegisterResident(p *sim.Proc, path string) (*Module, error) {
-	if m, ok := rt.sh.modules[path]; ok {
-		rt.pin(path)
-		return m, nil
-	}
-	pol := rt.retryPolicy()
-	backoff := pol.Backoff
-	data, err := rt.sh.store.Get(path)
-	for attempt := 0; err != nil && IsTransient(err) && attempt < pol.MaxRetries; attempt++ {
-		rt.sh.stats.TransientRetries++
-		if backoff > 0 {
-			p.Sleep(backoff)
-			backoff *= 2
-			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
-				backoff = pol.MaxBackoff
-			}
-		}
-		data, err = rt.sh.store.Get(path)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("hip: RegisterResident: %w", err)
-	}
-	obj, perr := codeobj.Parse(data)
-	if perr != nil {
-		return nil, fmt.Errorf("hip: RegisterResident %q: %w", path, perr)
-	}
-	p.Sleep(rt.Host.ResidentMap)
-	m := &Module{Path: path, Object: obj, LoadedAt: p.Now(), resident: true}
-	rt.sh.modules[path] = m
-	rt.pin(path)
-	rt.sampleResidency()
-	return m, nil
-}
-
-// Unload evicts a module from the registry (edge/suspend scenarios). It
-// ignores tenant pins — callers model forced device-side eviction.
-func (rt *Runtime) Unload(path string) bool {
-	if _, ok := rt.sh.modules[path]; !ok {
-		return false
-	}
-	delete(rt.sh.modules, path)
-	rt.sh.observe(rt.Env, "unload", path)
-	rt.sampleResidency()
-	return true
-}
-
-// UnloadAll evicts every non-resident module, modeling a device reset that
-// keeps the process (and its mapped library binary) alive. Tenant pins
-// survive the reset: they record intent, and the next ModuleLoad re-loads.
-func (rt *Runtime) UnloadAll() {
-	for path, m := range rt.sh.modules {
-		if !m.resident {
-			delete(rt.sh.modules, path)
-		}
-	}
-	rt.sh.observe(rt.Env, "reset", "")
-	rt.sampleResidency()
-}
-
-// Preload loads every listed module, stopping at the first error. Used to
-// realize the paper's Ideal scheme (all solutions resident before timing
-// starts).
-func (rt *Runtime) Preload(p *sim.Proc, paths []string) error {
-	for _, path := range paths {
-		if _, err := rt.ModuleLoad(p, path); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// ModuleBytes returns the container size of the resident module at path
-// (0 when the module is not resident).
-func (rt *Runtime) ModuleBytes(path string) int64 {
-	if m, ok := rt.sh.modules[path]; ok {
-		return int64(m.Object.Size())
-	}
-	return 0
-}
-
-// LoadedCodeBytes returns the total container bytes of resident modules.
-func (rt *Runtime) LoadedCodeBytes() int64 {
-	var n int64
-	for _, m := range rt.sh.modules {
-		n += int64(m.Object.Size())
-	}
-	return n
+	return backend.New(env, gpu, host, store, Flavor{})
 }

@@ -54,7 +54,7 @@ func newTestRuntime(t *testing.T) (*sim.Env, *Runtime) {
 func runHost(t *testing.T, env *sim.Env, rt *Runtime, fn func(p *sim.Proc)) {
 	t.Helper()
 	env.Spawn("host", func(p *sim.Proc) {
-		defer rt.GPU.CloseAll()
+		defer rt.GPU().CloseAll()
 		fn(p)
 	})
 	if err := env.Run(); err != nil {
@@ -122,7 +122,7 @@ func TestConcurrentLoadsCoalesce(t *testing.T) {
 			t.Error(err)
 		}
 		doneB = p.Now()
-		rt.GPU.CloseAll()
+		rt.GPU().CloseAll()
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -138,15 +138,15 @@ func TestConcurrentLoadsCoalesce(t *testing.T) {
 func TestDistinctLoadsSerializeOnDriverLock(t *testing.T) {
 	env, rt := newTestRuntime(t)
 	var spans [][2]time.Duration
-	rt.OnLoad = func(path string, start, end time.Duration, err error) {
+	rt.SetOnLoad(func(path string, start, end time.Duration, err error) {
 		spans = append(spans, [2]time.Duration{start, end})
-	}
+	})
 	env.Spawn("loaderA", func(p *sim.Proc) {
 		rt.ModuleLoad(p, "conv_a.pko")
 	})
 	env.Spawn("loaderB", func(p *sim.Proc) {
 		rt.ModuleLoad(p, "conv_b.pko")
-		rt.GPU.CloseAll()
+		rt.GPU().CloseAll()
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -305,11 +305,11 @@ func TestPreloadStopsAtError(t *testing.T) {
 func TestOnLoadHookObservesFailures(t *testing.T) {
 	env, rt := newTestRuntime(t)
 	var sawErr bool
-	rt.OnLoad = func(path string, start, end time.Duration, err error) {
+	rt.SetOnLoad(func(path string, start, end time.Duration, err error) {
 		if err != nil {
 			sawErr = true
 		}
-	}
+	})
 	runHost(t, env, rt, func(p *sim.Proc) {
 		rt.ModuleLoad(p, "missing.pko")
 	})
@@ -386,11 +386,11 @@ func TestRegisterResidentIsCheap(t *testing.T) {
 			return
 		}
 		mapCost := p.Now() - start
-		if mapCost != rt.Host.ResidentMap {
-			t.Errorf("resident map cost %v, want %v", mapCost, rt.Host.ResidentMap)
+		if mapCost != rt.Host().ResidentMap {
+			t.Errorf("resident map cost %v, want %v", mapCost, rt.Host().ResidentMap)
 		}
 		size := int64(rt.Store().Size("conv_a.pko"))
-		if mapCost >= rt.GPU.Profile.LoadTime(size, 2) {
+		if mapCost >= rt.GPU().Profile.LoadTime(size, 2) {
 			t.Error("resident mapping should be far cheaper than a full load")
 		}
 		// Idempotent and free the second time.

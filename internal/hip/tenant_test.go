@@ -52,7 +52,7 @@ func TestTenantConcurrentLoadsCoalesceAcrossViews(t *testing.T) {
 	})
 	env.Spawn("tenantB", func(p *sim.Proc) {
 		p.Sleep(time.Microsecond) // arrive while A's load is in flight
-		defer rt.GPU.CloseAll()
+		defer rt.GPU().CloseAll()
 		if _, err := b.ModuleLoad(p, "conv_a.pko"); err != nil {
 			t.Error(err)
 		}

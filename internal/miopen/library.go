@@ -3,24 +3,24 @@ package miopen
 import (
 	"fmt"
 
+	"pask/internal/backend"
 	"pask/internal/device"
-	"pask/internal/hip"
 	"pask/internal/sim"
 )
 
 // Library is the runtime handle of the primitive library inside one process:
-// it binds the solution registry to that process's hip runtime, charges the
+// it binds the solution registry to that process's device backend, charges the
 // host cost of applicability checks, and runs solutions by launching their
 // kernels (miopenRunSolution in the paper).
 type Library struct {
 	Reg *Registry
-	RT  *hip.Runtime
+	RT  backend.Backend
 
 	checks int // IsApplicable invocations charged so far
 }
 
 // NewLibrary binds a registry to a process runtime.
-func NewLibrary(reg *Registry, rt *hip.Runtime) *Library {
+func NewLibrary(reg *Registry, rt backend.Backend) *Library {
 	return &Library{Reg: reg, RT: rt}
 }
 
@@ -43,7 +43,7 @@ func (l *Library) ApplicabilityChecks() int { return l.checks }
 // cost of the check — the expensive validation PASK's categorical cache
 // minimizes (paper §II-B).
 func (l *Library) CheckApplicable(proc *sim.Proc, inst Instance, p *Problem) bool {
-	proc.Sleep(l.RT.Host.ApplicabilityCheck)
+	proc.Sleep(l.RT.Host().ApplicabilityCheck)
 	l.checks++
 	return inst.IsApplicable(l.Reg.ctx, p)
 }

@@ -38,9 +38,9 @@ func TestRunSolutionLazyLoadsAndExecutes(t *testing.T) {
 	}
 	var coldDur, warmDur time.Duration
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
+		defer lib.RT.GPU().CloseAll()
 		t0 := proc.Now()
-		sig, err := lib.RunSolution(proc, lib.RT.GPU.DefaultStream(), best.Inst, &p)
+		sig, err := lib.RunSolution(proc, lib.RT.GPU().DefaultStream(), best.Inst, &p)
 		if err != nil {
 			t.Error(err)
 			return
@@ -48,7 +48,7 @@ func TestRunSolutionLazyLoadsAndExecutes(t *testing.T) {
 		sig.Wait(proc)
 		coldDur = proc.Now() - t0
 		t1 := proc.Now()
-		sig, err = lib.RunSolution(proc, lib.RT.GPU.DefaultStream(), best.Inst, &p)
+		sig, err = lib.RunSolution(proc, lib.RT.GPU().DefaultStream(), best.Inst, &p)
 		if err != nil {
 			t.Error(err)
 			return
@@ -78,13 +78,13 @@ func TestCheckApplicableChargesAndCounts(t *testing.T) {
 	rxs, _ := lib.Reg.ByID("ConvBinWinogradRxSFwd")
 	inst := Bind(rxs, &p)
 	env.Spawn("host", func(proc *sim.Proc) {
-		defer lib.RT.GPU.CloseAll()
+		defer lib.RT.GPU().CloseAll()
 		start := proc.Now()
 		if !lib.CheckApplicable(proc, inst, &p) {
 			t.Error("RxS should be applicable")
 		}
-		if got := proc.Now() - start; got != lib.RT.Host.ApplicabilityCheck {
-			t.Errorf("check cost %v, want %v", got, lib.RT.Host.ApplicabilityCheck)
+		if got := proc.Now() - start; got != lib.RT.Host().ApplicabilityCheck {
+			t.Errorf("check cost %v, want %v", got, lib.RT.Host().ApplicabilityCheck)
 		}
 	})
 	if err := env.Run(); err != nil {

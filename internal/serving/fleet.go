@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"pask/internal/backend"
 	"pask/internal/experiments"
-	"pask/internal/hip"
 	"pask/internal/sim"
 )
 
@@ -47,7 +47,7 @@ type FleetStats struct {
 	// TenantLoads attributes shared-runtime loading per tenant view (only
 	// populated in shared mode): who paid for each load, who hit modules
 	// other tenants loaded, and who coalesced onto in-flight loads.
-	TenantLoads []hip.TenantStats
+	TenantLoads []backend.TenantStats
 }
 
 // fleetInstance wraps an instance server with scheduling state.

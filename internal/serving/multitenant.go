@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"pask/internal/backend"
 	"pask/internal/core"
 	"pask/internal/device"
 	"pask/internal/experiments"
-	"pask/internal/hip"
 	"pask/internal/metrics"
 )
 
@@ -162,7 +162,7 @@ func join(ss []string) string {
 
 // formatTenantLoad renders one tenant attribution line using the metrics
 // row format.
-func formatTenantLoad(ts hip.TenantStats) string {
+func formatTenantLoad(ts backend.TenantStats) string {
 	row := metrics.TenantLoadRow(metrics.TenantLoad{
 		Tenant: ts.Tenant, Loads: ts.Loads, BytesLoaded: ts.BytesLoaded,
 		LoadTime: ts.LoadTime, SharedHits: ts.SharedHits, CoalescedWaits: ts.CoalescedWaits,

@@ -1,0 +1,334 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/sim"
+	"pask/internal/trace"
+)
+
+// PlacementConfig parameterizes the placement × peering comparison on
+// heterogeneous multi-GPU fleets. The zero value runs three models through
+// 18 tenant arrivals per arm on all three paper devices.
+type PlacementConfig struct {
+	Models   []string         // zoo abbreviations cycled across arrivals (default alex, res, vgg)
+	Batch    int              // default 1
+	Profiles []device.Profile // primary fleet devices (default all three paper profiles)
+	Tenants  int              // tenant arrivals per arm (default 18)
+	Interval time.Duration    // arrival gap (default 100ms)
+	Dwell    time.Duration    // how long a tenant holds its slot after TTFI (default 150ms)
+	Slots    int              // tenant slots per GPU (default 1)
+	Quick    bool             // CI smoke size: two models, nine arrivals
+	Rec      *trace.Recorder  // optional: records the first fleet's affinity+peering arm
+}
+
+// Fill applies the documented defaults to unset fields.
+func (c *PlacementConfig) Fill() {
+	if c.Quick {
+		if len(c.Models) == 0 {
+			c.Models = []string{"alex", "res"}
+		}
+		if c.Tenants <= 0 {
+			c.Tenants = 9
+		}
+	}
+	if len(c.Models) == 0 {
+		c.Models = []string{"alex", "res", "vgg"}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = device.Profiles()
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 18
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 150 * time.Millisecond
+	}
+	if c.Slots <= 0 {
+		c.Slots = 1
+	}
+}
+
+// PlacementGPU is one device's share of an arm's outcome.
+type PlacementGPU struct {
+	Driver      string `json:"driver"`
+	Arch        string `json:"arch"`
+	Node        int    `json:"node"`
+	Tenants     int    `json:"tenants"`
+	ModuleLoads int    `json:"module_loads"`
+	PeerFetches int    `json:"peer_fetches"`
+}
+
+// PlacementArm is the outcome of one policy × peering combination on one
+// fleet.
+type PlacementArm struct {
+	Policy      string         `json:"policy"`
+	Peering     bool           `json:"peering"`
+	TTFIMeanMs  float64        `json:"ttfi_mean_ms"`
+	TTFIMaxMs   float64        `json:"ttfi_max_ms"`
+	ModuleLoads int            `json:"module_loads"`
+	BytesLoaded int64          `json:"bytes_loaded"`
+	PeerFetches int            `json:"peer_fetches"`
+	PeerBytes   int64          `json:"peer_bytes"`
+	LoadTimeMs  float64        `json:"load_time_ms"`
+	GPUs        []PlacementGPU `json:"gpus"`
+}
+
+// PlacementFleet is one heterogeneous fleet's full comparison: the primary
+// profile (×2) plus the cross-vendor secondary (×2), across every policy ×
+// peering combination.
+type PlacementFleet struct {
+	Primary   string         `json:"primary"`
+	Secondary string         `json:"secondary"`
+	Arms      []PlacementArm `json:"arms"`
+}
+
+// Arm returns the arm for (policy, peering), or nil.
+func (f *PlacementFleet) Arm(policy PlacementPolicy, peering bool) *PlacementArm {
+	for i := range f.Arms {
+		if f.Arms[i].Policy == string(policy) && f.Arms[i].Peering == peering {
+			return &f.Arms[i]
+		}
+	}
+	return nil
+}
+
+// PlacementBench is the machine-readable payload of the experiment
+// (BENCH_placement.json).
+type PlacementBench struct {
+	Models   []string         `json:"models"`
+	Batch    int              `json:"batch"`
+	Tenants  int              `json:"tenants"`
+	Slots    int              `json:"slots_per_gpu"`
+	IntervMs float64          `json:"interval_ms"`
+	DwellMs  float64          `json:"dwell_ms"`
+	Fleets   []PlacementFleet `json:"fleets"`
+}
+
+// secondaryFor pairs each primary profile with a cross-vendor secondary so
+// every fleet is heterogeneous (HIP+CUDA) while still giving each ISA a
+// same-arch peering twin.
+func secondaryFor(primary device.Profile) device.Profile {
+	if primary.Name == "A100" {
+		return device.MI100()
+	}
+	return device.A100()
+}
+
+// Placement runs the placement × peering comparison: for each primary
+// profile, a four-GPU heterogeneous fleet (two primary + two secondary,
+// split across NUMA nodes) serves a deterministic arrival sequence of model
+// tenants under every placement policy with cache peering off and on.
+// Time-to-first-inference is measured per tenant from arrival to the end of
+// its first request, the fleet-level cold-start quantity placement
+// controls.
+func Placement(cfg PlacementConfig) (*experiments.Table, *PlacementBench, error) {
+	cfg.Fill()
+	bench := &PlacementBench{
+		Models: cfg.Models, Batch: cfg.Batch, Tenants: cfg.Tenants, Slots: cfg.Slots,
+		IntervMs: float64(cfg.Interval) / 1e6, DwellMs: float64(cfg.Dwell) / 1e6,
+	}
+	table := &experiments.Table{
+		ID: "placement",
+		Title: fmt.Sprintf("tenant placement × cache peering on heterogeneous 4-GPU fleets (%s, %d arrivals, %d slot/GPU)",
+			join(cfg.Models), cfg.Tenants, cfg.Slots),
+		Headers: []string{"fleet", "policy", "peering", "ttfi_mean_ms", "ttfi_max_ms", "loads", "peer_fetches"},
+	}
+
+	for fi, primary := range cfg.Profiles {
+		secondary := secondaryFor(primary)
+		fleet := PlacementFleet{Primary: primary.Name, Secondary: secondary.Name}
+
+		// One setup per ISA: same-arch GPUs share a store (and therefore a
+		// byte-identical object universe for peering); the cross-vendor pair
+		// compiles the same zoo models against its own ISA.
+		setups := map[string]map[string]*experiments.ModelSetup{}
+		for _, prof := range []device.Profile{primary, secondary} {
+			ss, err := experiments.PrepareModelsShared(cfg.Models, cfg.Batch, prof)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serving: placement prepare %s: %w", prof.Name, err)
+			}
+			setups[prof.Arch] = ss
+		}
+		objects, err := distinctObjectsByArch(setups, cfg.Models)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		for _, policy := range PlacementPolicies() {
+			for _, peering := range []bool{false, true} {
+				var rec *trace.Recorder
+				if fi == 0 && policy == PlaceAffinity && peering {
+					rec = cfg.Rec
+				}
+				arm, err := runPlacementArm(&cfg, primary, secondary, setups, objects, policy, peering, rec)
+				if err != nil {
+					return nil, nil, fmt.Errorf("serving: placement %s/%s/peering=%v: %w", primary.Name, policy, peering, err)
+				}
+				fleet.Arms = append(fleet.Arms, *arm)
+				table.Rows = append(table.Rows, []string{
+					primary.Name + "+" + secondary.Name, string(policy), fmt.Sprint(peering),
+					fmt.Sprintf("%.2f", arm.TTFIMeanMs), fmt.Sprintf("%.2f", arm.TTFIMaxMs),
+					fmt.Sprint(arm.ModuleLoads), fmt.Sprint(arm.PeerFetches),
+				})
+			}
+		}
+
+		base := fleet.Arm(PlaceFirstFit, false)
+		best := fleet.Arm(PlaceAffinity, true)
+		table.Notes = append(table.Notes, fmt.Sprintf(
+			"%s fleet: residency-affinity+peering %.2fms vs first-fit %.2fms mean TTFI (%.1f%% lower)",
+			primary.Name, best.TTFIMeanMs, base.TTFIMeanMs, 100*(1-best.TTFIMeanMs/base.TTFIMeanMs)))
+		bench.Fleets = append(bench.Fleets, fleet)
+	}
+	return table, bench, nil
+}
+
+// distinctObjectsByArch precomputes each model's loadable object paths per
+// ISA — the overlap sets residency-affinity scores candidates against.
+func distinctObjectsByArch(setups map[string]map[string]*experiments.ModelSetup, models []string) (map[string]map[string][]string, error) {
+	out := map[string]map[string][]string{}
+	for arch, ss := range setups {
+		for _, abbr := range models {
+			ms := ss[abbr]
+			paths, err := ms.Model.DistinctObjects(ms.Reg)
+			if err != nil {
+				return nil, fmt.Errorf("serving: placement objects %s/%s: %w", arch, abbr, err)
+			}
+			if out[abbr] == nil {
+				out[abbr] = map[string][]string{}
+			}
+			out[abbr][arch] = paths
+		}
+	}
+	return out, nil
+}
+
+// runPlacementArm serves one deterministic arrival sequence on a fresh
+// fleet under one policy × peering combination and aggregates TTFI and
+// registry activity.
+func runPlacementArm(cfg *PlacementConfig, primary, secondary device.Profile,
+	setups map[string]map[string]*experiments.ModelSetup,
+	objects map[string]map[string][]string,
+	policy PlacementPolicy, peering bool, rec *trace.Recorder) (*PlacementArm, error) {
+
+	env := sim.NewEnv()
+	topo := device.NewHost(env)
+	// Two primary GPUs and two secondary GPUs, each vendor pair split across
+	// the host's NUMA nodes: every ISA has a peering twin, and twin traffic
+	// exercises the cross-node link discount.
+	topo.AddGPU(primary, 0)
+	topo.AddGPU(primary, 1)
+	topo.AddGPU(secondary, 0)
+	topo.AddGPU(secondary, 1)
+
+	mh := NewMultiGPUHost(env, topo, func(arch string) *codeobj.Store {
+		return setups[arch][cfg.Models[0]].Store
+	}, cfg.Slots, peering)
+	if rec != nil {
+		for i := range mh.Nodes {
+			mh.Nodes[i].Root().SetObserver(gpuObserver{rec: rec, idx: i})
+		}
+	}
+
+	var (
+		ttfis     []time.Duration
+		perGPU    = make([]int, topo.NumGPUs())
+		firstErr  error
+		doneSigs  []*sim.Signal
+		recordErr = func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	)
+	env.Spawn("placement-driver", func(p *sim.Proc) {
+		for t := 0; t < cfg.Tenants; t++ {
+			abbr := cfg.Models[t%len(cfg.Models)]
+			g := mh.Pick(policy, objects[abbr])
+			mh.Acquire(g)
+			perGPU[g]++
+			node := mh.Nodes[g]
+			ms := setups[topo.GPU(g).Profile.Arch][abbr]
+			name := fmt.Sprintf("%s/%d", abbr, t)
+			sig := sim.NewSignal(env)
+			doneSigs = append(doneSigs, sig)
+			gi := g
+			env.Spawn("tenant-"+name, func(p *sim.Proc) {
+				defer sig.Fire()
+				defer mh.Release(gi)
+				pr := ms.AttachIn(node.Ten, name)
+				defer pr.RT.Detach()
+				t0 := p.Now()
+				pr.Runner.RT.InitContext(p)
+				if err := pr.Runner.Lib.LoadResidents(p); err != nil {
+					recordErr(err)
+					return
+				}
+				if err := pr.Runner.RunBaseline(p, ms.Model); err != nil {
+					recordErr(err)
+					return
+				}
+				ttfi := p.Now() - t0
+				ttfis = append(ttfis, ttfi)
+				if rec != nil {
+					rec.Count("placement_ttfi_ms", p.Now(), float64(ttfi)/1e6)
+				}
+				p.Sleep(cfg.Dwell)
+			})
+			p.Sleep(cfg.Interval)
+		}
+		for _, s := range doneSigs {
+			s.Wait(p)
+		}
+		mh.CloseAll()
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(ttfis) != cfg.Tenants {
+		return nil, fmt.Errorf("serving: placement arm finished %d/%d tenants", len(ttfis), cfg.Tenants)
+	}
+
+	arm := &PlacementArm{Policy: string(policy), Peering: peering}
+	var sum, max time.Duration
+	for _, d := range ttfis {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	arm.TTFIMeanMs = float64(sum) / float64(len(ttfis)) / 1e6
+	arm.TTFIMaxMs = float64(max) / 1e6
+	for i := range mh.Nodes {
+		root := mh.Nodes[i].Root()
+		st := root.Stats()
+		arm.ModuleLoads += st.ModuleLoads
+		arm.BytesLoaded += st.BytesLoaded
+		arm.PeerFetches += st.PeerFetches
+		arm.PeerBytes += st.PeerBytes
+		arm.LoadTimeMs += float64(st.LoadTimeTotal) / 1e6
+		arm.GPUs = append(arm.GPUs, PlacementGPU{
+			Driver: root.Driver(), Arch: topo.GPU(i).Profile.Arch, Node: topo.Node(i),
+			Tenants: perGPU[i], ModuleLoads: st.ModuleLoads, PeerFetches: st.PeerFetches,
+		})
+	}
+	if rec != nil {
+		rec.Count("placement_peer_fetches", env.Now(), float64(arm.PeerFetches))
+		rec.Count("placement_module_loads", env.Now(), float64(arm.ModuleLoads))
+	}
+	return arm, nil
+}

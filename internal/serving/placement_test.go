@@ -1,0 +1,120 @@
+package serving
+
+import (
+	"testing"
+
+	"pask/internal/device"
+	"pask/internal/trace"
+)
+
+// The tentpole acceptance check: on every heterogeneous fleet,
+// residency-affinity placement with cache peering beats naive first-fit
+// without peering on mean time-to-first-inference, and peering converts
+// store loads into cheaper cross-GPU fetches.
+func TestPlacementAffinityPeeringBeatsFirstFit(t *testing.T) {
+	_, bench, err := Placement(PlacementConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Fleets) != len(device.Profiles()) {
+		t.Fatalf("got %d fleets, want one per device profile (%d)", len(bench.Fleets), len(device.Profiles()))
+	}
+	for _, fleet := range bench.Fleets {
+		base := fleet.Arm(PlaceFirstFit, false)
+		best := fleet.Arm(PlaceAffinity, true)
+		if base == nil || best == nil {
+			t.Fatalf("%s fleet: missing arms", fleet.Primary)
+		}
+		if best.TTFIMeanMs >= base.TTFIMeanMs {
+			t.Errorf("%s fleet: affinity+peering mean TTFI %.2fms not below first-fit %.2fms",
+				fleet.Primary, best.TTFIMeanMs, base.TTFIMeanMs)
+		}
+		if best.PeerFetches == 0 {
+			t.Errorf("%s fleet: peering arm recorded no peer fetches", fleet.Primary)
+		}
+		if base.PeerFetches != 0 {
+			t.Errorf("%s fleet: peering-off arm recorded %d peer fetches", fleet.Primary, base.PeerFetches)
+		}
+		if best.ModuleLoads >= base.ModuleLoads {
+			t.Errorf("%s fleet: peering did not reduce store loads (%d vs %d)",
+				fleet.Primary, best.ModuleLoads, base.ModuleLoads)
+		}
+	}
+}
+
+// Every fleet is genuinely heterogeneous: each arm's four GPUs span both the
+// hip and cuda drivers and both NUMA nodes, and per-GPU tenant counts sum to
+// the arrival count.
+func TestPlacementFleetsAreHeterogeneous(t *testing.T) {
+	_, bench, err := Placement(PlacementConfig{
+		Quick:    true,
+		Profiles: []device.Profile{device.MI100()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fleet := range bench.Fleets {
+		for _, arm := range fleet.Arms {
+			drivers, nodes := map[string]bool{}, map[int]bool{}
+			tenants := 0
+			for _, g := range arm.GPUs {
+				drivers[g.Driver] = true
+				nodes[g.Node] = true
+				tenants += g.Tenants
+			}
+			if !drivers["hip"] || !drivers["cuda"] {
+				t.Fatalf("%s/%s/peering=%v: drivers %v, want hip and cuda",
+					fleet.Primary, arm.Policy, arm.Peering, drivers)
+			}
+			if !nodes[0] || !nodes[1] {
+				t.Fatalf("%s/%s/peering=%v: NUMA nodes %v, want 0 and 1",
+					fleet.Primary, arm.Policy, arm.Peering, nodes)
+			}
+			if tenants != bench.Tenants {
+				t.Fatalf("%s/%s/peering=%v: per-GPU tenants sum to %d, want %d",
+					fleet.Primary, arm.Policy, arm.Peering, tenants, bench.Tenants)
+			}
+		}
+	}
+}
+
+// The optional recorder captures the affinity+peering arm: peer fetch
+// instants, per-GPU residency gauges and per-tenant TTFI counters all land
+// in the trace.
+func TestPlacementRecordsTrace(t *testing.T) {
+	rec := trace.New()
+	_, bench, err := Placement(PlacementConfig{
+		Quick:    true,
+		Profiles: []device.Profile{device.RX6900XT()},
+		Rec:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := bench.Fleets[0].Arm(PlaceAffinity, true)
+	if arm.PeerFetches == 0 {
+		t.Fatal("recorded arm has no peer fetches; trace assertions vacuous")
+	}
+	instants := 0
+	for _, in := range rec.Instants() {
+		if in.Track == "registry" && in.Name == "peer_fetch" {
+			instants++
+		}
+	}
+	if instants != arm.PeerFetches {
+		t.Fatalf("trace has %d peer_fetch instants, arm counted %d", instants, arm.PeerFetches)
+	}
+	ttfis := 0
+	for _, c := range rec.Counters() {
+		if c.Name == "placement_ttfi_ms" {
+			ttfis = len(c.Samples)
+		}
+	}
+	// Identical consecutive TTFI values collapse, so samples ≤ tenants.
+	if ttfis == 0 || ttfis > bench.Tenants {
+		t.Fatalf("trace has %d placement_ttfi_ms samples, want 1..%d", ttfis, bench.Tenants)
+	}
+	if got, ok := rec.CounterLast("placement_peer_fetches"); !ok || int(got) != arm.PeerFetches {
+		t.Fatalf("placement_peer_fetches gauge = %v (ok=%v), want %d", got, ok, arm.PeerFetches)
+	}
+}

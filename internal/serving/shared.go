@@ -3,11 +3,11 @@ package serving
 import (
 	"fmt"
 
+	"pask/internal/backend"
 	"pask/internal/codeobj"
 	"pask/internal/core"
 	"pask/internal/device"
 	"pask/internal/experiments"
-	"pask/internal/hip"
 	"pask/internal/sim"
 )
 
@@ -31,7 +31,7 @@ func NewGPUHost(env *sim.Env, prof device.Profile, store *codeobj.Store) *GPUHos
 
 // Root returns the shared runtime's root view (GPU-level stats, failures,
 // residency).
-func (h *GPUHost) Root() *hip.Runtime { return h.Ten.Root }
+func (h *GPUHost) Root() backend.Backend { return h.Ten.Root }
 
 // Close tears down the device: every stream, including the per-tenant ones,
 // is closed. Call exactly once, after all tenants finished.

@@ -3,7 +3,7 @@ package warmup
 import (
 	"time"
 
-	"pask/internal/hip"
+	"pask/internal/backend"
 	"pask/internal/metrics"
 	"pask/internal/sim"
 	"pask/internal/trace"
@@ -26,7 +26,7 @@ type ReplayStats struct {
 	Wasted int `json:"wasted"` // objects replay loaded that the run never used
 }
 
-// Prefetcher replays a load profile through a shared hip.Runtime on its own
+// Prefetcher replays a load profile through a shared backend runtime on its own
 // simulation thread, concurrently with (and ideally ahead of) the pipeline.
 // It attaches its own refcounted runtime view so its loads are attributed
 // to "warmup" in per-tenant stats, and detaches when the replay finishes so
@@ -37,7 +37,7 @@ type ReplayStats struct {
 // constructs a Prefetcher. Warmup can only ever add residency.
 type Prefetcher struct {
 	man    *Manifest
-	view   *hip.Runtime
+	view   backend.Backend
 	rec    *trace.Recorder
 	stats  ReplayStats
 	loaded map[string]bool // paths resident because of (or confirmed by) replay
@@ -50,7 +50,7 @@ const Track = "warmup"
 // Start spawns the replay thread on env and returns immediately. The thread
 // attaches its own view of rt, walks the manifest in recorded order and
 // fires its done signal when finished. rec may be nil.
-func Start(env *sim.Env, rt *hip.Runtime, man *Manifest, rec *trace.Recorder) *Prefetcher {
+func Start(env *sim.Env, rt backend.Backend, man *Manifest, rec *trace.Recorder) *Prefetcher {
 	pf := &Prefetcher{
 		man:    man,
 		view:   rt.Attach("warmup"),

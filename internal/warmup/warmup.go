@@ -7,7 +7,7 @@
 // decisions (ordered solution keys, code-object ids with checksums, the
 // observed pattern→solution substitutions), the result serializes to a
 // versioned JSON Manifest, and on the next cold start a Prefetcher replays
-// the manifest through the shared hip.Runtime before and during parse, so
+// the manifest through the shared backend runtime before and during parse, so
 // the pipeline finds its modules already resident. Singleflight load
 // coalescing in the runtime makes replay and demand loads converge safely;
 // stale manifest entries (checksum mismatch against the store) are skipped
