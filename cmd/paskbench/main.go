@@ -1,52 +1,33 @@
 // Command paskbench regenerates every table and figure of the paper's
-// evaluation on the simulated stack.
+// evaluation on the simulated stack, plus this implementation's own
+// systems experiments, through the shared experiment registry.
 //
 // Usage:
 //
-//	paskbench [-exp all|coldstart|warmup|cacheimage|fig1a|fig1b|fig4|fig6|fig7|fig8|fig9|table2|ext-blas|ext-precision|ext-background|chaos|multitenant|overload|placement]
+//	paskbench [-exp list|all|<name>]
 //	          [-models alex,vgg,...] [-batches 1,4,16,64,128] [-quick]
 //	          [-faults "transient=0.1,permanent=0.02,seed=7,model=res,requests=60"]
-//	          [-trace out.json] [-validate-trace file.json] [-out BENCH_warmup.json]
+//	          [-trace out.json] [-validate-trace file.json] [-out BENCH_<name>.json]
 //
-// -exp multitenant compares isolated per-instance GPU runtimes against one
-// shared refcounted runtime and cross-model cache per GPU; -quick shrinks the
-// configuration to the CI smoke size.
-// -exp chaos runs the default fault-injection sweep (fault rates x policies);
-// -faults runs a single sweep cell from a combined spec whose fault keys
-// (transient, permanent, spike, disable, seed, burst, spike_ms, reset_ms) feed
-// the plan and whose scenario keys (model, batch, device, requests,
-// interval_ms, evict) shape the trace.
-// -exp coldstart runs one PaSK cold start (first -models entry, default res);
-// with -trace it exports the run's full timeline as Chrome trace_event JSON,
-// loadable in ui.perfetto.dev. -validate-trace checks such a file's structural
+// -exp list prints the registered experiment menu with one-line
+// descriptions; -exp all runs the paper-figure sweep; any other name
+// dispatches that experiment through the registry with the uniform
+// options (-quick shrinks it to CI smoke size, -models/-batches narrow
+// the selection where the experiment honors them).
+//
+// Experiments with a machine-readable payload (warmup, cacheimage,
+// overload, placement, predictive, ...) write it to -out — default
+// BENCH_<name>.json — wrapped in the versioned result envelope
+// {"schema": 1, "experiment": ..., "result": ...}. With -trace the run's
+// timeline is exported as Chrome trace_event JSON, loadable in
+// ui.perfetto.dev; -validate-trace checks such a file's structural
 // invariants and prints its summary, then exits.
-// -exp warmup compares cold, recording and profile-replay (warmed) cold
-// starts across every device profile and writes the comparison to -out
-// (default BENCH_warmup.json); with -trace it also exports the first warmed
-// run's timeline. -quick shrinks it to the CI smoke size (model alex).
-// -exp cacheimage builds a content-addressed kernel-cache image per device
-// profile, pre-distributes it to a simulated fleet at varying coverage, and
-// measures time-to-first-inference for warm attach versus cold start; a chaos
-// arm corrupts and truncates transfers and kills nodes mid-pull to prove the
-// validation ladder degrades to cold starts instead of wrong results. It
-// writes the comparison to -out (default BENCH_cacheimage.json); with -trace
-// it exports the first device's chaos-arm counters. -quick shrinks the fleet
-// to the CI smoke size.
-// -exp overload compares the unprotected, shedding and brownout arms of the
-// overload-protection layer on a Poisson trace with a mid-trace device reset
-// and a burst trace under a slow-loader storm, across every device profile.
-// It writes the machine-readable comparison to -out (default
-// BENCH_overload.json); with -trace it exports the first device's
-// brownout-arm timeline (breaker state and queue-pressure counters).
-// -quick shrinks the traces to the CI smoke size.
-// -exp placement compares tenant-placement policies (first-fit,
-// residency-affinity, load-balanced) with cross-GPU cache peering off and on,
-// on a heterogeneous four-GPU fleet (two primary-profile GPUs plus two
-// cross-vendor GPUs split across NUMA nodes) for every device profile,
-// measuring per-tenant time-to-first-inference. It writes the comparison to
-// -out (default BENCH_placement.json); with -trace it exports the first
-// fleet's affinity+peering timeline. -quick shrinks the arrival sequence to
-// the CI smoke size.
+//
+// -faults bypasses the registry and runs a single chaos cell from a
+// combined spec whose fault keys (transient, permanent, spike, disable,
+// seed, burst, spike_ms, reset_ms) feed the fault plan and whose scenario
+// keys (model, batch, device, requests, interval_ms, evict) shape the
+// trace.
 package main
 
 import (
@@ -54,13 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pask/internal/device"
-	"strconv"
-	"strings"
-
-	"pask/internal/core"
 	"pask/internal/experiments"
 	"pask/internal/faults"
 	"pask/internal/serving"
@@ -68,14 +47,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, coldstart, warmup, cacheimage, fig1a, fig1b, fig4, fig6, fig7, fig8, fig9, table2, ext-blas, ext-precision, ext-background, ablations, ext-crossmodel, chaos, multitenant, overload, placement)")
+	exp := flag.String("exp", "all", "experiment to run: "+usageMenu())
 	modelsFlag := flag.String("models", "", "comma-separated model abbreviations (default: all twelve)")
-	batchesFlag := flag.String("batches", "1,4,16,64,128", "comma-separated batch sizes for table2")
+	batchesFlag := flag.String("batches", "", "comma-separated batch sizes (default: experiment-specific)")
 	format := flag.String("format", "table", "output format: table or csv")
 	faultsFlag := flag.String("faults", "", "fault-injection spec; runs one chaos cell (see package doc for keys)")
 	quick := flag.Bool("quick", false, "shrink experiment configurations to CI smoke size")
-	traceOut := flag.String("trace", "", "with -exp coldstart, warmup, cacheimage, overload or placement: write the run's Chrome trace_event JSON here")
-	benchOut := flag.String("out", "", "with -exp warmup, cacheimage, overload or placement: write the machine-readable comparison here (default BENCH_<exp>.json)")
+	traceOut := flag.String("trace", "", "write the run's Chrome trace_event JSON here")
+	benchOut := flag.String("out", "", "write the machine-readable result envelope here (default BENCH_<exp>.json for bench experiments)")
 	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace JSON file, print its summary and exit")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -88,215 +67,127 @@ func main() {
 	}
 
 	if *faultsFlag != "" {
-		if err := runChaos(*faultsFlag); err != nil {
+		if err := runChaosCell(*faultsFlag); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	models := experiments.AllModelAbbrs()
+	if *exp == "list" {
+		printMenu()
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Out: *benchOut}
 	if *modelsFlag != "" {
-		models = strings.Split(*modelsFlag, ",")
+		opts.Models = strings.Split(*modelsFlag, ",")
 	}
-	var batches []int
-	for _, b := range strings.Split(*batchesFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(b))
-		if err != nil {
-			fatal(fmt.Errorf("bad batch %q: %w", b, err))
-		}
-		batches = append(batches, v)
-	}
-
-	// coldstart is a single traced run, not part of the -exp all sweep.
-	if *exp == "coldstart" {
-		model := "res"
-		if *modelsFlag != "" {
-			model = models[0]
-		}
-		if err := runColdstart(model, batches[0], *traceOut); err != nil {
-			fatal(fmt.Errorf("coldstart: %w", err))
-		}
-		return
-	}
-
-	// warmup is a single cross-device comparison, not part of -exp all.
-	if *exp == "warmup" {
-		model := "res"
-		if *quick {
-			model = "alex"
-		}
-		if *modelsFlag != "" {
-			model = models[0]
-		}
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_warmup.json"
-		}
-		if err := runWarmup(model, batches[0], out, *traceOut); err != nil {
-			fatal(fmt.Errorf("warmup: %w", err))
-		}
-		return
-	}
-
-	// cacheimage is a single cross-device fleet sweep, not part of -exp all
-	// (it measures the distribution layer, not a paper figure).
-	if *exp == "cacheimage" {
-		model := ""
-		if *modelsFlag != "" {
-			model = models[0]
-		}
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_cacheimage.json"
-		}
-		if err := runCacheImage(model, batches[0], *quick, out, *traceOut); err != nil {
-			fatal(fmt.Errorf("cacheimage: %w", err))
-		}
-		return
-	}
-
-	// overload is a single cross-device protection comparison, not part of
-	// -exp all (it measures the serving layer under deliberate abuse, not a
-	// paper figure).
-	if *exp == "overload" {
-		model := "res"
-		if *modelsFlag != "" {
-			model = models[0]
-		}
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_overload.json"
-		}
-		if err := runOverload(model, batches[0], *quick, out, *traceOut); err != nil {
-			fatal(fmt.Errorf("overload: %w", err))
-		}
-		return
-	}
-
-	// placement is a single cross-device fleet comparison, not part of -exp
-	// all (it measures the multi-GPU serving layer, not a paper figure).
-	if *exp == "placement" {
-		var pmodels []string
-		if *modelsFlag != "" {
-			pmodels = models
-		}
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_placement.json"
-		}
-		if err := runPlacement(pmodels, batches[0], *quick, out, *traceOut); err != nil {
-			fatal(fmt.Errorf("placement: %w", err))
-		}
-		return
-	}
-
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		if err := fn(); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-	}
-
-	run("fig1a", func() error {
-		tbl, _, err := experiments.Fig1a(models)
-		return show(tbl, err)
-	})
-	run("fig1b", func() error {
-		tbl, _, err := experiments.Fig1b(models)
-		return show(tbl, err)
-	})
-	run("fig4", func() error {
-		tbl, err := experiments.Fig4()
-		return show(tbl, err)
-	})
-	run("fig6", func() error {
-		ta, tb, _, err := experiments.Fig6(models)
-		if err != nil {
-			return err
-		}
-		if err := show(ta, nil); err != nil {
-			return err
-		}
-		return show(tb, nil)
-	})
-	run("table2", func() error {
-		tbl, _, err := experiments.Table2(models, batches)
-		return show(tbl, err)
-	})
-	run("fig7", func() error {
-		tbl, _, err := experiments.Fig7(models)
-		return show(tbl, err)
-	})
-	run("fig8", func() error {
-		tbl, _, err := experiments.Fig8(models)
-		return show(tbl, err)
-	})
-	run("fig9", func() error {
-		ta, tb, _, err := experiments.Fig9(convOnly(models))
-		if err != nil {
-			return err
-		}
-		if err := show(ta, nil); err != nil {
-			return err
-		}
-		return show(tb, nil)
-	})
-	run("ext-blas", func() error {
-		tbl, err := experiments.ExtBlasScope()
-		return show(tbl, err)
-	})
-	run("ext-precision", func() error {
-		tbl, err := experiments.ExtPrecision(convOnly(models))
-		return show(tbl, err)
-	})
-	run("ext-background", func() error {
-		tbl, err := experiments.ExtBackground(convOnly(models))
-		return show(tbl, err)
-	})
-	run("ablations", func() error {
-		tbl, _, err := experiments.Ablations(convOnly(models))
-		return show(tbl, err)
-	})
-	run("ext-crossmodel", func() error {
-		pairs := [][2]string{{"res", "vgg"}, {"alex", "res"}, {"reg", "eff"}}
-		tbl := &experiments.Table{ID: "Ext-CrossModel",
-			Title:   "Cross-model kernel reuse: model B cold start in a process warmed by model A (MI100)",
-			Headers: []string{"A -> B", "fresh process", "warm process", "reuse hits"}}
-		for _, pr := range pairs {
-			res, err := experiments.CrossModelReuse(pr[0], pr[1], device.MI100())
+	if *batchesFlag != "" {
+		for _, b := range strings.Split(*batchesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(b))
 			if err != nil {
-				return err
+				fatal(fmt.Errorf("bad batch %q: %w", b, err))
 			}
-			tbl.Rows = append(tbl.Rows, []string{
-				pr[0] + " -> " + pr[1],
-				fmt.Sprintf("%.1fms", res.FreshMs),
-				fmt.Sprintf("%.1fms", res.SharedMs),
-				fmt.Sprintf("%d", res.Hits)})
+			opts.Batches = append(opts.Batches, v)
 		}
-		tbl.Notes = append(tbl.Notes,
-			"benefit is bounded by problem-configuration overlap between the models; foreign specialists at the cache head can add lookups")
-		return show(tbl, nil)
-	})
-	run("chaos", func() error {
-		tbl, err := serving.Chaos(serving.ChaosConfig{})
-		return show(tbl, err)
-	})
-	run("multitenant", func() error {
-		cfg := serving.MultitenantConfig{}
-		if *quick {
-			cfg.PerTenant = 2
-			cfg.Interval = 4 * time.Millisecond
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if !e.InAll {
+				continue
+			}
+			// The sweep prints tables only: no bench files, no traces.
+			if err := runExperiment(e, opts, "", ""); err != nil {
+				fatal(fmt.Errorf("%s: %w", e.Name, err))
+			}
 		}
-		tbl, _, err := serving.Multitenant(cfg)
-		return show(tbl, err)
-	})
+		return
+	}
+
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q; -exp list prints the menu (%s)",
+			*exp, strings.Join(experiments.Names(), ", ")))
+	}
+	if err := runExperiment(e, opts, *benchOut, *traceOut); err != nil {
+		fatal(fmt.Errorf("%s: %w", e.Name, err))
+	}
 }
 
-// runChaos runs a single fault-injection cell from the combined -faults spec:
-// faults.ParsePlan keeps the plan keys and hands back the scenario keys.
-func runChaos(spec string) error {
+// usageMenu is the -exp flag's menu text, generated from the registry so
+// the usage string can't drift from the registered names.
+func usageMenu() string {
+	return "list, all, " + strings.Join(experiments.Names(), ", ")
+}
+
+// printMenu prints the registered experiments with their descriptions.
+func printMenu() {
+	fmt.Println("registered experiments (-exp <name>):")
+	for _, e := range experiments.All() {
+		tags := ""
+		if e.InAll {
+			tags += " [all]"
+		}
+		if e.Bench {
+			tags += " [bench: " + e.DefaultOut() + "]"
+		}
+		fmt.Printf("  %-15s %s%s\n", e.Name, e.Description, tags)
+	}
+}
+
+// runExperiment dispatches one registered experiment: run, print tables,
+// write the envelope to out (defaulted for bench experiments) and export
+// the trace.
+func runExperiment(e *experiments.Experiment, opts experiments.Options, out, traceOut string) error {
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+		opts.Trace = rec
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range res.Tables {
+		if err := show(tbl, nil); err != nil {
+			return err
+		}
+	}
+	if out == "" && e.Bench {
+		out = e.DefaultOut()
+	}
+	if out != "" && res.Bench != nil {
+		data, err := json.MarshalIndent(experiments.NewEnvelope(e.Name, res), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbench payload written to %s\n", out)
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// runChaosCell runs a single fault-injection cell from the combined -faults
+// spec: faults.ParsePlan keeps the plan keys and hands back the scenario
+// keys.
+func runChaosCell(spec string) error {
 	plan, leftover, err := faults.ParsePlan(spec)
 	if err != nil {
 		return err
@@ -340,227 +231,6 @@ func runChaos(spec string) error {
 	return show(tbl, err)
 }
 
-// runColdstart executes one PaSK cold start and, when traceOut is non-empty,
-// exports the recorded timeline as Chrome trace_event JSON.
-func runColdstart(model string, batch int, traceOut string) error {
-	ms, err := experiments.PrepareModel(model, batch, device.MI100())
-	if err != nil {
-		return err
-	}
-	var rec *trace.Recorder
-	if traceOut != "" {
-		rec = trace.New()
-	}
-	rep, res, err := ms.RunSchemeTraced(core.SchemePaSK, core.Options{}, rec)
-	if err != nil {
-		return err
-	}
-	tbl := &experiments.Table{ID: "ColdStart",
-		Title:   fmt.Sprintf("PaSK cold start: %s on MI100 (batch %d)", model, batch),
-		Headers: []string{"metric", "value"},
-		Rows: [][]string{
-			{"cold start", fmt.Sprintf("%.2fms", float64(rep.Total)/1e6)},
-			{"GPU utilization", fmt.Sprintf("%.1f%%", 100*rep.Utilization())},
-			{"code objects loaded", fmt.Sprintf("%d (%.1f MB)", rep.Loads, float64(rep.LoadedBytes)/1e6)},
-			{"reuse", fmt.Sprintf("%d queries, %d hits, %d loads skipped", res.Cache.Queries, res.Cache.Hits, res.SkippedLoads)},
-			{"milestone", fmt.Sprintf("%d", res.Milestone)},
-		}}
-	if err := show(tbl, nil); err != nil {
-		return err
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := rec.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("\ntrace written to %s (open in ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
-// runWarmup runs the cold/recorded/warmed comparison across every device
-// profile, prints the table and writes the machine-readable bench payload.
-func runWarmup(model string, batch int, out, traceOut string) error {
-	var rec *trace.Recorder
-	if traceOut != "" {
-		rec = trace.New()
-	}
-	tbl, bench, err := experiments.WarmupExperiment(model, batch, rec)
-	if err != nil {
-		return err
-	}
-	if err := show(tbl, nil); err != nil {
-		return err
-	}
-	if out != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nbench payload written to %s\n", out)
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := rec.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
-// runOverload runs the overload-protection comparison across every device
-// profile, writes the bench JSON to out, and with traceOut exports the first
-// device's brownout-arm timeline (breaker state and pressure counters).
-func runOverload(model string, batch int, quick bool, out, traceOut string) error {
-	cfg := serving.OverloadConfig{Model: model, Batch: batch, Quick: quick}
-	var rec *trace.Recorder
-	if traceOut != "" {
-		rec = trace.New()
-		cfg.Rec = rec
-	}
-	tbl, bench, err := serving.Overload(cfg)
-	if err != nil {
-		return err
-	}
-	if err := show(tbl, nil); err != nil {
-		return err
-	}
-	if out != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nbench payload written to %s\n", out)
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := rec.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
-// runCacheImage runs the cache-image fleet experiment across every device
-// profile — TTFI versus pre-distribution coverage plus a chaos arm — writes
-// the bench JSON to out, and with traceOut exports the first device's chaos
-// timeline (attach and pull counters).
-func runCacheImage(model string, batch int, quick bool, out, traceOut string) error {
-	cfg := serving.CacheImageConfig{Model: model, Batch: batch, Quick: quick}
-	var rec *trace.Recorder
-	if traceOut != "" {
-		rec = trace.New()
-		cfg.Rec = rec
-	}
-	tbl, bench, err := serving.CacheImage(cfg)
-	if err != nil {
-		return err
-	}
-	if err := show(tbl, nil); err != nil {
-		return err
-	}
-	if out != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nbench payload written to %s\n", out)
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := rec.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
-// runPlacement runs the placement-policy × cache-peering comparison on
-// heterogeneous four-GPU fleets across every device profile, writes the
-// bench JSON to out, and with traceOut exports the first fleet's
-// affinity+peering timeline (per-GPU residency gauges, peer-fetch instants
-// and TTFI counters).
-func runPlacement(models []string, batch int, quick bool, out, traceOut string) error {
-	cfg := serving.PlacementConfig{Models: models, Batch: batch, Quick: quick}
-	var rec *trace.Recorder
-	if traceOut != "" {
-		rec = trace.New()
-		cfg.Rec = rec
-	}
-	tbl, bench, err := serving.Placement(cfg)
-	if err != nil {
-		return err
-	}
-	if err := show(tbl, nil); err != nil {
-		return err
-	}
-	if out != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nbench payload written to %s\n", out)
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := rec.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
 // runValidateTrace checks a Chrome trace JSON file's structural invariants
 // and prints its summary.
 func runValidateTrace(path string) error {
@@ -575,22 +245,6 @@ func runValidateTrace(path string) error {
 	fmt.Printf("%s: OK — %d events (%d spans, %d counter series) on %d tracks %v, %.2fms span\n",
 		path, sum.Events, sum.Spans, sum.Counters, len(sum.Tracks), sum.Tracks, sum.MaxTs/1e3)
 	return nil
-}
-
-// convOnly filters the selection to the convolution-dominated models (the
-// cache-statistics experiments omit transformers, as the paper does).
-func convOnly(models []string) []string {
-	conv := map[string]bool{}
-	for _, m := range experiments.ConvModelAbbrs() {
-		conv[m] = true
-	}
-	var out []string
-	for _, m := range models {
-		if conv[m] {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 var formatCSV bool

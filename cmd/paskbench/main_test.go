@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pask/internal/experiments"
+)
+
+// TestMenuDriftGuard asserts every registered experiment name appears in
+// the EXPERIMENTS.md menu and in the paskbench usage text, so the
+// registry, the docs and the CLI can't silently diverge: registering an
+// experiment without documenting it (or documenting one that no longer
+// exists in the usage string) fails CI.
+func TestMenuDriftGuard(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	menu := string(doc)
+	usage := usageMenu()
+	for _, name := range experiments.Names() {
+		if !strings.Contains(menu, name) {
+			t.Errorf("experiment %q not mentioned in EXPERIMENTS.md", name)
+		}
+		if !strings.Contains(usage, name) {
+			t.Errorf("experiment %q missing from paskbench usage", name)
+		}
+	}
+	// The generated usage must not advertise names the registry lost.
+	for _, tok := range strings.Split(usage, ", ") {
+		if tok == "list" || tok == "all" {
+			continue
+		}
+		if _, ok := experiments.Lookup(tok); !ok {
+			t.Errorf("usage advertises %q, which is not registered", tok)
+		}
+	}
+}
+
+// TestMenuCoversLegacyNames pins that every historical -exp name keeps
+// resolving through the registry.
+func TestMenuCoversLegacyNames(t *testing.T) {
+	legacy := []string{
+		"coldstart", "warmup", "cacheimage", "fig1a", "fig1b", "fig4", "fig6",
+		"fig7", "fig8", "fig9", "table2", "ext-blas", "ext-precision",
+		"ext-background", "ablations", "ext-crossmodel", "chaos",
+		"multitenant", "overload", "placement",
+	}
+	for _, name := range legacy {
+		if _, ok := experiments.Lookup(name); !ok {
+			t.Errorf("legacy -exp name %q no longer registered", name)
+		}
+	}
+	if _, ok := experiments.Lookup("predictive"); !ok {
+		t.Error("predictive not registered")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestRegistryMenu pins the registry's core contract: the paper figures
+// register in the -exp all sweep order, lookups resolve, and Names is
+// sorted.
+func TestRegistryMenu(t *testing.T) {
+	var inAll []string
+	for _, e := range All() {
+		if e.InAll {
+			inAll = append(inAll, e.Name)
+		}
+	}
+	wantPrefix := []string{"fig1a", "fig1b", "fig4", "fig6", "table2", "fig7", "fig8", "fig9",
+		"ext-blas", "ext-precision", "ext-background", "ablations", "ext-crossmodel"}
+	if len(inAll) < len(wantPrefix) || !slices.Equal(inAll[:len(wantPrefix)], wantPrefix) {
+		t.Errorf("-exp all order = %v, want prefix %v", inAll, wantPrefix)
+	}
+	for _, name := range []string{"coldstart", "warmup"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if e.InAll {
+			t.Errorf("%s is a single run and must not join -exp all", name)
+		}
+		if e.Description == "" {
+			t.Errorf("%s has no menu description", name)
+		}
+	}
+	names := Names()
+	if !slices.IsSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(All()) {
+		t.Errorf("Names() has %d entries, registry %d", len(names), len(All()))
+	}
+}
+
+// TestRegistryRegisterPanics pins Register's loud failure modes.
+func TestRegistryRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, e Experiment) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(e)
+	}
+	run := func(Options) (*Result, error) { return &Result{}, nil }
+	mustPanic("empty name", Experiment{Run: run})
+	mustPanic("nil runner", Experiment{Name: "x-no-run"})
+	mustPanic("duplicate", Experiment{Name: "fig1a", Run: run})
+}
+
+// TestRegistryRunColdstart runs the registered coldstart through the
+// uniform options, recording a trace.
+func TestRegistryRunColdstart(t *testing.T) {
+	e, ok := Lookup("coldstart")
+	if !ok {
+		t.Fatal("coldstart not registered")
+	}
+	res, err := e.Run(Options{Models: []string{"alex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || res.Tables[0].ID != "ColdStart" {
+		t.Fatalf("tables: %+v", res.Tables)
+	}
+	if !strings.Contains(res.Tables[0].Title, "alex") {
+		t.Errorf("model selection ignored: %q", res.Tables[0].Title)
+	}
+}
+
+// TestEnvelope pins the versioned envelope shape byte-for-byte at the
+// field level: schema 1, experiment name, result payload.
+func TestEnvelope(t *testing.T) {
+	env := NewEnvelope("warmup", &Result{Bench: map[string]int{"x": 1}})
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != float64(EnvelopeSchema) || m["experiment"] != "warmup" || m["result"] == nil {
+		t.Fatalf("envelope = %s", data)
+	}
+}

@@ -85,8 +85,13 @@ func New() *Server {
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("POST /v1/coldstart", s.handleColdStartV1)
 	s.mux.HandleFunc("POST /v1/serve", s.handleServeV1)
-	s.mux.HandleFunc("POST /v1/multitenant", s.handleMultitenantV1)
-	s.mux.HandleFunc("POST /v1/overload", s.handleOverloadV1)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentsList)
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.handleExperimentRunV1)
+	// The bespoke per-experiment POST routes are deprecated aliases of the
+	// generic registry endpoint (same Deprecation signal as the legacy GET
+	// routes); their request/response shapes are unchanged.
+	s.mux.HandleFunc("POST /v1/multitenant", deprecated("/v1/experiments/multitenant", s.handleMultitenantV1))
+	s.mux.HandleFunc("POST /v1/overload", deprecated("/v1/experiments/overload", s.handleOverloadV1))
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/warmup/{model}", s.handleWarmupProfile)
 	s.mux.HandleFunc("GET /v1/cacheimages", s.handleCacheImagesList)

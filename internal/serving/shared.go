@@ -29,6 +29,14 @@ func NewGPUHost(env *sim.Env, prof device.Profile, store *codeobj.Store) *GPUHos
 	return &GPUHost{Env: env, Ten: experiments.NewTenancy(env, prof, store), Cache: core.NewSharedCache()}
 }
 
+// NewGPUHostOn brings up a cold shared GPU host on an existing device,
+// selecting the backend flavor by the device's ISA (A100 nodes get the
+// CUDA runtime, the ROCm profiles HIP). Elastic fleets that spawn nodes on
+// demand use this so every node matches the experiment's device profile.
+func NewGPUHostOn(env *sim.Env, gpu *device.GPU, store *codeobj.Store) *GPUHost {
+	return &GPUHost{Env: env, Ten: experiments.NewTenancyOn(env, gpu, store), Cache: core.NewSharedCache()}
+}
+
 // Root returns the shared runtime's root view (GPU-level stats, failures,
 // residency).
 func (h *GPUHost) Root() backend.Backend { return h.Ten.Root }

@@ -1,0 +1,222 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDeterministicStream pins the byte-identical-streams contract: two
+// generators with equal configs produce equal JSON encodings.
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{
+		Models:   []string{"alex", "res", "vgg"},
+		Rate:     500,
+		Exponent: 1.2,
+		Diurnal:  Diurnal{Period: 200 * time.Millisecond, Amplitude: 0.4},
+		Crowds:   []FlashCrowd{{Onset: 50 * time.Millisecond, Ramp: 10 * time.Millisecond, Hold: 20 * time.Millisecond, Decay: 10 * time.Millisecond, Peak: 4, Model: "vgg"}},
+		Shifts:   []Shift{{At: 40 * time.Millisecond, Rank: []int{2, 1, 0}}},
+		Seed:     7,
+	}
+	a := mustNew(t, cfg).Generate(10_000)
+	b := mustNew(t, cfg).Generate(10_000)
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("same seed produced different streams")
+	}
+	g2 := mustNew(t, Config{Models: cfg.Models, Rate: cfg.Rate, Seed: 8})
+	if c := g2.Generate(3); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced the same stream prefix")
+	}
+}
+
+// TestTimestampsMonotonic checks arrivals never go back in time, at a
+// millions-of-requests scale (virtual time keeps this cheap).
+func TestTimestampsMonotonic(t *testing.T) {
+	g := mustNew(t, Config{Models: []string{"a", "b"}, Rate: 1e6, Seed: 3})
+	prev := time.Duration(-1)
+	for i := 0; i < 2_000_000; i++ {
+		r := g.Next()
+		if r.At < prev {
+			t.Fatalf("arrival %d at %v before previous %v", i, r.At, prev)
+		}
+		prev = r.At
+	}
+}
+
+// TestZipfExponent is the chi-squared sanity check: empirical model
+// frequencies of a stationary stream must match the configured Zipf
+// weights. With 200k samples over 8 categories the statistic is chi^2
+// distributed with 7 degrees of freedom; 40 is far beyond any plausible
+// quantile, so the test only fails if the sampler is actually wrong.
+func TestZipfExponent(t *testing.T) {
+	models := []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"}
+	const s, n = 1.0, 200_000
+	g := mustNew(t, Config{Models: models, Exponent: s, Rate: 1000, Seed: 11})
+	counts := map[string]int{}
+	for _, r := range g.Generate(n) {
+		counts[r.Model]++
+	}
+	total := 0.0
+	weights := make([]float64, len(models))
+	for i := range models {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	chi2 := 0.0
+	for i, m := range models {
+		expected := float64(n) * weights[i] / total
+		d := float64(counts[m]) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 40 {
+		t.Fatalf("chi-squared %.1f over 7 dof: frequencies %v do not follow Zipf(%v)", chi2, counts, s)
+	}
+	// The ranking itself must be strictly Zipf-ordered at this sample size.
+	for i := 1; i < len(models); i++ {
+		if counts[models[i]] >= counts[models[i-1]] {
+			t.Fatalf("rank %d (%d) not below rank %d (%d)", i, counts[models[i]], i-1, counts[models[i-1]])
+		}
+	}
+}
+
+// windowRate measures the empirical arrival rate (requests/sec) in [lo, hi).
+func windowRate(reqs []Request, lo, hi time.Duration) float64 {
+	n := 0
+	for _, r := range reqs {
+		if r.At >= lo && r.At < hi {
+			n++
+		}
+	}
+	return float64(n) / ((hi - lo).Seconds())
+}
+
+// TestFlashCrowdShape pins the surge shape: the rate before onset stays at
+// baseline, the peak window runs near Peak times baseline, the ramp is
+// bounded (the peak rate is reached within the configured ramp width), and
+// after decay the stream returns to baseline.
+func TestFlashCrowdShape(t *testing.T) {
+	const base = 2000.0
+	crowd := FlashCrowd{Onset: 300 * time.Millisecond, Ramp: 50 * time.Millisecond,
+		Hold: 150 * time.Millisecond, Decay: 50 * time.Millisecond, Peak: 5, Model: "hot"}
+	g := mustNew(t, Config{Models: []string{"cold", "hot"}, Rate: base, Crowds: []FlashCrowd{crowd}, Seed: 5})
+	var reqs []Request
+	for r := g.Next(); r.At < 900*time.Millisecond; r = g.Next() {
+		reqs = append(reqs, r)
+	}
+	before := windowRate(reqs, 100*time.Millisecond, crowd.Onset)
+	peak := windowRate(reqs, crowd.Onset+crowd.Ramp, crowd.Onset+crowd.Ramp+crowd.Hold)
+	after := windowRate(reqs, crowd.Onset+crowd.Ramp+crowd.Hold+crowd.Decay+100*time.Millisecond, 900*time.Millisecond)
+	if peak <= 3*before {
+		t.Fatalf("peak rate %.0f not clearly above pre-onset rate %.0f", peak, before)
+	}
+	if before > 1.3*base || after > 1.3*base {
+		t.Fatalf("baseline windows off: before=%.0f after=%.0f base=%.0f", before, after, base)
+	}
+	// Bounded ramp width: the window straddling the end of the ramp already
+	// runs at >= 70% of the peak rate — the surge cannot take longer than
+	// the configured ramp to arrive.
+	early := windowRate(reqs, crowd.Onset+crowd.Ramp, crowd.Onset+crowd.Ramp+30*time.Millisecond)
+	if early < 0.7*crowd.Peak*base {
+		t.Fatalf("rate %.0f just after the ramp below 70%% of peak %.0f", early, crowd.Peak*base)
+	}
+	// Surge arrivals target the crowd model: "hot" must dominate the peak.
+	hot := 0
+	tot := 0
+	for _, r := range reqs {
+		if r.At >= crowd.Onset+crowd.Ramp && r.At < crowd.Onset+crowd.Ramp+crowd.Hold {
+			tot++
+			if r.Model == "hot" {
+				hot++
+			}
+		}
+	}
+	if float64(hot) < 0.6*float64(tot) {
+		t.Fatalf("crowd model got %d/%d peak arrivals", hot, tot)
+	}
+}
+
+// TestShiftReRanks checks the mid-run popularity re-rank: the head of the
+// Zipf curve moves to the newly ranked model after the shift.
+func TestShiftReRanks(t *testing.T) {
+	shiftAt := 500 * time.Millisecond
+	g := mustNew(t, Config{
+		Models: []string{"a", "b", "c"}, Exponent: 1.5, Rate: 2000, Seed: 9,
+		Shifts: []Shift{{At: shiftAt, Rank: []int{2, 1, 0}}},
+	})
+	pre := map[string]int{}
+	post := map[string]int{}
+	for r := g.Next(); r.At < 1000*time.Millisecond; r = g.Next() {
+		if r.At < shiftAt {
+			pre[r.Model]++
+		} else {
+			post[r.Model]++
+		}
+	}
+	if pre["a"] <= pre["c"] {
+		t.Fatalf("pre-shift head should be a: %v", pre)
+	}
+	if post["c"] <= post["a"] {
+		t.Fatalf("post-shift head should be c: %v", post)
+	}
+}
+
+// TestRateEstimatorOnset drives the estimator with the generator: steady
+// phase must not report onset, the crowd ramp must.
+func TestRateEstimatorOnset(t *testing.T) {
+	crowd := FlashCrowd{Onset: 400 * time.Millisecond, Ramp: 40 * time.Millisecond,
+		Hold: 100 * time.Millisecond, Decay: 40 * time.Millisecond, Peak: 6, Model: "hot"}
+	g := mustNew(t, Config{Models: []string{"cold", "hot"}, Rate: 1000, Crowds: []FlashCrowd{crowd}, Seed: 21})
+	est := NewRateEstimator(24, 192, 2)
+	firedAt := time.Duration(-1)
+	for r := g.Next(); r.At < 700*time.Millisecond; r = g.Next() {
+		est.Observe(r.At)
+		if r.At < crowd.Onset && est.Onset() {
+			t.Fatalf("onset reported at %v, before the crowd", r.At)
+		}
+		if firedAt < 0 && est.Onset() {
+			firedAt = r.At
+		}
+	}
+	if firedAt < 0 {
+		t.Fatal("onset never reported")
+	}
+	if limit := crowd.Onset + crowd.Ramp + crowd.Hold; firedAt > limit {
+		t.Fatalf("onset reported at %v, after the peak window ends (%v)", firedAt, limit)
+	}
+}
+
+// TestConfigValidation exercises the error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Models: []string{"a"}, Rank: []int{1}},
+		{Models: []string{"a", "b"}, Shifts: []Shift{{Rank: []int{0, 0}}}},
+		{Models: []string{"a"}, Crowds: []FlashCrowd{{Peak: 0.5, Ramp: time.Millisecond}}},
+		{Models: []string{"a"}, Crowds: []FlashCrowd{{Peak: 2}}},
+		{Models: []string{"a"}, Diurnal: Diurnal{Amplitude: 0.5}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -66,42 +66,50 @@ func Start(env *sim.Env, rt backend.Backend, man *Manifest, rec *trace.Recorder)
 func (pf *Prefetcher) run(p *sim.Proc) {
 	defer pf.done.Fire()
 	defer pf.view.Detach()
-	store := pf.view.Store()
 	for _, e := range pf.man.Entries {
-		pf.stats.Entries++
-		data, err := store.Get(e.Path)
-		if err != nil || Checksum(data) != e.Checksum {
-			pf.stats.Stale++
-			pf.rec.Instant(Track, "prefetch-stale", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
-			pf.rec.Count("warmup_stale_entries", p.Now(), float64(pf.stats.Stale))
-			continue
-		}
-		if pf.view.Loaded(e.Path) {
-			pf.stats.Resident++
-			pf.loaded[e.Path] = true
-			continue
-		}
-		start := p.Now()
-		before := pf.view.TenantStats()
-		_, err = pf.view.ModuleLoad(p, e.Path)
-		after := pf.view.TenantStats()
-		if err != nil {
-			pf.stats.Failed++
-			pf.rec.Instant(Track, "prefetch-failed", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
-			continue
-		}
-		pf.loaded[e.Path] = true
-		switch {
-		case after.Loads > before.Loads:
-			pf.stats.Loaded++
-		case after.CoalescedWaits > before.CoalescedWaits:
-			pf.stats.Coalesced++
-		default: // became resident between the Loaded check and the call
-			pf.stats.Resident++
-		}
-		pf.rec.Span(Track, metrics.CatLoad, "prefetch:"+e.Path, start, p.Now())
+		replayEntry(p, pf.view, e, &pf.stats, pf.loaded, pf.rec)
 	}
 	pf.rec.Instant(Track, "prefetch-done", p.Now())
+}
+
+// replayEntry loads one manifest entry through view, validating its
+// checksum against the store, classifying the outcome into st and marking
+// paths that became (or were confirmed) resident in loaded. It is the
+// per-entry body shared by the replay and predictive prefetchers; every
+// failure mode is absorbed into a counter.
+func replayEntry(p *sim.Proc, view backend.Backend, e Entry, st *ReplayStats, loaded map[string]bool, rec *trace.Recorder) {
+	st.Entries++
+	data, err := view.Store().Get(e.Path)
+	if err != nil || Checksum(data) != e.Checksum {
+		st.Stale++
+		rec.Instant(Track, "prefetch-stale", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
+		rec.Count("warmup_stale_entries", p.Now(), float64(st.Stale))
+		return
+	}
+	if view.Loaded(e.Path) {
+		st.Resident++
+		loaded[e.Path] = true
+		return
+	}
+	start := p.Now()
+	before := view.TenantStats()
+	_, err = view.ModuleLoad(p, e.Path)
+	after := view.TenantStats()
+	if err != nil {
+		st.Failed++
+		rec.Instant(Track, "prefetch-failed", p.Now(), metrics.Attr{Key: "path", Value: e.Path})
+		return
+	}
+	loaded[e.Path] = true
+	switch {
+	case after.Loads > before.Loads:
+		st.Loaded++
+	case after.CoalescedWaits > before.CoalescedWaits:
+		st.Coalesced++
+	default: // became resident between the Loaded check and the call
+		st.Resident++
+	}
+	rec.Span(Track, metrics.CatLoad, "prefetch:"+e.Path, start, p.Now())
 }
 
 // Wait blocks the calling proc until the replay thread has finished.
@@ -121,26 +129,33 @@ func (pf *Prefetcher) Covered(path string) bool { return pf.loaded[path] }
 // series at virtual time `at`, and returning the completed stats. Counters
 // are emitted even when zero so dashboards always see the series.
 func (pf *Prefetcher) Account(used []string, at time.Duration) ReplayStats {
+	accountUsed(&pf.stats, pf.loaded, used, at, pf.rec)
+	return pf.stats
+}
+
+// accountUsed is the Hits/Misses/Wasted reconciliation shared by the
+// replay and predictive prefetchers, emitting the warmup_prefetch_*
+// counter series (even when zero, so dashboards always see them).
+func accountUsed(st *ReplayStats, loaded map[string]bool, used []string, at time.Duration, rec *trace.Recorder) {
 	usedSet := make(map[string]bool, len(used))
 	for _, path := range used {
 		if usedSet[path] {
 			continue
 		}
 		usedSet[path] = true
-		if pf.loaded[path] {
-			pf.stats.Hits++
+		if loaded[path] {
+			st.Hits++
 		} else {
-			pf.stats.Misses++
+			st.Misses++
 		}
 	}
-	for path := range pf.loaded {
+	for path := range loaded {
 		if !usedSet[path] {
-			pf.stats.Wasted++
+			st.Wasted++
 		}
 	}
-	pf.rec.Count("warmup_prefetch_hits", at, float64(pf.stats.Hits))
-	pf.rec.Count("warmup_prefetch_misses", at, float64(pf.stats.Misses))
-	pf.rec.Count("warmup_prefetch_wasted", at, float64(pf.stats.Wasted))
-	pf.rec.Count("warmup_stale_entries", at, float64(pf.stats.Stale))
-	return pf.stats
+	rec.Count("warmup_prefetch_hits", at, float64(st.Hits))
+	rec.Count("warmup_prefetch_misses", at, float64(st.Misses))
+	rec.Count("warmup_prefetch_wasted", at, float64(st.Wasted))
+	rec.Count("warmup_stale_entries", at, float64(st.Stale))
 }
