@@ -28,6 +28,14 @@ func TestMenuDriftGuard(t *testing.T) {
 			t.Errorf("experiment %q missing from paskbench usage", name)
 		}
 	}
+	// The verbatim -exp menu in EXPERIMENTS.md must spell out exactly the
+	// sorted registry names (whitespace-normalized — the list wraps across
+	// lines), so the docs can't drift to a stale enumeration.
+	flat := strings.Join(strings.Fields(menu), " ")
+	wantMenu := "list, all, " + strings.Join(experiments.Names(), ", ")
+	if !strings.Contains(flat, wantMenu) {
+		t.Errorf("EXPERIMENTS.md -exp menu is stale: expected the verbatim list %q", wantMenu)
+	}
 	// The generated usage must not advertise names the registry lost.
 	for _, tok := range strings.Split(usage, ", ") {
 		if tok == "list" || tok == "all" {

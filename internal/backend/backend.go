@@ -17,6 +17,8 @@
 // a neighbor GPU's resident copy over the host's PCIe/NUMA link model when
 // that transfer is cheaper than re-reading the store — the cross-GPU cache
 // peering the placement layer builds on.
+//
+// Paper anchor: §II-A lazy loading (Fig 3) and the §III-B/C shared-residency registry; flavor split is the DESIGN.md §15 substitution.
 package backend
 
 import (

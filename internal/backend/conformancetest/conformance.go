@@ -8,6 +8,8 @@
 // driver package runs Run against its own constructor from a normal test, so
 // a new backend (or a regression in the generic registry) fails the same
 // table of checks in every flavor; see DESIGN.md §15.
+//
+// Paper anchor: §III-B/C registry invariants held flavor-independent across the §II-A driver stacks (DESIGN.md §15).
 package conformancetest
 
 import (

@@ -13,20 +13,41 @@ import (
 // module residency, singleflight load dedup, the negative cache, retry
 // policy, the driver lock and the aggregate stats.
 type shared struct {
-	flavor     Flavor
-	store      *codeobj.Store
-	modules    map[string]*Module
-	inflight   map[string]*loadState
-	failed     map[string]error // negative cache: permanent failures only
-	refs       map[string]int   // path -> live tenant pins (eviction guard)
-	driverLock *sim.Resource
-	ctxReady   bool
-	stats      Stats
-	retry      RetryPolicy
-	loadFaults LoadFaultInjector
-	obs        RegistryObserver
-	peers      PeerSource
-	views      []*Registry // root first, then every Attach in order
+	flavor  Flavor
+	store   *codeobj.Store
+	modules map[string]*Module
+	// loadedBytes tracks the summed container size of sh.modules, kept in
+	// lockstep by addModule/removeModule so the eviction loop and residency
+	// gauges read it in O(1) instead of walking the module map per load.
+	loadedBytes int64
+	inflight    map[string]*loadState
+	failed      map[string]error // negative cache: permanent failures only
+	refs        map[string]int   // path -> live tenant pins (eviction guard)
+	driverLock  *sim.Resource
+	ctxReady    bool
+	stats       Stats
+	retry       RetryPolicy
+	loadFaults  LoadFaultInjector
+	obs         RegistryObserver
+	peers       PeerSource
+	views       []*Registry // root first, then every Attach in order
+}
+
+// addModule registers a resident module, maintaining the byte counter.
+func (sh *shared) addModule(path string, m *Module) {
+	sh.modules[path] = m
+	sh.loadedBytes += int64(m.Object.Size())
+}
+
+// removeModule drops a resident module, maintaining the byte counter.
+func (sh *shared) removeModule(path string) bool {
+	m, ok := sh.modules[path]
+	if !ok {
+		return false
+	}
+	delete(sh.modules, path)
+	sh.loadedBytes -= int64(m.Object.Size())
+	return true
 }
 
 // observe emits an instant event to the shared observer, if any.
@@ -356,7 +377,7 @@ func (rt *Registry) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	delete(sh.inflight, path)
 	if st.err == nil {
 		rt.evictForSpace(int64(st.mod.Object.Size()))
-		sh.modules[path] = st.mod
+		sh.addModule(path, st.mod)
 		if viaPeer {
 			sh.stats.PeerFetches++
 			sh.stats.PeerBytes += int64(st.mod.Object.Size())
@@ -502,7 +523,7 @@ func (rt *Registry) evictForSpace(incoming int64) {
 		return
 	}
 	sh := rt.sh
-	for rt.LoadedCodeBytes()+incoming > budget {
+	for sh.loadedBytes+incoming > budget {
 		var victim *Module
 		for _, m := range sh.modules {
 			if m.resident || sh.refs[m.Path] > 0 {
@@ -516,7 +537,7 @@ func (rt *Registry) evictForSpace(incoming int64) {
 		if victim == nil {
 			return // only resident or pinned modules remain
 		}
-		delete(sh.modules, victim.Path)
+		sh.removeModule(victim.Path)
 		sh.stats.Evictions++
 		sh.observe(rt.env, "evict", victim.Path)
 	}
@@ -581,7 +602,7 @@ func (rt *Registry) RegisterResident(p *sim.Proc, path string) (*Module, error) 
 	}
 	p.Sleep(rt.host.ResidentMap)
 	m := rt.newModule(path, obj, p.Now(), true)
-	rt.sh.modules[path] = m
+	rt.sh.addModule(path, m)
 	rt.pin(path)
 	rt.sampleResidency()
 	return m, nil
@@ -590,10 +611,9 @@ func (rt *Registry) RegisterResident(p *sim.Proc, path string) (*Module, error) 
 // Unload evicts a module from the registry (edge/suspend scenarios). It
 // ignores tenant pins — callers model forced device-side eviction.
 func (rt *Registry) Unload(path string) bool {
-	if _, ok := rt.sh.modules[path]; !ok {
+	if !rt.sh.removeModule(path) {
 		return false
 	}
-	delete(rt.sh.modules, path)
 	rt.sh.observe(rt.env, "unload", path)
 	rt.sampleResidency()
 	return true
@@ -605,7 +625,7 @@ func (rt *Registry) Unload(path string) bool {
 func (rt *Registry) UnloadAll() {
 	for path, m := range rt.sh.modules {
 		if !m.resident {
-			delete(rt.sh.modules, path)
+			rt.sh.removeModule(path)
 		}
 	}
 	rt.sh.observe(rt.env, "reset", "")
@@ -634,10 +654,6 @@ func (rt *Registry) ModuleBytes(path string) int64 {
 }
 
 // LoadedCodeBytes returns the total container bytes of resident modules.
-func (rt *Registry) LoadedCodeBytes() int64 {
-	var n int64
-	for _, m := range rt.sh.modules {
-		n += int64(m.Object.Size())
-	}
-	return n
-}
+// The value is a running counter maintained on every residency change, not
+// a walk of the module map.
+func (rt *Registry) LoadedCodeBytes() int64 { return rt.sh.loadedBytes }

@@ -5,6 +5,8 @@
 // is why PASK's default deployment cannot reuse kernels for GEMM-dominated
 // models (paper §VI "Library supporting"). The SelectHook lets the §VI
 // extension bring BLAS under PASK's management.
+//
+// Paper anchor: §VI "Library supporting" and the Fig 3 GEMM-library seam.
 package blas
 
 import (

@@ -20,6 +20,8 @@
 // node-local image directory with atomic temp-file + rename publish, so a
 // crash mid-transfer can never leave a torn image where attach would find
 // it.
+//
+// Paper anchor: §I deployment scenarios + §III-A proactive loading, extended fleet-scale beyond the paper (DESIGN.md §14).
 package cacheimg
 
 import (

@@ -1,0 +1,29 @@
+package codeobj
+
+import "testing"
+
+// TestParseAllocsBounded pins the allocation budget of the zero-copy parse:
+// a model-shaped object (two 256 KB kernels) must parse in well under the
+// ~39 allocations the old copying parser paid — the payload and symbol
+// bytes alias the input, so the only allocations left are the Object, its
+// tables and the symbol-name strings.
+func TestParseAllocsBounded(t *testing.T) {
+	specs := []KernelSpec{
+		{Name: "alloc_main", Pattern: "GEMM", CodeSize: 256 << 10},
+		{Name: "alloc_helper", Pattern: "GEMM", CodeSize: 256 << 10},
+	}
+	data, err := Build("alloc-test", "gfx908", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := Parse(data); err != nil {
+			t.Error(err)
+		}
+	})
+	// Measured 22 today; 30 leaves slack for runtime changes while still
+	// failing loudly if payload copying creeps back in.
+	if avg > 30 {
+		t.Errorf("Parse allocates %.1f objects/op, want <= 30", avg)
+	}
+}

@@ -7,6 +7,8 @@
 // injection (truncation, corruption, missing symbols) exercises real code
 // paths; the *time* a load takes is charged separately by the hip runtime
 // from the sizes this package reports.
+//
+// Paper anchor: Fig 1b code-object loading; PKO is the stand-in for the ELF .hsaco/.cubin containers.
 package codeobj
 
 import (
@@ -33,13 +35,28 @@ const (
 	maxKernels = 1 << 12
 )
 
-// Errors returned by Parse.
+// ErrCorrupt is the umbrella sentinel for structural decode failures: bad
+// magic, truncation and checksum mismatches all unwrap to it, so callers
+// that only care about "this container is damaged" can match one error.
+// ErrVersion deliberately does not unwrap to it — a well-formed object from
+// a newer toolchain is not damage.
+var ErrCorrupt = errors.New("codeobj: corrupt object")
+
+// Errors returned by Parse. errors.Is(err, ErrCorrupt) matches the first,
+// third and fourth.
 var (
-	ErrBadMagic  = errors.New("codeobj: bad magic")
-	ErrVersion   = errors.New("codeobj: unsupported version")
-	ErrTruncated = errors.New("codeobj: truncated object")
-	ErrChecksum  = errors.New("codeobj: checksum mismatch")
+	ErrBadMagic  error = &corruptError{"codeobj: bad magic"}
+	ErrVersion         = errors.New("codeobj: unsupported version")
+	ErrTruncated error = &corruptError{"codeobj: truncated object"}
+	ErrChecksum  error = &corruptError{"codeobj: checksum mismatch"}
 )
+
+// corruptError keeps the legacy sentinel texts while chaining every
+// structural failure to ErrCorrupt.
+type corruptError struct{ msg string }
+
+func (e *corruptError) Error() string { return e.msg }
+func (e *corruptError) Unwrap() error { return ErrCorrupt }
 
 // KernelSpec describes one kernel to embed when building an object.
 type KernelSpec struct {
@@ -97,32 +114,68 @@ func writeString(buf *bytes.Buffer, s string) {
 	buf.WriteString(s)
 }
 
-func readString(r *bytes.Reader) (string, error) {
-	var lenb [4]byte
-	if _, err := r.Read(lenb[:]); err != nil {
+// cursor walks a byte slice without copying: take aliases sections in place,
+// so Parse allocates only for the strings and kernel entries it keeps. Every
+// take validates the remaining length first — a truncated object yields
+// ErrTruncated, never an out-of-range slice.
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) rem() int { return len(c.data) - c.off }
+
+// take returns the next n bytes, aliased into the underlying buffer.
+func (c *cursor) take(n int) ([]byte, bool) {
+	if n < 0 || c.rem() < n {
+		return nil, false
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, true
+}
+
+func (c *cursor) u32() (uint32, bool) {
+	b, ok := c.take(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b), true
+}
+
+// str decodes one length-prefixed string with a single allocation (the
+// string copy itself — no intermediate byte slice).
+func (c *cursor) str() (string, error) {
+	n, ok := c.u32()
+	if !ok {
 		return "", ErrTruncated
 	}
-	n := binary.LittleEndian.Uint32(lenb[:])
 	if n > maxStringLen {
 		return "", fmt.Errorf("codeobj: string length %d exceeds limit: %w", n, ErrTruncated)
 	}
-	b := make([]byte, n)
-	if _, err := readFull(r, b); err != nil {
+	b, ok := c.take(int(n))
+	if !ok {
 		return "", ErrTruncated
 	}
 	return string(b), nil
 }
 
-func readFull(r *bytes.Reader, b []byte) (int, error) {
-	n := 0
-	for n < len(b) {
-		m, err := r.Read(b[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
+// xorChecksum folds the payload eight bytes at a time; XOR is associative,
+// so the result equals the byte-at-a-time walk the builder performs.
+func xorChecksum(b []byte) byte {
+	var acc uint64
+	for len(b) >= 8 {
+		acc ^= binary.LittleEndian.Uint64(b)
+		b = b[8:]
 	}
-	return n, nil
+	acc ^= acc >> 32
+	acc ^= acc >> 16
+	acc ^= acc >> 8
+	ck := byte(acc)
+	for _, x := range b {
+		ck ^= x
+	}
+	return ck
 }
 
 // Build serializes a code object. Payload bytes are generated
@@ -177,11 +230,7 @@ func Build(name, arch string, kernels []KernelSpec) ([]byte, error) {
 		}
 		start := buf.Len()
 		writePayload(&buf, k.Name, k.CodeSize)
-		var checksum byte
-		for _, b := range buf.Bytes()[start:] {
-			checksum ^= b
-		}
-		buf.WriteByte(checksum)
+		buf.WriteByte(xorChecksum(buf.Bytes()[start:]))
 	}
 	sum := crc32.ChecksumIEEE(buf.Bytes())
 	binary.LittleEndian.PutUint32(u32[:], sum)
@@ -204,7 +253,13 @@ func writePayload(buf *bytes.Buffer, name string, size int) {
 	}
 }
 
-// Parse validates and decodes a serialized code object.
+// Parse validates and decodes a serialized code object. It never copies
+// section bytes: payloads are checksum-walked through aliased slices, so
+// the only allocations are the Object itself, its kernel table and the
+// strings it retains. Every section length is validated against the bytes
+// remaining before any slice is taken, so a truncated or size-corrupted
+// object fails with an error unwrapping to ErrCorrupt rather than slicing
+// out of range.
 func Parse(data []byte) (*Object, error) {
 	if len(data) < len(Magic)+2+4 {
 		return nil, ErrTruncated
@@ -216,62 +271,76 @@ func Parse(data []byte) (*Object, error) {
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
 		return nil, ErrChecksum
 	}
-	r := bytes.NewReader(body[len(Magic):])
-	var u16 [2]byte
-	if _, err := readFull(r, u16[:]); err != nil {
+	c := &cursor{data: body, off: len(Magic)}
+	ver, ok := c.take(2)
+	if !ok {
 		return nil, ErrTruncated
 	}
-	if binary.LittleEndian.Uint16(u16[:]) != Version {
+	if binary.LittleEndian.Uint16(ver) != Version {
 		return nil, ErrVersion
 	}
-	name, err := readString(r)
+	name, err := c.str()
 	if err != nil {
 		return nil, err
 	}
-	arch, err := readString(r)
+	arch, err := c.str()
 	if err != nil {
 		return nil, err
 	}
-	var u32 [4]byte
-	if _, err := readFull(r, u32[:]); err != nil {
+	nk, ok := c.u32()
+	if !ok {
 		return nil, ErrTruncated
 	}
-	nk := binary.LittleEndian.Uint32(u32[:])
 	if nk == 0 || nk > maxKernels {
 		return nil, fmt.Errorf("codeobj: kernel count %d out of range: %w", nk, ErrTruncated)
 	}
-	o := &Object{Name: name, Arch: arch, symbols: make(map[string]int, nk), size: len(data)}
+	// Each kernel entry occupies at least its fixed-width fields plus the
+	// checksum byte; capping the table capacity by that floor keeps a corrupt
+	// count field from driving a large allocation.
+	maxFit := c.rem()/13 + 1
+	tableCap := int(nk)
+	if tableCap > maxFit {
+		tableCap = maxFit
+	}
+	o := &Object{
+		Name:    name,
+		Arch:    arch,
+		Kernels: make([]Kernel, 0, tableCap),
+		symbols: make(map[string]int, tableCap),
+		size:    len(data),
+	}
 	for i := 0; i < int(nk); i++ {
 		var k Kernel
-		if k.Name, err = readString(r); err != nil {
+		if k.Name, err = c.str(); err != nil {
 			return nil, err
 		}
-		if k.Pattern, err = readString(r); err != nil {
+		if k.Pattern, err = c.str(); err != nil {
 			return nil, err
 		}
-		if _, err := readFull(r, u32[:]); err != nil {
+		size, ok := c.u32()
+		if !ok {
 			return nil, ErrTruncated
 		}
-		k.CodeSize = int(binary.LittleEndian.Uint32(u32[:]))
-		if k.CodeSize > r.Len() {
-			// A corrupt size field must not drive a huge allocation below.
-			return nil, fmt.Errorf("codeobj: kernel %q code size %d exceeds remaining %d bytes: %w", k.Name, k.CodeSize, r.Len(), ErrTruncated)
+		k.CodeSize = int(size)
+		if k.CodeSize > c.rem() {
+			// A corrupt size field must not alias past the buffer below.
+			return nil, fmt.Errorf("codeobj: kernel %q code size %d exceeds remaining %d bytes: %w", k.Name, k.CodeSize, c.rem(), ErrTruncated)
 		}
-		if _, err := readFull(r, u32[:]); err != nil {
+		nMeta, ok := c.u32()
+		if !ok {
 			return nil, ErrTruncated
 		}
-		nMeta := int(binary.LittleEndian.Uint32(u32[:]))
 		if nMeta > 0 {
 			if nMeta > maxStringLen {
 				return nil, ErrTruncated
 			}
 			k.Meta = make(map[string]string, nMeta)
-			for j := 0; j < nMeta; j++ {
-				key, err := readString(r)
+			for j := 0; j < int(nMeta); j++ {
+				key, err := c.str()
 				if err != nil {
 					return nil, err
 				}
-				val, err := readString(r)
+				val, err := c.str()
 				if err != nil {
 					return nil, err
 				}
@@ -279,30 +348,27 @@ func Parse(data []byte) (*Object, error) {
 			}
 		}
 		// "Relocate": walk the payload like a loader patching addresses,
-		// verifying the per-kernel checksum byte stored after it.
-		payload := make([]byte, k.CodeSize)
-		if _, err := readFull(r, payload); err != nil {
+		// verifying the per-kernel checksum byte stored after it. The slice
+		// aliases the input; nothing is copied.
+		payload, ok := c.take(k.CodeSize)
+		if !ok {
 			return nil, ErrTruncated
 		}
-		var checksum byte
-		for _, b := range payload {
-			checksum ^= b
-		}
-		want, err := r.ReadByte()
-		if err != nil {
+		want, ok := c.take(1)
+		if !ok {
 			return nil, ErrTruncated
 		}
-		if checksum != want {
+		if xorChecksum(payload) != want[0] {
 			return nil, fmt.Errorf("codeobj: kernel %q payload checksum mismatch: %w", k.Name, ErrChecksum)
 		}
 		if _, dup := o.symbols[k.Name]; dup {
-			return nil, fmt.Errorf("codeobj: duplicate symbol %q in object %q", k.Name, name)
+			return nil, fmt.Errorf("codeobj: duplicate symbol %q in object %q: %w", k.Name, name, ErrCorrupt)
 		}
 		o.symbols[k.Name] = len(o.Kernels)
 		o.Kernels = append(o.Kernels, k)
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("codeobj: %d trailing bytes: %w", r.Len(), ErrTruncated)
+	if c.rem() != 0 {
+		return nil, fmt.Errorf("codeobj: %d trailing bytes: %w", c.rem(), ErrTruncated)
 	}
 	return o, nil
 }

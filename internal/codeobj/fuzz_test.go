@@ -1,0 +1,86 @@
+package codeobj
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// truncatedResealed returns a valid object cut mid-payload with its
+// container CRC re-sealed, so decoding reaches the section walk instead of
+// failing at the trailer check — the shape that must hit the bounds
+// validation, not an out-of-range slice.
+func truncatedResealed(t testing.TB) []byte {
+	t.Helper()
+	data, err := Build("trunc.pko", "gfx908", []KernelSpec{
+		{Name: "k_main", Pattern: "Winograd", CodeSize: 4096, Meta: map[string]string{"dtype": "f32"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := data[:len(data)-4-2048] // drop trailer + payload tail
+	sealed := make([]byte, len(cut)+4)
+	copy(sealed, cut)
+	binary.LittleEndian.PutUint32(sealed[len(cut):], crc32.ChecksumIEEE(cut))
+	return sealed
+}
+
+func TestParseTruncatedPayloadResealed(t *testing.T) {
+	_, err := Parse(truncatedResealed(t))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt via unwrap", err)
+	}
+}
+
+func TestStructuralErrorsUnwrapToCorrupt(t *testing.T) {
+	for _, err := range []error{ErrBadMagic, ErrTruncated, ErrChecksum} {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%v does not unwrap to ErrCorrupt", err)
+		}
+	}
+	if errors.Is(ErrVersion, ErrCorrupt) {
+		t.Error("ErrVersion must not unwrap to ErrCorrupt: newer-format objects are not damage")
+	}
+}
+
+// FuzzParse asserts Parse never panics and classifies every failure as
+// either ErrCorrupt (structural damage) or ErrVersion; round-trips of
+// accepted inputs must be self-consistent.
+func FuzzParse(f *testing.F) {
+	good, err := Build("fuzz.pko", "gfx908", []KernelSpec{
+		{Name: "k0", Pattern: "GEMM", CodeSize: 64, Meta: map[string]string{"tile": "8x8"}},
+		{Name: "k1", Pattern: "Winograd", CodeSize: 32},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(truncatedResealed(f))
+	f.Add([]byte("PKO1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		if o.Size() != len(data) {
+			t.Fatalf("Size() = %d, want %d", o.Size(), len(data))
+		}
+		if o.NumSymbols() == 0 {
+			t.Fatal("accepted object with zero kernels")
+		}
+		for _, k := range o.Kernels {
+			got, ok := o.Symbol(k.Name)
+			if !ok || got.Name != k.Name {
+				t.Fatalf("symbol table inconsistent for %q", k.Name)
+			}
+		}
+	})
+}

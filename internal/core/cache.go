@@ -13,10 +13,11 @@
 //   - the evaluated scheme variants (Baseline, NNV12, Ideal, PaSK, PaSK-I,
 //     PaSK-R) and the §VI extensions (BLAS scope, precision preference,
 //     inter-request background loading).
+//
+// Paper anchor: §III-A interleaved pipeline, §III-B Algorithm 1, §III-C categorical cache — the paper's contribution itself.
 package core
 
 import (
-	"slices"
 	"time"
 
 	"pask/internal/miopen"
@@ -66,26 +67,39 @@ func SeedResidents(c Cache, lib *miopen.Library) {
 	}
 }
 
+// allPatterns pins the stable pattern order once; miopen.Patterns clones a
+// fresh slice per call, which the query hot path must not pay.
+var allPatterns = miopen.Patterns()
+
+// entry pairs a cached instance with its precomputed identity key, so MRU
+// scans compare strings the cache already holds instead of rebuilding the
+// key per candidate.
+type entry struct {
+	inst miopen.Instance
+	key  string
+}
+
 // CategoricalCache organizes loaded instances in separate MRU lists keyed by
 // solution pattern (paper §III-C). A query only scans the list matching the
 // wanted solution's pattern and gives up without touching other categories.
 type CategoricalCache struct {
-	lists map[miopen.Pattern][]miopen.Instance // index 0 = most recent
-	stats CacheStats
+	lists   map[miopen.Pattern][]entry // index 0 = most recent
+	scratch [][]entry                  // freelist of query snapshot buffers
+	stats   CacheStats
 }
 
 // NewCategoricalCache returns an empty categorical cache.
 func NewCategoricalCache() *CategoricalCache {
-	return &CategoricalCache{lists: make(map[miopen.Pattern][]miopen.Instance)}
+	return &CategoricalCache{lists: make(map[miopen.Pattern][]entry)}
 }
 
-func promote(list []miopen.Instance, i int) []miopen.Instance {
+func promote[T any](list []T, i int) []T {
 	if i == 0 {
 		return list
 	}
-	inst := list[i]
+	e := list[i]
 	copy(list[1:i+1], list[:i])
-	list[0] = inst
+	list[0] = e
 	return list
 }
 
@@ -97,11 +111,28 @@ func promote(list []miopen.Instance, i int) []miopen.Instance {
 func (c *CategoricalCache) promoteKey(pat miopen.Pattern, key string) {
 	list := c.lists[pat]
 	for i := range list {
-		if list[i].Key() == key {
+		if list[i].key == key {
 			c.lists[pat] = promote(list, i)
 			return
 		}
 	}
+}
+
+// snapshot copies a pattern list into a reusable scratch buffer. The pop and
+// copy happen without yields, so concurrent queries interleaved in virtual
+// time each hold distinct buffers; release returns the buffer once the query
+// is done iterating.
+func (c *CategoricalCache) snapshot(list []entry) []entry {
+	var buf []entry
+	if n := len(c.scratch); n > 0 {
+		buf = c.scratch[n-1][:0]
+		c.scratch = c.scratch[:n-1]
+	}
+	return append(buf, list...)
+}
+
+func (c *CategoricalCache) release(buf []entry) {
+	c.scratch = append(c.scratch, buf)
 }
 
 // Insert adds or refreshes an instance at the head of its pattern list.
@@ -114,9 +145,10 @@ func (c *CategoricalCache) Insert(inst miopen.Instance) { c.insertWith(nil, inst
 // interleave, so per-view counters are recorded inline.
 func (c *CategoricalCache) insertWith(extra *CacheStats, inst miopen.Instance) {
 	pat := inst.CacheKey()
+	key := inst.Key()
 	list := c.lists[pat]
 	for i := range list {
-		if list[i].Key() == inst.Key() {
+		if list[i].key == key {
 			c.lists[pat] = promote(list, i)
 			return
 		}
@@ -125,7 +157,7 @@ func (c *CategoricalCache) insertWith(extra *CacheStats, inst miopen.Instance) {
 	if extra != nil {
 		extra.Inserts++
 	}
-	c.lists[pat] = append([]miopen.Instance{inst}, list...)
+	c.lists[pat] = append([]entry{{inst: inst, key: key}}, list...)
 }
 
 // Touch refreshes recency (same as re-inserting an existing entry).
@@ -153,9 +185,10 @@ func (c *CategoricalCache) getSubWith(extra *CacheStats, requireLoaded bool, pro
 	// a shared cache another tenant's Insert/promote may shift the live list's
 	// backing array during that sleep. Re-reading list[i] after the check
 	// could hand back a different (inapplicable) instance than was checked.
-	list := slices.Clone(c.lists[pat])
+	list := c.snapshot(c.lists[pat])
+	defer c.release(list)
 	for i := range list {
-		cand := list[i]
+		cand := list[i].inst
 		if requireLoaded && !lib.IsLoaded(cand) {
 			continue
 		}
@@ -167,7 +200,7 @@ func (c *CategoricalCache) getSubWith(extra *CacheStats, requireLoaded bool, pro
 			if requireLoaded && !lib.IsLoaded(cand) {
 				continue // evicted while the check slept
 			}
-			c.promoteKey(pat, cand.Key())
+			c.promoteKey(pat, list[i].key)
 			c.stats.Hits++
 			if extra != nil {
 				extra.Hits++
@@ -195,19 +228,16 @@ func (c *CategoricalCache) getSubAnyWith(extra *CacheStats, proc *sim.Proc, lib 
 		extra.Queries++
 	}
 	proc.Sleep(lib.RT.Host().CacheQueryFixed)
-	pats := []miopen.Pattern{want.CacheKey()}
-	for _, pat := range miopen.Patterns() {
-		if pat != pats[0] {
-			pats = append(pats, pat)
-		}
-	}
-	for _, pat := range pats {
+	first := want.CacheKey()
+	wantKey := want.Key()
+	scan := func(pat miopen.Pattern) (miopen.Instance, bool) {
 		// Snapshot for the same reason as getSubWith: checks sleep, tenants
 		// sharing the cache may reorder the live list meanwhile.
-		list := slices.Clone(c.lists[pat])
+		list := c.snapshot(c.lists[pat])
+		defer c.release(list)
 		for i := range list {
-			cand := list[i]
-			if cand.Key() == want.Key() || !lib.IsLoaded(cand) {
+			cand := list[i].inst
+			if list[i].key == wantKey || !lib.IsLoaded(cand) {
 				continue
 			}
 			c.stats.Lookups++
@@ -218,13 +248,25 @@ func (c *CategoricalCache) getSubAnyWith(extra *CacheStats, proc *sim.Proc, lib 
 				if !lib.IsLoaded(cand) {
 					continue // evicted while the check slept
 				}
-				c.promoteKey(pat, cand.Key())
+				c.promoteKey(pat, list[i].key)
 				c.stats.Hits++
 				if extra != nil {
 					extra.Hits++
 				}
 				return cand, true
 			}
+		}
+		return miopen.Instance{}, false
+	}
+	if inst, ok := scan(first); ok {
+		return inst, true
+	}
+	for _, pat := range allPatterns {
+		if pat == first {
+			continue
+		}
+		if inst, ok := scan(pat); ok {
+			return inst, true
 		}
 	}
 	return miopen.Instance{}, false

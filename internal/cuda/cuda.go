@@ -16,6 +16,8 @@
 //   - A tighter default retry posture: the datacenter A100 profile assumes
 //     a nearby NVMe-backed store, so fewer, faster retries than the HIP
 //     flavor's patient policy.
+//
+// Paper anchor: §II-A lazy loading (Fig 3) on the paper's A100/sm_80 testbed.
 package cuda
 
 import (

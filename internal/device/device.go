@@ -3,6 +3,8 @@
 // streams driven by sim processes, busy-time accounting for utilization
 // metrics, and calibrated per-device profiles (MI100, A100, RX 6900 XT)
 // matching the paper's testbeds in magnitude.
+//
+// Paper anchor: the §IV testbed devices (MI100, A100, RX 6900 XT) as roofline stand-ins for real silicon.
 package device
 
 import (

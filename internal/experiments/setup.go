@@ -2,6 +2,8 @@
 // evaluation (§IV–§V) plus the §VI extensions: each experiment builds the
 // zoo models, runs them under the evaluated schemes on simulated devices,
 // and reports the same quantities the paper plots.
+//
+// Paper anchor: the §IV–§V evaluation (Figs 1, 6–9, Tables I–II) plus the §VI extensions.
 package experiments
 
 import (

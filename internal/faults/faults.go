@@ -14,6 +14,8 @@
 // test: the chaos experiment's fairness depends on each policy facing the
 // same storm. A nil *Injector is inert, and a disabled rate costs nothing on
 // the production path.
+//
+// Paper anchor: beyond-paper fault injection at the §III-A pipeline's storage/driver/find seams (DESIGN.md §9).
 package faults
 
 import (

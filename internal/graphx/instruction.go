@@ -4,6 +4,8 @@
 // primitive library's performance database, a binary compiled-model format
 // (the ".mgx file" of paper Fig 3), and the reactive baseline executor whose
 // lazy loading causes the cold-start problem.
+//
+// Paper anchor: the Fig 3 serving framework (MIGraphX analogue) and the §II-A reactive baseline executor.
 package graphx
 
 import (

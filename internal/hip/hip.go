@@ -16,6 +16,8 @@
 // tenant pinning, cache peering — live in internal/backend; this package
 // contributes only the driver-specific surface: error texts shaped like HIP
 // runtime errors and the default retry posture.
+//
+// Paper anchor: §II-A lazy loading (Fig 3) — the HIP driver API the paper interposes on.
 package hip
 
 import (

@@ -13,6 +13,8 @@
 // /v1 successor. Errors use a uniform envelope
 // {"error":{"code":..., "message":...}} mapped from the stack's typed
 // sentinels.
+//
+// Paper anchor: beyond-paper operational surface over the §IV–§V experiments.
 package httpapi
 
 import (

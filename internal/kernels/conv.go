@@ -9,6 +9,8 @@
 // same pattern and still compute the same function. The tests in this package
 // prove that equivalence numerically — the substitution rationale for running
 // the data plane on the CPU.
+//
+// Paper anchor: §III-B substitution legality, proven numerically — the stand-in rationale for a CPU data plane.
 package kernels
 
 import (

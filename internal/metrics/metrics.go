@@ -3,6 +3,8 @@
 // exclusive phase breakdowns (Fig 1b, Fig 7). Spans may overlap freely (the
 // whole point of PASK is overlapping loading with execution); Breakdown
 // attributes every instant of wall time to exactly one category by priority.
+//
+// Paper anchor: the Fig 1b / Fig 7 phase breakdowns and Fig 6b utilization.
 package metrics
 
 import (

@@ -17,6 +17,24 @@ type Library struct {
 	RT  backend.Backend
 
 	checks int // IsApplicable invocations charged so far
+
+	// memo caches IsApplicable outcomes. The verdict is a pure function of
+	// (solution, binding, problem, workspace limit) within one kill-switch
+	// generation, so repeat queries skip re-deriving binding keys and
+	// predicate walks — only the host-side CPU work; the virtual-time charge
+	// and the checks counter are untouched.
+	memo    map[applicKey]bool
+	memoGen uint64
+}
+
+// applicKey identifies one memoized applicability verdict. Every field is
+// comparable; WorkspaceLimit is part of the key (rather than a generation
+// bump) because tests mutate it directly on the Ctx.
+type applicKey struct {
+	sol     Solution
+	binding string
+	prob    Problem
+	wsLimit int64
 }
 
 // NewLibrary binds a registry to a process runtime.
@@ -45,7 +63,18 @@ func (l *Library) ApplicabilityChecks() int { return l.checks }
 func (l *Library) CheckApplicable(proc *sim.Proc, inst Instance, p *Problem) bool {
 	proc.Sleep(l.RT.Host().ApplicabilityCheck)
 	l.checks++
-	return inst.IsApplicable(l.Reg.ctx, p)
+	ctx := l.Reg.ctx
+	if l.memo == nil || l.memoGen != ctx.Generation() {
+		l.memo = make(map[applicKey]bool, 64)
+		l.memoGen = ctx.Generation()
+	}
+	k := applicKey{sol: inst.Sol, binding: inst.Binding, prob: *p, wsLimit: ctx.WorkspaceLimit}
+	if v, ok := l.memo[k]; ok {
+		return v
+	}
+	v := inst.IsApplicable(ctx, p)
+	l.memo[k] = v
+	return v
 }
 
 // IsLoaded reports whether the instance's code object is resident.

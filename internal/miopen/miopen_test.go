@@ -226,7 +226,7 @@ func TestWorkspaceLimitDisqualifies(t *testing.T) {
 
 func TestDisabledSolutionExcluded(t *testing.T) {
 	ctx := testCtx()
-	ctx.Disabled["ConvBinWinogradFwdFixed"] = true
+	ctx.Disable("ConvBinWinogradFwdFixed")
 	reg := NewRegistry(ctx)
 	p := conv3x3(128, 128, 28)
 	best, err := reg.FindBest(&p)

@@ -8,6 +8,8 @@
 // specialized solutions are fastest but bind to narrow problem classes (and
 // each binding is its own code object), while generic solutions cover broad
 // classes from a single already-loadable object.
+//
+// Paper anchor: §II-B find-and-run primitive library (Fig 4) and the specialization ladder §III-B exploits.
 package miopen
 
 import (

@@ -1,6 +1,7 @@
 package miopen
 
 import (
+	"sync"
 	"time"
 
 	"pask/internal/codeobj"
@@ -33,10 +34,15 @@ func Patterns() []Pattern {
 // Ctx carries the environment a solution validates against: device
 // capabilities, the workspace limit, and solution kill switches (the
 // "environment variable validation" of paper §II-B).
+//
+// Mutate the kill switches through Disable/Enable, not the Disabled map
+// directly: the methods bump the generation counter that invalidates
+// memoized applicability results.
 type Ctx struct {
 	Dev            device.Profile
 	WorkspaceLimit int64
 	Disabled       map[string]bool // solution ID -> disabled
+	gen            uint64          // bumped on every kill-switch change
 }
 
 // NewCtx returns a context for the given device with a 64 MiB workspace —
@@ -44,6 +50,26 @@ type Ctx struct {
 func NewCtx(dev device.Profile) *Ctx {
 	return &Ctx{Dev: dev, WorkspaceLimit: 64 << 20, Disabled: make(map[string]bool)}
 }
+
+// Disable switches a solution off by ID (fault injection, kill switches).
+func (c *Ctx) Disable(id string) {
+	if !c.Disabled[id] {
+		c.Disabled[id] = true
+		c.gen++
+	}
+}
+
+// Enable re-enables a previously disabled solution.
+func (c *Ctx) Enable(id string) {
+	if c.Disabled[id] {
+		delete(c.Disabled, id)
+		c.gen++
+	}
+}
+
+// Generation returns the kill-switch generation; memoized applicability
+// results are valid only within one generation.
+func (c *Ctx) Generation() uint64 { return c.gen }
 
 // KernelCall is one kernel invocation a solution issues: a symbol in the
 // solution's code object plus its roofline inputs.
@@ -103,12 +129,36 @@ func Bind(s Solution, p *Problem) Instance {
 	return Instance{Sol: s, Binding: s.BindingKey(p)}
 }
 
-// Path returns the code-object store path of the instance.
+// pathIntern caches the store path per (solution ID, binding) so the hot
+// cache-query and residency-probe loops stop concatenating strings on every
+// call. The set of distinct instances is small and fixed per run, so the
+// map only ever holds the working set.
+var pathIntern = struct {
+	sync.RWMutex
+	m map[pathKey]string
+}{m: make(map[pathKey]string)}
+
+type pathKey struct{ id, binding string }
+
+// Path returns the code-object store path of the instance. The string is
+// interned: repeated calls for the same instance return the same allocation.
 func (i Instance) Path() string {
-	if i.Binding == "" {
-		return i.Sol.ID() + ".pko"
+	k := pathKey{i.Sol.ID(), i.Binding}
+	pathIntern.RLock()
+	p, ok := pathIntern.m[k]
+	pathIntern.RUnlock()
+	if ok {
+		return p
 	}
-	return i.Sol.ID() + "_" + i.Binding + ".pko"
+	if k.binding == "" {
+		p = k.id + ".pko"
+	} else {
+		p = k.id + "_" + k.binding + ".pko"
+	}
+	pathIntern.Lock()
+	pathIntern.m[k] = p
+	pathIntern.Unlock()
+	return p
 }
 
 // Key returns a unique identity for the instance.

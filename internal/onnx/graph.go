@@ -5,6 +5,8 @@
 // Activation tensors are tracked as 4-D shapes. Convolutional nets use the
 // natural (N, C, H, W) interpretation; transformer blocks view the same
 // container as (batch, heads, rows, cols) with the matrix in (H, W).
+//
+// Paper anchor: the exchange-format model graph of Fig 3.
 package onnx
 
 import (

@@ -5,6 +5,8 @@
 // input settings; transformer blocks are expressed with explicit MatMul /
 // Softmax / LayerNorm operators so their GEMMs lower to the BLAS library,
 // exactly the property that limits PASK's benefit on them (paper §VI).
+//
+// Paper anchor: the twelve Table I models at the paper's input settings.
 package zoo
 
 import (

@@ -10,6 +10,8 @@
 // the kernels a known model will need; under multi-model traffic the model
 // itself must be predicted first, so this package supplies that missing
 // policy layer (DESIGN.md §16, ProMoE-style prediction from PAPERS.md).
+//
+// Paper anchor: beyond-paper policy layer for §III proactive loading — predicts *which* model under multi-model traffic (DESIGN.md §16; ProMoE-style, PAPERS.md).
 package predict
 
 import (

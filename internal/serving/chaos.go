@@ -42,12 +42,12 @@ func InstallFaults(ms *experiments.ModelSetup, inj *faults.Injector) func() {
 	}
 	disabled := inj.DisabledIDs(ids)
 	for _, id := range disabled {
-		ctx.Disabled[id] = true
+		ctx.Disable(id)
 	}
 	return func() {
 		ms.Store.SetFaultHook(nil)
 		for _, id := range disabled {
-			delete(ctx.Disabled, id)
+			ctx.Enable(id)
 		}
 	}
 }

@@ -1,0 +1,318 @@
+package serving
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pask/internal/codeobj"
+	"pask/internal/core"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/hip"
+	"pask/internal/kernels"
+	"pask/internal/miopen"
+	"pask/internal/sim"
+	"pask/internal/tensor"
+)
+
+// HostPerfConfig parameterizes the host-pipeline throughput probe. The zero
+// value replays one million requests per micro stage and two thousand
+// through the fleet dispatcher; Quick scales both down for CI smoke runs.
+type HostPerfConfig struct {
+	Requests         int            // per micro stage (default 1,000,000; quick 20,000)
+	DispatchRequests int            // fleet-dispatch stage (default 2,000; quick 200)
+	Models           []string       // dispatch-stage tenants (default res, vgg)
+	Batch            int            // default 1
+	Profile          device.Profile // default MI100
+	Quick            bool           // CI-sized request counts
+}
+
+// Fill applies the documented defaults to unset fields.
+func (c *HostPerfConfig) Fill() {
+	if c.Requests <= 0 {
+		if c.Quick {
+			c.Requests = 20_000
+		} else {
+			c.Requests = 1_000_000
+		}
+	}
+	if c.DispatchRequests <= 0 {
+		if c.Quick {
+			c.DispatchRequests = 200
+		} else {
+			c.DispatchRequests = 2_000
+		}
+	}
+	if len(c.Models) == 0 {
+		c.Models = []string{"res", "vgg"}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Profile.Name == "" {
+		c.Profile = device.MI100()
+	}
+}
+
+// HostPerfStage is one measured hot path: host nanoseconds and heap
+// allocations per request, averaged over the stage's request count.
+type HostPerfStage struct {
+	Stage            string  `json:"stage"`
+	Requests         int     `json:"requests"`
+	NsPerRequest     float64 `json:"ns_per_request"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+// HostPerfResult is the machine-readable payload emitted under "bench" in
+// the experiment envelope. Unlike every other experiment these numbers are
+// host wall-clock measurements: they vary across machines and runs, while
+// the simulation's virtual-time accounting stays byte-deterministic.
+type HostPerfResult struct {
+	Requests         int             `json:"requests"`
+	DispatchRequests int             `json:"dispatch_requests"`
+	Quick            bool            `json:"quick"`
+	Stages           []HostPerfStage `json:"stages"`
+}
+
+// measureHost runs fn once and attributes its wall time and heap
+// allocations evenly over n requests. ReadMemStats brackets keep the
+// numbers comparable with `go test -bench -benchmem` output.
+func measureHost(stage string, n int, fn func() error) (HostPerfStage, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	t0 := time.Now()
+	err := fn()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms)
+	st := HostPerfStage{
+		Stage:            stage,
+		Requests:         n,
+		NsPerRequest:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerRequest: float64(ms.Mallocs-m0) / float64(n),
+	}
+	return st, err
+}
+
+// hostPerfProblem returns a problem ConvBinWinogradFwdFixed binds at channel
+// count c — distinct c values yield distinct bindings, so one pattern list
+// holds many instances, the shape fleet traffic scans (paper §III-C).
+func hostPerfProblem(c int) miopen.Problem {
+	return miopen.NewConvProblem(tensor.Shape{N: 1, C: c, H: 14, W: 14}, c, 3, 3,
+		kernels.Conv2DParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, DilH: 1, DilW: 1},
+		1, tensor.F32, tensor.NCHW)
+}
+
+// hostPerfCacheQuery replays n steady-state categorical-cache hits: a
+// 16-entry pattern list with the winner at the MRU head, the per-request
+// lookup every warm instance pays.
+func hostPerfCacheQuery(prof device.Profile, n int) (HostPerfStage, error) {
+	const entries = 16
+	reg := miopen.NewRegistry(miopen.NewCtx(prof))
+	sol, ok := reg.ByID("ConvBinWinogradFwdFixed")
+	if !ok {
+		return HostPerfStage{}, fmt.Errorf("serving: hostperf: ConvBinWinogradFwdFixed not registered")
+	}
+	insts := make([]miopen.Instance, 0, entries)
+	probs := make([]miopen.Problem, 0, entries)
+	for i := 0; i < entries; i++ {
+		p := hostPerfProblem(16 + 8*i)
+		probs = append(probs, p)
+		insts = append(insts, miopen.Bind(sol, &p))
+	}
+	store := codeobj.NewStore()
+	if err := miopen.MaterializeObjects(store, prof.Arch, insts); err != nil {
+		return HostPerfStage{}, err
+	}
+	env := sim.NewEnv()
+	gpu := device.NewGPU(env, prof)
+	lib := miopen.NewLibrary(reg, hip.NewRuntime(env, gpu, device.DefaultHost(), store))
+	cache := core.NewCategoricalCache()
+
+	var st HostPerfStage
+	var stageErr error
+	env.Spawn("hostperf-cache", func(p *sim.Proc) {
+		defer gpu.CloseAll()
+		for _, inst := range insts {
+			if err := lib.EnsureLoaded(p, inst); err != nil {
+				stageErr = err
+				return
+			}
+		}
+		for _, inst := range insts {
+			cache.Insert(inst)
+		}
+		want, prob := insts[0], probs[0]
+		st, stageErr = measureHost("cache_query", n, func() error {
+			for i := 0; i < n; i++ {
+				if _, ok := cache.GetSub(p, lib, want, &prob); !ok {
+					return fmt.Errorf("serving: hostperf: expected cache hit")
+				}
+			}
+			return nil
+		})
+	})
+	if err := env.Run(); err != nil {
+		return st, err
+	}
+	return st, stageErr
+}
+
+// hostPerfRegistryHit replays n resident-module lookups through the backend
+// registry — the loader fast path a warmed tenant hits per kernel launch.
+func hostPerfRegistryHit(prof device.Profile, n int) (HostPerfStage, error) {
+	const path = "hostperf.pko"
+	store := codeobj.NewStore()
+	specs := []codeobj.KernelSpec{
+		{Name: "hostperf_main", Pattern: "GEMM", CodeSize: 8 << 10},
+		{Name: "hostperf_helper", Pattern: "GEMM", CodeSize: 2 << 10},
+	}
+	if err := store.PutBuilt(path, prof.Arch, specs); err != nil {
+		return HostPerfStage{}, err
+	}
+	env := sim.NewEnv()
+	gpu := device.NewGPU(env, prof)
+	rt := hip.NewRuntime(env, gpu, device.DefaultHost(), store)
+
+	var st HostPerfStage
+	var stageErr error
+	env.Spawn("hostperf-registry", func(p *sim.Proc) {
+		defer gpu.CloseAll()
+		if _, err := rt.ModuleLoad(p, path); err != nil {
+			stageErr = err
+			return
+		}
+		st, stageErr = measureHost("registry_hit", n, func() error {
+			for i := 0; i < n; i++ {
+				if _, err := rt.ModuleLoad(p, path); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err := env.Run(); err != nil {
+		return st, err
+	}
+	return st, stageErr
+}
+
+// hostPerfParse replays n full parses of a representative code object
+// (four kernels, 2 KB of payload each) — the §III-A parser stage charged
+// on every loader miss.
+func hostPerfParse(prof device.Profile, n int) (HostPerfStage, error) {
+	specs := make([]codeobj.KernelSpec, 4)
+	for i := range specs {
+		specs[i] = codeobj.KernelSpec{
+			Name: fmt.Sprintf("hostperf_parse_%d", i), Pattern: "GEMM", CodeSize: 2 << 10,
+		}
+	}
+	data, err := codeobj.Build("hostperf-parse", prof.Arch, specs)
+	if err != nil {
+		return HostPerfStage{}, err
+	}
+	return measureHost("codeobj_parse", n, func() error {
+		for i := 0; i < n; i++ {
+			if _, err := codeobj.Parse(data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// hostPerfDispatch replays a capped interleaved trace through the fleet
+// dispatcher on a shared runtime — the end-to-end host cost per served
+// request, every layer included. Returns the stage plus the fleet stats
+// for the notes.
+func hostPerfDispatch(cfg HostPerfConfig) (HostPerfStage, *FleetStats, error) {
+	setups, err := experiments.PrepareModelsShared(cfg.Models, cfg.Batch, cfg.Profile)
+	if err != nil {
+		return HostPerfStage{}, nil, err
+	}
+	perModel := cfg.DispatchRequests / len(cfg.Models)
+	if perModel < 1 {
+		perModel = 1
+	}
+	trace := InterleavedTrace(cfg.Models, perModel, 2*time.Millisecond)
+	fleetCfg := FleetConfig{
+		Policy:    Policy{Scheme: core.SchemePaSK},
+		KeepAlive: time.Second,
+		Shared:    true,
+	}
+	var fs *FleetStats
+	st, err := measureHost("fleet_dispatch", len(trace), func() error {
+		var serveErr error
+		fs, serveErr = ServeFleetModels(setups, cfg.Models[0], fleetCfg, trace)
+		return serveErr
+	})
+	return st, fs, err
+}
+
+// countColds sums cold starts across every model in the fleet stats.
+func countColds(fs *FleetStats) int {
+	n := 0
+	for _, lat := range fs.ColdByModel {
+		n += len(lat)
+	}
+	return n
+}
+
+// HostPerf runs the host-pipeline throughput probe: three micro stages
+// replaying cfg.Requests operations each through the categorical cache, the
+// backend registry and the code-object parser, plus a capped replay through
+// the fleet dispatcher. The table and bench payload report host-side
+// ns/request and allocs/request per stage — the raw-speed counterpart to
+// the committed `go test -bench` baseline (see docs/PERFORMANCE.md). Host
+// wall-clock numbers vary across machines and runs by design; the
+// simulation's virtual-time accounting is untouched.
+func HostPerf(cfg HostPerfConfig) (*experiments.Table, *HostPerfResult, error) {
+	cfg.Fill()
+	res := &HostPerfResult{
+		Requests:         cfg.Requests,
+		DispatchRequests: cfg.DispatchRequests,
+		Quick:            cfg.Quick,
+	}
+
+	stages := []func() (HostPerfStage, error){
+		func() (HostPerfStage, error) { return hostPerfCacheQuery(cfg.Profile, cfg.Requests) },
+		func() (HostPerfStage, error) { return hostPerfRegistryHit(cfg.Profile, cfg.Requests) },
+		func() (HostPerfStage, error) { return hostPerfParse(cfg.Profile, cfg.Requests) },
+	}
+	for _, run := range stages {
+		st, err := run()
+		if err != nil {
+			return nil, nil, fmt.Errorf("serving: hostperf stage %s: %w", st.Stage, err)
+		}
+		res.Stages = append(res.Stages, st)
+	}
+	dispatch, fs, err := hostPerfDispatch(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serving: hostperf stage fleet_dispatch: %w", err)
+	}
+	res.Stages = append(res.Stages, dispatch)
+
+	table := &experiments.Table{
+		ID: "hostperf",
+		Title: fmt.Sprintf("host-pipeline throughput, %d requests per micro stage (%s b%d on %s)",
+			cfg.Requests, join(cfg.Models), cfg.Batch, cfg.Profile.Name),
+		Headers: []string{"stage", "requests", "ns_per_request", "allocs_per_request"},
+		Notes: []string{
+			fmt.Sprintf("fleet_dispatch capped at %d requests (%d per tenant); micro stages replay %d each",
+				dispatch.Requests, dispatch.Requests/len(cfg.Models), cfg.Requests),
+			"host wall-clock metrics: values vary across machines and runs; virtual-time accounting is unaffected (docs/PERFORMANCE.md)",
+			fmt.Sprintf("fleet_dispatch arm: %d module loads, %d cold starts",
+				fs.ModuleLoads, countColds(fs)),
+		},
+	}
+	for _, st := range res.Stages {
+		table.Rows = append(table.Rows, []string{
+			st.Stage,
+			fmt.Sprintf("%d", st.Requests),
+			fmt.Sprintf("%.1f", st.NsPerRequest),
+			fmt.Sprintf("%.3f", st.AllocsPerRequest),
+		})
+	}
+	return table, res, nil
+}

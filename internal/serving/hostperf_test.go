@@ -1,0 +1,68 @@
+package serving
+
+import (
+	"testing"
+
+	"pask/internal/experiments"
+)
+
+// TestHostPerfStages runs the throughput probe at test-sized request counts
+// and checks every hot-path stage reports sane per-request metrics.
+func TestHostPerfStages(t *testing.T) {
+	cfg := HostPerfConfig{Requests: 500, DispatchRequests: 8, Quick: true}
+	tbl, res, err := HostPerf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"cache_query", "registry_hit", "codeobj_parse", "fleet_dispatch"}
+	if len(res.Stages) != len(wantStages) {
+		t.Fatalf("got %d stages, want %d", len(res.Stages), len(wantStages))
+	}
+	for i, st := range res.Stages {
+		if st.Stage != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Stage, wantStages[i])
+		}
+		if st.Requests <= 0 {
+			t.Errorf("stage %s: requests = %d, want > 0", st.Stage, st.Requests)
+		}
+		if st.NsPerRequest <= 0 {
+			t.Errorf("stage %s: ns/request = %v, want > 0", st.Stage, st.NsPerRequest)
+		}
+		if st.AllocsPerRequest < 0 {
+			t.Errorf("stage %s: allocs/request = %v, want >= 0", st.Stage, st.AllocsPerRequest)
+		}
+	}
+	if len(tbl.Rows) != len(wantStages) {
+		t.Fatalf("table has %d rows, want %d", len(tbl.Rows), len(wantStages))
+	}
+	for i, row := range tbl.Rows {
+		if row[0] != wantStages[i] {
+			t.Errorf("row %d stage = %q, want %q", i, row[0], wantStages[i])
+		}
+	}
+	// The micro stages honor the configured request count; dispatch is
+	// capped separately and the cap must be spelled out in the notes.
+	for _, st := range res.Stages[:3] {
+		if st.Requests != cfg.Requests {
+			t.Errorf("stage %s: requests = %d, want %d", st.Stage, st.Requests, cfg.Requests)
+		}
+	}
+	if len(tbl.Notes) == 0 {
+		t.Error("expected a note recording the fleet_dispatch cap")
+	}
+}
+
+// TestHostPerfRegistered checks the experiment is on the shared menu with a
+// bench payload, so `paskbench -exp hostperf` emits the standard envelope.
+func TestHostPerfRegistered(t *testing.T) {
+	exp, ok := experiments.Lookup("hostperf")
+	if !ok {
+		t.Fatal("hostperf not registered")
+	}
+	if !exp.Bench {
+		t.Error("hostperf must declare a bench payload")
+	}
+	if exp.InAll {
+		t.Error("hostperf reports nondeterministic wall-clock numbers and must stay out of -exp all")
+	}
+}

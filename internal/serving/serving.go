@@ -4,6 +4,8 @@
 // serving inference requests for a model; a Fleet manages instances under a
 // keep-alive policy and routes a request trace to them, spawning cold
 // instances on demand.
+//
+// Paper anchor: the §I deployment scenarios (serverless, spot, edge) that make cold start unavoidable.
 package serving
 
 import (

@@ -12,10 +12,11 @@
 // A process is an ordinary function receiving a *Proc handle. It advances
 // virtual time with Proc.Sleep and synchronizes with other processes through
 // Signal, Resource and Chan, all of which block in virtual time only.
+//
+// Paper anchor: the substitution for the paper's §IV ROCm testbed — every measured quantity becomes virtual time here.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"slices"
@@ -29,21 +30,64 @@ type event struct {
 	p   *Proc
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). The
+// sift loops are written out instead of delegating to container/heap
+// because heap.Push boxes each event into an interface — one heap
+// allocation per Sleep, the single hottest allocation site of the whole
+// simulator. (at, seq) is a strict total order (seq is unique), so pop
+// order — and with it run determinism — is identical to the generic heap.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) Len() int    { return len(h) }
+func (h eventHeap) peek() event { return h[0] }
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) pushEvent(e event) {
+	*h = append(*h, e)
+	q := *h
+	// Sift up.
+	for j := len(q) - 1; j > 0; {
+		i := (j - 1) / 2
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) popEvent() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	*h = q[:n]
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.less(r, l) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return top
+}
 
 // yieldMsg is the handoff from a process goroutine back to the scheduler.
 type yieldMsg struct {

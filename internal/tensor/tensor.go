@@ -8,6 +8,8 @@
 // Simulated runs never touch tensor data; functional runs (tests, the
 // `functional` example) use fp32 host buffers regardless of the declared
 // DType, with fp16/int8 semantics applied by value quantization.
+//
+// Paper anchor: the §III-B generality axes (layout, precision) that reuse trades against performance.
 package tensor
 
 import (

@@ -16,6 +16,8 @@
 // a recording into standard tooling formats: WriteChrome emits Chrome
 // trace_event JSON loadable in chrome://tracing and Perfetto, and
 // WritePrometheus emits a Prometheus text-format snapshot.
+//
+// Paper anchor: the §III-A three-thread pipeline rendered as a timeline, per Fig 5.
 package trace
 
 import (

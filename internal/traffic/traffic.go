@@ -8,6 +8,8 @@
 // paper evaluates single cold starts (§IV–§V); this package supplies the
 // beyond-paper traffic under which proactive loading (§III) must decide
 // *what* to load, not just *when* (DESIGN.md §16).
+//
+// Paper anchor: beyond-paper arrival streams (Zipf, diurnal, flash crowds) under which §III proactive loading must choose *what* to load (DESIGN.md §16).
 package traffic
 
 import (

@@ -12,6 +12,8 @@
 // coalescing in the runtime makes replay and demand loads converge safely;
 // stale manifest entries (checksum mismatch against the store) are skipped
 // and counted, never failed on.
+//
+// Paper anchor: §III-A proactive loading extended across process lifetimes (DESIGN.md §12).
 package warmup
 
 import (

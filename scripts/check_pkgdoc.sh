@@ -3,7 +3,9 @@
 # must carry a package comment, and that comment must anchor the package to
 # the source paper — a section reference (§III-A/B/C, §IV–§VI), a figure or
 # table, or an explicit substitution rationale ("stand-in", "analogue",
-# "paper", DESIGN.md pointer). Commands under cmd/ must carry a
+# "paper", DESIGN.md pointer) — and must carry an explicit
+# "// Paper anchor: ..." line naming the section, figure or beyond-paper
+# rationale in one greppable place. Commands under cmd/ must carry a
 # "// Command <name>" doc comment (no paper anchor required — they are
 # drivers, not models). Run from the repository root:
 #
@@ -40,6 +42,10 @@ for dir in $(find internal cmd -type d | sort); do
     doc=$(awk '/^\/\//{buf = buf $0 "\n"; next} /^package /{printf "%s", buf; exit} {buf = ""}' "$src")
     if ! printf '%s' "$doc" | grep -Eq '§|[Pp]aper|Fig[ .]|Table I|stand-in|analogue|DESIGN\.md'; then
         echo "FAIL $dir ($src): package comment cites no paper section or substitution rationale"
+        fail=1
+    fi
+    if ! printf '%s' "$doc" | grep -q '^// Paper anchor: '; then
+        echo "FAIL $dir ($src): package comment has no '// Paper anchor: ...' line"
         fail=1
     fi
 done
