@@ -22,12 +22,22 @@
 package backend
 
 import (
+	"errors"
 	"time"
 
 	"pask/internal/codeobj"
 	"pask/internal/device"
 	"pask/internal/sim"
 )
+
+// ErrDeviceLost is the sentinel wrapped by every flavor's DeviceLostError:
+// the GPU fell off the bus and the registry is terminal. Unlike transient
+// store errors it is not retriable, and unlike permanent object errors it is
+// not negatively cached — the object is fine, the device is gone.
+var ErrDeviceLost = errors.New("device lost")
+
+// IsDeviceLost reports whether err is (or wraps) a device-lost failure.
+func IsDeviceLost(err error) bool { return errors.Is(err, ErrDeviceLost) }
 
 // Module is a loaded code object registered in device memory.
 type Module struct {
@@ -67,6 +77,7 @@ type Stats struct {
 	CoalescedWaits    int // callers that waited on another view's in-flight load
 	PeerFetches       int // misses served by a neighbor GPU's resident copy
 	PeerBytes         int64
+	PeerFetchFails    int // peer transfers that failed (link fault) and fell back to a local load
 }
 
 // TenantStats attributes a shared runtime's loading activity to one view —
@@ -110,10 +121,25 @@ type LoadFaultInjector interface {
 	ExtraLoadLatency(now time.Duration, path string) time.Duration
 }
 
+// LoadLatencyScaler is an optional LoadFaultInjector extension: a multiplier
+// (>= 1) applied to the modeled load time of a load starting at now — the
+// ECC-degradation seam, where a sick GPU loads slower rather than later.
+type LoadLatencyScaler interface {
+	LoadLatencyScale(now time.Duration) float64
+}
+
+// LoadErrorInjector is an optional LoadFaultInjector extension: an injected
+// read error for a load starting at now (nil for none). Errors wrapping
+// codeobj.ErrIO are transient and face the normal retry machinery.
+type LoadErrorInjector interface {
+	ExtraLoadError(now time.Duration, path string) error
+}
+
 // RegistryObserver receives the shared registry's notable moments — the seam
 // the trace recorder implements. RegistryEvent marks instants (kind is one of
 // "evict", "coalesced_wait", "negative_hit", "transient_retry", "peer_fetch",
-// "unload", "reset"); RegistrySample carries gauge samples
+// "peer_fetch_fail", "unload", "reset", "device_lost"); RegistrySample
+// carries gauge samples
 // ("<driver>_resident_bytes", "<driver>_resident_modules"). Both are called
 // with the registry's virtual time.
 type RegistryObserver interface {
@@ -127,11 +153,15 @@ type OnLoadFunc func(path string, start, end time.Duration, err error)
 
 // PeerModule is a neighbor GPU's resident copy of a code object, offered to
 // a loading registry together with the cost of moving it over the host's
-// interconnect.
+// interconnect. A source aware of link health can mark the transfer doomed
+// (Err) or stretched (Stall): the registry pays Stall, then either completes
+// the fetch or — on Err — falls back to a local demand load exactly once.
 type PeerModule struct {
 	Object *codeobj.Object
 	From   string        // peer identifier, for traces
 	Cost   time.Duration // transfer time over the link model
+	Stall  time.Duration // extra link delay before the outcome lands
+	Err    error         // non-nil: the transfer fails after Stall
 }
 
 // PeerSource answers residency queries against neighbor GPUs. PeerLookup
@@ -172,6 +202,9 @@ type Flavor interface {
 	// RegisterResident; ResidentParseError a rejected container there.
 	ResidentLoadError(path string, cause error) error
 	ResidentParseError(path string, cause error) error
+	// DeviceLostError is the driver's rendering of a dead device (wrapping
+	// backend.ErrDeviceLost); every call on a lost registry returns it.
+	DeviceLostError() error
 }
 
 // Backend is the device-backend handle every layer above the driver holds:
@@ -226,6 +259,13 @@ type Backend interface {
 	// and its mapped library binary alive.
 	Unload(path string) bool
 	UnloadAll()
+
+	// MarkDeviceLost drops the GPU off the bus: every resident module
+	// (residents included) is gone and every subsequent load fails
+	// instantly with the flavor's DeviceLostError. Terminal — UnloadAll
+	// resets do not revive a lost device. DeviceLost reports the state.
+	MarkDeviceLost()
+	DeviceLost() bool
 
 	// Tenant views. Attach creates a refcounted view over the shared
 	// state; Detach releases the view's eviction pins; Refs/PinnedPaths

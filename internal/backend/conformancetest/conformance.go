@@ -121,6 +121,7 @@ func Run(t *testing.T, factory Factory) {
 		{"pin-protects", evictionProfile(), testPinProtects},
 		{"reset-spares-residents", profile(), testResetSparesResidents},
 		{"coalesce-inflight", profile(), testCoalesceInflight},
+		{"device-lost", profile(), testDeviceLost},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tc.fn(t, newHarness(t, factory, tc.prof))
@@ -406,6 +407,64 @@ func testCoalesceInflight(t *testing.T, h *harness) {
 		t.Fatalf("coalesced loads finished at %v and %v, want same instant", doneA, doneB)
 	}
 	if st := h.rt.Stats(); st.ModuleLoads != 1 || st.CoalescedWaits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A lost device is terminal: everything resident (mapped residents included)
+// is gone, further loads fail instantly with the flavor's typed device-lost
+// error, the failure is never negatively cached, and an UnloadAll-style
+// reset — the recovery that handles driver preemption — does not resurrect
+// the device.
+func testDeviceLost(t *testing.T, h *harness) {
+	h.run(t, func(p *sim.Proc) {
+		if _, err := h.rt.RegisterResident(p, "conv_a.pko"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.rt.ModuleLoad(p, "conv_b.pko"); err != nil {
+			t.Fatal(err)
+		}
+		h.rt.MarkDeviceLost()
+		if !h.rt.DeviceLost() {
+			t.Fatal("DeviceLost must report true after MarkDeviceLost")
+		}
+		if h.rt.NumLoaded() != 0 || h.rt.Loaded("conv_a.pko") {
+			t.Fatal("device loss must drop every module, residents included")
+		}
+		before := p.Now()
+		_, err := h.rt.ModuleLoad(p, "conv_b.pko")
+		if err == nil {
+			t.Fatal("load on a lost device must fail")
+		}
+		if !backend.IsDeviceLost(err) {
+			t.Fatalf("error %v is not typed as device-lost", err)
+		}
+		if backend.IsTransient(err) {
+			t.Fatalf("device-lost error %v must not look retriable", err)
+		}
+		if !strings.Contains(err.Error(), h.rt.Driver()) {
+			t.Errorf("error %q does not name driver %q", err, h.rt.Driver())
+		}
+		if p.Now() != before {
+			t.Errorf("lost-device load charged %v", p.Now()-before)
+		}
+		if h.rt.FailedPermanently("conv_b.pko") {
+			t.Fatal("device loss must not poison the negative cache")
+		}
+		// ArmReset-style recovery: a reset never revives a lost device.
+		h.rt.UnloadAll()
+		if !h.rt.DeviceLost() {
+			t.Fatal("reset must not clear the lost state")
+		}
+		if _, err := h.rt.ModuleLoad(p, "conv_b.pko"); !backend.IsDeviceLost(err) {
+			t.Fatalf("post-reset load on lost device = %v, want device-lost", err)
+		}
+		if _, err := h.rt.RegisterResident(p, "conv_c.pko"); !backend.IsDeviceLost(err) {
+			t.Fatalf("RegisterResident on lost device = %v, want device-lost", err)
+		}
+		h.rt.MarkDeviceLost() // idempotent
+	})
+	if st := h.rt.Stats(); st.FailedLoads != 2 || st.PermanentFailures != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

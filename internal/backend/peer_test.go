@@ -1,0 +1,125 @@
+package backend_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pask/internal/backend"
+	"pask/internal/codeobj"
+	"pask/internal/sim"
+)
+
+// staticPeer offers one resident object at a fixed cost, optionally marked
+// link-faulted (err/stall) — the smallest PeerSource that exercises the
+// registry's fallback path without a multi-GPU host.
+type staticPeer struct {
+	path  string
+	obj   *codeobj.Object
+	cost  time.Duration
+	stall time.Duration
+	err   error
+
+	lookups int
+}
+
+func (s *staticPeer) PeerLookup(path string) (backend.PeerModule, bool) {
+	if path != s.path {
+		return backend.PeerModule{}, false
+	}
+	s.lookups++
+	return backend.PeerModule{Object: s.obj, From: "peer", Cost: s.cost, Stall: s.stall, Err: s.err}, true
+}
+
+// A peer transfer that dies mid-flap must waste its stall, then fall back to
+// a local demand load exactly once: one ModuleLoads, zero PeerFetches, one
+// PeerFetchFails, and the module ends up resident anyway.
+func TestPeerFetchFaultFallsBackToLocalLoadOnce(t *testing.T) {
+	store := benchStore(t, 1, 8<<10)
+	env, gpu, rt := benchRuntime(store, 0)
+	path := benchPath(0)
+	data, err := store.Get(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := codeobj.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stall = 3 * time.Millisecond
+	peer := &staticPeer{path: path, obj: obj, stall: stall,
+		err: errors.New("link down")}
+	rt.SetPeers(peer)
+
+	env.Spawn("host", func(p *sim.Proc) {
+		defer gpu.CloseAll()
+		start := p.Now()
+		m, lerr := rt.ModuleLoad(p, path)
+		if lerr != nil {
+			t.Errorf("fallback load failed: %v", lerr)
+			return
+		}
+		if m == nil || m.Path != path {
+			t.Errorf("module = %+v", m)
+		}
+		if elapsed := p.Now() - start; elapsed < stall {
+			t.Errorf("load took %v, want >= the %v link stall", elapsed, stall)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rt.Stats()
+	if st.PeerFetchFails != 1 {
+		t.Errorf("PeerFetchFails = %d, want 1", st.PeerFetchFails)
+	}
+	if st.PeerFetches != 0 || st.PeerBytes != 0 {
+		t.Errorf("failed transfer counted as a peer fetch: %+v", st)
+	}
+	if st.ModuleLoads != 1 || st.FailedLoads != 0 {
+		t.Errorf("fallback must be exactly one local load: %+v", st)
+	}
+	if peer.lookups != 1 {
+		t.Errorf("peer consulted %d times, want 1", peer.lookups)
+	}
+	if !rt.Loaded(path) {
+		t.Error("module not resident after fallback")
+	}
+}
+
+// A stalled-but-alive link stretches the transfer without failing it: still
+// one PeerFetches, zero ModuleLoads, zero PeerFetchFails.
+func TestPeerFetchStallCompletes(t *testing.T) {
+	store := benchStore(t, 1, 8<<10)
+	env, gpu, rt := benchRuntime(store, 0)
+	path := benchPath(0)
+	data, err := store.Get(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := codeobj.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stall = 2 * time.Millisecond
+	rt.SetPeers(&staticPeer{path: path, obj: obj, cost: time.Microsecond, stall: stall})
+
+	env.Spawn("host", func(p *sim.Proc) {
+		defer gpu.CloseAll()
+		start := p.Now()
+		if _, lerr := rt.ModuleLoad(p, path); lerr != nil {
+			t.Errorf("stalled peer fetch failed: %v", lerr)
+			return
+		}
+		if elapsed := p.Now() - start; elapsed < stall {
+			t.Errorf("fetch took %v, want >= the %v stall", elapsed, stall)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.PeerFetches != 1 || st.ModuleLoads != 0 || st.PeerFetchFails != 0 {
+		t.Errorf("stats = %+v, want exactly one peer fetch", st)
+	}
+}

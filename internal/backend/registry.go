@@ -25,6 +25,8 @@ type shared struct {
 	refs        map[string]int   // path -> live tenant pins (eviction guard)
 	driverLock  *sim.Resource
 	ctxReady    bool
+	lost        bool  // device fell off the bus; terminal
+	lostErr     error // cached flavor.DeviceLostError()
 	stats       Stats
 	retry       RetryPolicy
 	loadFaults  LoadFaultInjector
@@ -345,6 +347,14 @@ func (rt *Registry) newModule(path string, obj *codeobj.Object, at time.Duration
 // known-bad object.
 func (rt *Registry) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	sh := rt.sh
+	if sh.lost {
+		// A dead device fails instantly: the driver call never reaches the
+		// store, costs no virtual time, and is not negatively cached (the
+		// object is fine — the device is gone).
+		sh.stats.FailedLoads++
+		rt.tstats.FailedLoads++
+		return nil, sh.lostErr
+	}
 	if m, ok := sh.modules[path]; ok {
 		sh.stats.LoadHits++
 		rt.tstats.SharedHits++
@@ -373,6 +383,11 @@ func (rt *Registry) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	start := p.Now()
 	var viaPeer bool
 	st.mod, viaPeer, st.err = rt.loadOrPeer(p, path)
+	if sh.lost && st.err == nil {
+		// The device died while the load was in flight: the driver call
+		// completes into a void and the caller sees the device-lost error.
+		st.mod, st.err = nil, sh.lostErr
+	}
 
 	delete(sh.inflight, path)
 	if st.err == nil {
@@ -393,7 +408,7 @@ func (rt *Registry) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 	} else {
 		sh.stats.FailedLoads++
 		rt.tstats.FailedLoads++
-		if !IsTransient(st.err) {
+		if !IsTransient(st.err) && !IsDeviceLost(st.err) {
 			sh.failed[path] = st.err
 			sh.stats.PermanentFailures++
 		}
@@ -414,17 +429,29 @@ func (rt *Registry) ModuleLoad(p *sim.Proc, path string) (*Module, error) {
 // when one is offered cheaper than the local store-load estimate, otherwise
 // through the retrying store path. The peer transfer pays the driver's fixed
 // module registration cost plus the link cost, under the driver lock like
-// any other load.
+// any other load. A link-faulted offer (PeerModule.Err) wastes its Stall,
+// then falls back to the local demand load exactly once — the fallback is a
+// plain store load, so it counts in ModuleLoads and never in PeerFetches.
 func (rt *Registry) loadOrPeer(p *sim.Proc, path string) (*Module, bool, error) {
 	if sh := rt.sh; sh.peers != nil {
 		if pm, ok := sh.peers.PeerLookup(path); ok && pm.Object != nil &&
 			pm.Object.Arch == rt.gpu.Profile.Arch {
 			est := rt.gpu.Profile.LoadTime(int64(pm.Object.Size()), rt.loadSymbolCount(pm.Object))
 			if cost := rt.gpu.Profile.ModuleLoadFixed + pm.Cost; cost < est {
-				sh.driverLock.Acquire(p)
-				p.Sleep(cost)
-				sh.driverLock.Release()
-				return rt.newModule(path, pm.Object, p.Now(), false), true, nil
+				if pm.Err != nil {
+					// The link is down: the transfer dies after the stall and
+					// the miss degrades to a local demand load.
+					if pm.Stall > 0 {
+						p.Sleep(pm.Stall)
+					}
+					sh.stats.PeerFetchFails++
+					sh.observe(rt.env, "peer_fetch_fail", path)
+				} else {
+					sh.driverLock.Acquire(p)
+					p.Sleep(cost + pm.Stall)
+					sh.driverLock.Release()
+					return rt.newModule(path, pm.Object, p.Now(), false), true, nil
+				}
 			}
 		}
 	}
@@ -496,6 +523,14 @@ func (rt *Registry) loadLocked(p *sim.Proc, path string) (*Module, error) {
 		if d := rt.sh.loadFaults.ExtraLoadLatency(p.Now(), path); d > 0 {
 			p.Sleep(d)
 		}
+		if li, ok := rt.sh.loadFaults.(LoadErrorInjector); ok {
+			if ierr := li.ExtraLoadError(p.Now(), path); ierr != nil {
+				// The injected read error still costs the fixed driver
+				// overhead, like any failed open.
+				p.Sleep(rt.gpu.Profile.ModuleLoadFixed)
+				return nil, rt.sh.flavor.LoadError(path, ierr)
+			}
+		}
 	}
 	obj, perr := codeobj.Parse(data)
 	if perr != nil {
@@ -507,7 +542,13 @@ func (rt *Registry) loadLocked(p *sim.Proc, path string) (*Module, error) {
 		p.Sleep(rt.gpu.Profile.ModuleLoadFixed)
 		return nil, rt.sh.flavor.ArchError(path, obj.Arch, arch)
 	}
-	p.Sleep(rt.gpu.Profile.LoadTime(int64(obj.Size()), rt.loadSymbolCount(obj)))
+	load := rt.gpu.Profile.LoadTime(int64(obj.Size()), rt.loadSymbolCount(obj))
+	if ls, ok := rt.sh.loadFaults.(LoadLatencyScaler); ok {
+		if f := ls.LoadLatencyScale(p.Now()); f > 1 {
+			load = time.Duration(float64(load) * f)
+		}
+	}
+	p.Sleep(load)
 	return rt.newModule(path, obj, p.Now(), false), nil
 }
 
@@ -575,6 +616,9 @@ func (rt *Registry) GetFunction(p *sim.Proc, path, name string) (*Function, erro
 // tenant attaching after another view already mapped the object pays
 // nothing.
 func (rt *Registry) RegisterResident(p *sim.Proc, path string) (*Module, error) {
+	if rt.sh.lost {
+		return nil, rt.sh.lostErr
+	}
 	if m, ok := rt.sh.modules[path]; ok {
 		rt.pin(path)
 		return m, nil
@@ -622,6 +666,7 @@ func (rt *Registry) Unload(path string) bool {
 // UnloadAll evicts every non-resident module, modeling a device reset that
 // keeps the process (and its mapped library binary) alive. Tenant pins
 // survive the reset: they record intent, and the next ModuleLoad re-loads.
+// A reset never revives a lost device — that state is terminal.
 func (rt *Registry) UnloadAll() {
 	for path, m := range rt.sh.modules {
 		if !m.resident {
@@ -631,6 +676,28 @@ func (rt *Registry) UnloadAll() {
 	rt.sh.observe(rt.env, "reset", "")
 	rt.sampleResidency()
 }
+
+// MarkDeviceLost drops the GPU off the bus. Every module — residents
+// included, unlike an UnloadAll reset — is gone with the device memory, and
+// every subsequent load on any view fails instantly with the flavor's
+// device-lost error. Terminal and idempotent: no reset or recovery path
+// revives a lost device; the serving layer evacuates its tenants instead.
+func (rt *Registry) MarkDeviceLost() {
+	sh := rt.sh
+	if sh.lost {
+		return
+	}
+	sh.lost = true
+	sh.lostErr = sh.flavor.DeviceLostError()
+	for path := range sh.modules {
+		sh.removeModule(path)
+	}
+	sh.observe(rt.env, "device_lost", "")
+	rt.sampleResidency()
+}
+
+// DeviceLost reports whether the device has been marked lost.
+func (rt *Registry) DeviceLost() bool { return rt.sh.lost }
 
 // Preload loads every listed module, stopping at the first error. Used to
 // realize the paper's Ideal scheme (all solutions resident before timing

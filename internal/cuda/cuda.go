@@ -83,6 +83,12 @@ func (Flavor) ResidentParseError(path string, cause error) error {
 	return fmt.Errorf("cuda: RegisterFatBinary %q: CUDA_ERROR_INVALID_IMAGE: %w", path, cause)
 }
 
+// DeviceLostError is the CUDA rendering of a dead device: every driver call
+// on a lost GPU returns CUDA_ERROR_DEVICE_LOST.
+func (Flavor) DeviceLostError() error {
+	return fmt.Errorf("cuda: CUDA_ERROR_DEVICE_LOST: %w", backend.ErrDeviceLost)
+}
+
 // NewRuntime creates a cold CUDA-flavored runtime over the given device and
 // code-object store and returns its root view.
 func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *codeobj.Store) *Runtime {

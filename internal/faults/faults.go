@@ -15,7 +15,50 @@
 // same storm. A nil *Injector is inert, and a disabled rate costs nothing on
 // the production path.
 //
-// Paper anchor: beyond-paper fault injection at the §III-A pipeline's storage/driver/find seams (DESIGN.md §9).
+// # Plan spec grammar
+//
+// ParsePlan decodes a comma-separated "key=value" spec. Rates are floats in
+// [0,1]; *_ms keys are non-negative millisecond counts (fractions allowed);
+// GPU keys are non-negative host GPU indices. Unknown keys are returned to
+// the caller untouched (command-line tools piggyback scenario keys on the
+// same flag). The full key set:
+//
+//	seed=<int>              stream selector; same plan+seed => same faults
+//	transient=<rate>        per-read retriable store I/O error
+//	burst=<int>             cap on consecutive transient failures per path
+//	permanent=<rate>        per-path always-corrupt object bytes
+//	spike=<rate>            per-load latency spike probability
+//	spike_ms=<ms>           spike magnitude (default 2ms)
+//	disable=<rate>          per-solution find-path outage
+//	reset_ms=<ms>           device reset (UnloadAll) at this virtual time
+//	slow_ms=<ms>            sustained extra load latency inside the window
+//	slow_from_ms=<ms>       slow-loader window start
+//	slow_until_ms=<ms>      slow-loader window end (0 = forever)
+//	flood_n=<int>           synthetic request flood size
+//	flood_ms=<ms>           flood start time
+//	flood_gap_ms=<ms>       flood inter-arrival gap (0 = simultaneous)
+//	img_corrupt=<rate>      per-pull cache-image corruption
+//	img_truncate=<rate>     per-attempt cache-image truncation
+//	img_kill=<rate>         per-node death mid-pull
+//	gpu_kill_ms=<ms>        scheduled device loss at this virtual time
+//	gpu_kill=<gpu>          which host GPU index the scheduled loss hits
+//	gpu_kill_rate=<rate>    per-GPU seeded (Poisson-style) device loss
+//	gpu_kill_from_ms=<ms>   seeded-loss window start
+//	gpu_kill_until_ms=<ms>  seeded-loss window end (default start+50ms)
+//	degrade_factor=<f>      load-latency multiplier (>= 1) inside the window
+//	degrade_transient=<rate> elevated per-read transient rate inside the window
+//	degrade_from_ms=<ms>    degradation window start
+//	degrade_until_ms=<ms>   degradation window end (0 = forever)
+//	degrade_gpu=<gpu>       which host GPU index degrades
+//	link_flap_from_ms=<ms>  link-flap window start
+//	link_flap_until_ms=<ms> link-flap window end (0 = forever)
+//	link_flap_gpu=<gpu>     GPU whose links flap (every link touching it)
+//	link_flap_stall_ms=<ms> >0: transfers stall this long but complete;
+//	                        0 (default): transfers fail outright
+//
+// A window whose end is positive but not after its start is rejected.
+//
+// Paper anchor: beyond-paper fault injection at the §III-A pipeline's storage/driver/find seams (DESIGN.md §9, §17).
 package faults
 
 import (
@@ -92,6 +135,45 @@ type Plan struct {
 	// NodeKillRate is the per-node probability that the node dies mid-pull
 	// and never finishes seeding — it serves cold.
 	NodeKillRate float64
+
+	// Device failure domains (DESIGN.md §17). These target whole GPUs on a
+	// multi-GPU host rather than individual loads, and are consumed by the
+	// serving layer's health monitor and the backend's device-lost state.
+
+	// GPUKillAt, when positive, kills host GPU GPUKillIdx at that virtual
+	// time: the device drops off the bus and every subsequent driver call
+	// fails with the flavor's device-lost error. Terminal — no reset revives.
+	GPUKillAt  time.Duration
+	GPUKillIdx int
+	// GPUKillRate is the per-GPU seeded probability of an unscheduled device
+	// loss; a condemned GPU dies at a seeded instant inside
+	// [GPUKillFrom, GPUKillUntil) (default window: 50ms from GPUKillFrom).
+	GPUKillRate  float64
+	GPUKillFrom  time.Duration
+	GPUKillUntil time.Duration
+
+	// DegradeFactor (>= 1) multiplies modeled load latency on DegradeGPU
+	// while the degradation window [DegradeFrom, DegradeUntil) is open —
+	// the ECC-scrubbing / thermal-throttle brownout of a single device.
+	// DegradeUntil of zero means "until forever".
+	DegradeFactor float64
+	// DegradeTransient is the elevated per-read transient error rate the
+	// degraded GPU's loads face inside the window (capped by the same
+	// consecutive-failure burst limit as TransientRate, so retry can win).
+	DegradeTransient float64
+	DegradeFrom      time.Duration
+	DegradeUntil     time.Duration
+	DegradeGPU       int
+
+	// Link flap: every host link touching LinkFlapGPU misbehaves while
+	// [LinkFlapFrom, LinkFlapUntil) is open. With LinkFlapStall zero the
+	// peer transfer fails outright (the fetcher falls back to a local demand
+	// load); with it positive the transfer stalls that long but completes.
+	// LinkFlapUntil of zero means "until forever".
+	LinkFlapFrom  time.Duration
+	LinkFlapUntil time.Duration
+	LinkFlapGPU   int
+	LinkFlapStall time.Duration
 }
 
 func (p Plan) burst() int {
@@ -118,6 +200,10 @@ type Stats struct {
 	PullCorrupts    int // image pulls landed with flipped bytes
 	PullTruncates   int // image pull attempts that died partway
 	NodeKills       int // nodes killed mid-pull
+	GPULosses       int // GPUs lost to scheduled or seeded device death
+	DegradedLoads   int // loads stretched by the degradation multiplier
+	DegradedFaults  int // reads failed by the degradation transient rate
+	LinkFaults      int // peer transfers failed or stalled by a link flap
 }
 
 // Injector implements the fault plan. It satisfies codeobj.FaultHook (store
@@ -126,14 +212,17 @@ type Stats struct {
 type Injector struct {
 	plan Plan
 
-	mu     sync.Mutex
-	exempt map[string]bool
-	readN  map[string]int  // store accesses per path
-	burstN map[string]int  // consecutive transient failures per path
-	loadN  map[string]int  // latency-spike rolls per path
-	killed map[string]bool // nodes already counted dead (kill fires once)
-	armed  bool
-	stats  Stats
+	mu       sync.Mutex
+	exempt   map[string]bool
+	readN    map[string]int  // store accesses per path
+	burstN   map[string]int  // consecutive transient failures per path
+	loadN    map[string]int  // latency-spike rolls per path
+	killed   map[string]bool // nodes already counted dead (kill fires once)
+	degN     map[string]int  // degraded-read rolls per (gpu, path)
+	degBurst map[string]int  // consecutive degradation failures per (gpu, path)
+	armed    bool
+	armedGPU map[int]bool // GPU-death watchers already spawned, per GPU
+	stats    Stats
 }
 
 // New builds an injector for the plan. Rates are clamped to [0,1].
@@ -153,13 +242,18 @@ func New(plan Plan) *Injector {
 	clamp(&plan.ImgCorruptRate)
 	clamp(&plan.ImgTruncateRate)
 	clamp(&plan.NodeKillRate)
+	clamp(&plan.GPUKillRate)
+	clamp(&plan.DegradeTransient)
 	return &Injector{
-		plan:   plan,
-		exempt: make(map[string]bool),
-		readN:  make(map[string]int),
-		burstN: make(map[string]int),
-		loadN:  make(map[string]int),
-		killed: make(map[string]bool),
+		plan:     plan,
+		exempt:   make(map[string]bool),
+		readN:    make(map[string]int),
+		burstN:   make(map[string]int),
+		loadN:    make(map[string]int),
+		killed:   make(map[string]bool),
+		degN:     make(map[string]int),
+		degBurst: make(map[string]int),
+		armedGPU: make(map[int]bool),
 	}
 }
 
@@ -421,6 +515,13 @@ func ParsePlan(spec string) (Plan, map[string]string, error) {
 			}
 			return time.Duration(f * float64(time.Millisecond)), nil
 		}
+		gpuIdx := func() (int, error) {
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("faults: %s=%q is not a host GPU index", key, val)
+			}
+			return n, nil
+		}
 		var err error
 		switch key {
 		case "transient":
@@ -470,11 +571,56 @@ func ParsePlan(spec string) (Plan, map[string]string, error) {
 			p.ImgTruncateRate, err = rate()
 		case "img_kill":
 			p.NodeKillRate, err = rate()
+		case "gpu_kill_ms":
+			p.GPUKillAt, err = ms()
+		case "gpu_kill":
+			p.GPUKillIdx, err = gpuIdx()
+		case "gpu_kill_rate":
+			p.GPUKillRate, err = rate()
+		case "gpu_kill_from_ms":
+			p.GPUKillFrom, err = ms()
+		case "gpu_kill_until_ms":
+			p.GPUKillUntil, err = ms()
+		case "degrade_factor":
+			var f float64
+			f, err = strconv.ParseFloat(val, 64)
+			if err != nil || f < 1 {
+				err = fmt.Errorf("faults: degrade_factor=%q is not a multiplier >= 1", val)
+			}
+			p.DegradeFactor = f
+		case "degrade_transient":
+			p.DegradeTransient, err = rate()
+		case "degrade_from_ms":
+			p.DegradeFrom, err = ms()
+		case "degrade_until_ms":
+			p.DegradeUntil, err = ms()
+		case "degrade_gpu":
+			p.DegradeGPU, err = gpuIdx()
+		case "link_flap_from_ms":
+			p.LinkFlapFrom, err = ms()
+		case "link_flap_until_ms":
+			p.LinkFlapUntil, err = ms()
+		case "link_flap_gpu":
+			p.LinkFlapGPU, err = gpuIdx()
+		case "link_flap_stall_ms":
+			p.LinkFlapStall, err = ms()
 		default:
 			leftover[key] = val
 		}
 		if err != nil {
 			return p, nil, err
+		}
+	}
+	for _, w := range []struct {
+		name        string
+		from, until time.Duration
+	}{
+		{"gpu_kill", p.GPUKillFrom, p.GPUKillUntil},
+		{"degrade", p.DegradeFrom, p.DegradeUntil},
+		{"link_flap", p.LinkFlapFrom, p.LinkFlapUntil},
+	} {
+		if w.until > 0 && w.until <= w.from {
+			return p, nil, fmt.Errorf("faults: %s window [%v, %v) is empty", w.name, w.from, w.until)
 		}
 	}
 	return p, leftover, nil

@@ -107,6 +107,12 @@ func (Flavor) ResidentParseError(path string, cause error) error {
 	return fmt.Errorf("hip: RegisterResident %q: %w", path, cause)
 }
 
+// DeviceLostError is the HIP rendering of a dead device: every driver call
+// on a lost GPU returns hipErrorDeviceLost.
+func (Flavor) DeviceLostError() error {
+	return fmt.Errorf("hip: hipErrorDeviceLost: %w", backend.ErrDeviceLost)
+}
+
 // NewRuntime creates a cold HIP-flavored runtime over the given device and
 // code-object store and returns its root view.
 func NewRuntime(env *sim.Env, gpu *device.GPU, host device.HostProfile, store *codeobj.Store) *Runtime {

@@ -6,6 +6,7 @@ import (
 
 	"pask/internal/experiments"
 	"pask/internal/onnx/zoo"
+	"pask/internal/serving"
 	"pask/internal/trace"
 )
 
@@ -92,6 +93,9 @@ func (s *Server) handleExperimentRunV1(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, statusFromErr(err), err)
 		return
+	}
+	if fb, ok := res.Bench.(*serving.FailoverBench); ok {
+		s.storeHealth(fb)
 	}
 	resp := &ExperimentResponse{
 		Schema: experiments.EnvelopeSchema, Experiment: e.Name, Result: res,

@@ -1,0 +1,66 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"pask/internal/serving"
+)
+
+// HealthGPU is one device's entry in the health endpoint: its identity on
+// the canonical failover fleet and where it sits on the health ladder
+// (DESIGN.md §17).
+type HealthGPU struct {
+	GPU    int    `json:"gpu"`
+	Driver string `json:"driver"`
+	Arch   string `json:"arch"`
+	Node   int    `json:"node"`
+	State  string `json:"state"`
+}
+
+// HealthResponse is the GET /v1/health payload. Status reports service
+// liveness and is always "ok" when the handler answers; GPUs carries the
+// per-device health states of the most recent failover run's warm arm on
+// the first fleet — the monitored host this server last simulated. Before
+// any failover run the list is empty.
+type HealthResponse struct {
+	Schema int         `json:"schema"`
+	Status string      `json:"status"`
+	GPUs   []HealthGPU `json:"gpus"`
+}
+
+// storeHealth captures the per-GPU final health states out of a failover
+// bench, preferring the warm-failover arm of the first fleet (the canonical
+// monitored host).
+func (s *Server) storeHealth(bench *serving.FailoverBench) {
+	if len(bench.Fleets) == 0 {
+		return
+	}
+	fleet := &bench.Fleets[0]
+	arm := fleet.Arm("gpu-death/warm")
+	if arm == nil && len(fleet.Arms) > 0 {
+		arm = &fleet.Arms[0]
+	}
+	if arm == nil {
+		return
+	}
+	gpus := make([]HealthGPU, 0, len(arm.GPUs))
+	for i, g := range arm.GPUs {
+		gpus = append(gpus, HealthGPU{
+			GPU: i, Driver: g.Driver, Arch: g.Arch, Node: g.Node, State: g.FinalState,
+		})
+	}
+	s.mu.Lock()
+	s.health = gpus
+	s.mu.Unlock()
+}
+
+// handleHealth serves GET /v1/health.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	gpus := s.health
+	s.mu.Unlock()
+	if gpus == nil {
+		gpus = []HealthGPU{}
+	}
+	writeJSON(w, http.StatusOK, &HealthResponse{Schema: 1, Status: "ok", GPUs: gpus})
+}

@@ -71,6 +71,10 @@ type Server struct {
 	// its validation ladder, and every rejection lands in its stats (and in
 	// /metrics as pask_cacheimg_*).
 	images *cacheimg.Store
+	// health is the per-GPU state snapshot served at GET /v1/health,
+	// captured from the most recent failover experiment run (empty until
+	// one runs).
+	health []HealthGPU
 }
 
 // New returns a ready-to-serve handler.
@@ -98,6 +102,7 @@ func New() *Server {
 	s.mux.HandleFunc("GET /v1/warmup/{model}", s.handleWarmupProfile)
 	s.mux.HandleFunc("GET /v1/cacheimages", s.handleCacheImagesList)
 	s.mux.HandleFunc("POST /v1/cacheimages", s.handleCacheImagesBuild)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Deprecated unversioned aliases: same behavior, plus a Deprecation
 	// header naming the successor route.

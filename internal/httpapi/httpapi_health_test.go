@@ -1,0 +1,61 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// GET /v1/health answers before any failover run (empty GPU list, status
+// ok) and, after one, carries the per-GPU final health states of the
+// monitored fleet — the dead victim included.
+func TestHealthEndpoint(t *testing.T) {
+	srv := New()
+
+	resp, data := getFull(t, srv, "/v1/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(data, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Schema != 1 || hr.Status != "ok" {
+		t.Fatalf("envelope {schema:%d, status:%q}, want {1, ok}", hr.Schema, hr.Status)
+	}
+	if len(hr.GPUs) != 0 {
+		t.Fatalf("pre-run health lists %d GPUs, want none", len(hr.GPUs))
+	}
+
+	if resp, data := postJSON(t, srv, "/v1/experiments/failover", `{"quick": true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover run: status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, data = getFull(t, srv, "/v1/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	hr = HealthResponse{}
+	if err := json.Unmarshal(data, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" {
+		t.Fatalf("status %q, want ok", hr.Status)
+	}
+	if len(hr.GPUs) != 4 {
+		t.Fatalf("health lists %d GPUs, want the 4-GPU fleet: %s", len(hr.GPUs), data)
+	}
+	states := map[string]int{}
+	for i, g := range hr.GPUs {
+		if g.GPU != i {
+			t.Errorf("gpu %d listed under index %d", i, g.GPU)
+		}
+		if g.Driver == "" || g.Arch == "" {
+			t.Errorf("gpu %d missing identity: %+v", i, g)
+		}
+		states[g.State]++
+	}
+	if states["dead"] != 1 || states["healthy"] != 3 {
+		t.Errorf("final states %v, want one dead victim and three healthy survivors", states)
+	}
+}

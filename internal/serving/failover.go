@@ -1,0 +1,599 @@
+package serving
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pask/internal/backend"
+	"pask/internal/cacheimg"
+	"pask/internal/codeobj"
+	"pask/internal/device"
+	"pask/internal/experiments"
+	"pask/internal/faults"
+	"pask/internal/sim"
+	"pask/internal/trace"
+	"pask/internal/warmup"
+)
+
+// FailoverConfig parameterizes the GPU failure-domain experiment: a
+// heterogeneous 4-GPU fleet serving steady tenant request streams while one
+// device dies (or degrades, or loses a link) mid-stream, with the health
+// monitor driving tenant evacuation. The zero value runs three models, nine
+// tenants and all three paper devices.
+type FailoverConfig struct {
+	Models   []string         // zoo abbreviations (default alex, res, vgg)
+	Batch    int              // default 1
+	Profiles []device.Profile // primary fleet devices (default all three paper profiles)
+	Requests int              // requests per tenant (default 8)
+	Interval time.Duration    // tenant arrival gap (default 4ms)
+	Gap      time.Duration    // think time between a tenant's requests (default 6ms)
+	KillAt   time.Duration    // when the victim GPU falls off the bus (default 45ms)
+	FlapFor  time.Duration    // link-flap window length from KillAt (default 30ms)
+	Degrade  time.Duration    // ECC-degradation window length (default 25ms)
+	Settle   time.Duration    // post-stream dwell so quarantined GPUs can rejoin (default 40ms)
+	Slots    int              // tenant slots per GPU (default len(Models)+1)
+	Quick    bool             // CI smoke size: two models, five requests
+	Rec      *trace.Recorder  // optional: records the first fleet's warm-failover arm
+}
+
+// Fill applies the documented defaults to unset fields.
+func (c *FailoverConfig) Fill() {
+	if c.Quick {
+		if len(c.Models) == 0 {
+			c.Models = []string{"alex", "res"}
+		}
+		if c.Requests <= 0 {
+			c.Requests = 5
+		}
+	}
+	if len(c.Models) == 0 {
+		c.Models = []string{"alex", "res", "vgg"}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = device.Profiles()
+	}
+	if c.Requests <= 0 {
+		c.Requests = 8
+	}
+	if c.Interval <= 0 {
+		c.Interval = 4 * time.Millisecond
+	}
+	if c.Gap <= 0 {
+		c.Gap = 6 * time.Millisecond
+	}
+	if c.KillAt <= 0 {
+		c.KillAt = 45 * time.Millisecond
+	}
+	if c.FlapFor <= 0 {
+		// Must cover the evacuees' first loads on the spare, which trail the
+		// kill by a full context init (tens of ms on every profile).
+		c.FlapFor = 150 * time.Millisecond
+	}
+	if c.Degrade <= 0 {
+		// Long enough that the victim's first module loads — which start
+		// only after tens of ms of context init (110ms on the 6900XT) —
+		// fall inside the window on every profile with room for the error
+		// cadence to trip the monitor.
+		c.Degrade = 250 * time.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 40 * time.Millisecond
+	}
+	if c.Slots <= 0 {
+		c.Slots = len(c.Models) + 1
+	}
+}
+
+// Tenants is the arrival count: one tenant per model on each of the three
+// hosting GPUs (the spare starts empty by design).
+func (c *FailoverConfig) Tenants() int { return 3 * len(c.Models) }
+
+// FailoverGPU is one device's share of an arm's outcome, including where it
+// ended on the health ladder.
+type FailoverGPU struct {
+	Driver         string `json:"driver"`
+	Arch           string `json:"arch"`
+	Node           int    `json:"node"`
+	FinalState     string `json:"final_state"`
+	ModuleLoads    int    `json:"module_loads"`
+	PeerFetches    int    `json:"peer_fetches"`
+	PeerFetchFails int    `json:"peer_fetch_fails"`
+}
+
+// FailoverArm is the outcome of one fault scenario on one fleet.
+type FailoverArm struct {
+	Name           string        `json:"name"`
+	Peering        bool          `json:"peering"`
+	Images         bool          `json:"images"`
+	Served         int           `json:"served"`
+	Evacuated      int           `json:"evacuated"`
+	Failed         int           `json:"failed"`
+	Evacuations    int           `json:"evacuations"`  // monitor transitions into quarantined/dead
+	EvacTenants    int           `json:"evac_tenants"` // tenants that relocated at least once
+	ImageAttaches  int           `json:"image_attaches"`
+	MeanTTFIMs     float64       `json:"ttfi_mean_ms"`      // steady-state served requests
+	MeanEvacMs     float64       `json:"mean_evac_ttfi_ms"` // relocation through first inference
+	PeerFetches    int           `json:"peer_fetches"`
+	PeerFetchFails int           `json:"peer_fetch_fails"`
+	ModuleLoads    int           `json:"module_loads"`
+	GPUs           []FailoverGPU `json:"gpus"`
+}
+
+// FailoverFleet is one heterogeneous fleet's full scenario sweep.
+type FailoverFleet struct {
+	Primary   string        `json:"primary"`
+	Secondary string        `json:"secondary"`
+	Arms      []FailoverArm `json:"arms"`
+}
+
+// Arm returns the named arm, or nil.
+func (f *FailoverFleet) Arm(name string) *FailoverArm {
+	for i := range f.Arms {
+		if f.Arms[i].Name == name {
+			return &f.Arms[i]
+		}
+	}
+	return nil
+}
+
+// FailoverBench is the machine-readable payload of the experiment
+// (BENCH_failover.json).
+type FailoverBench struct {
+	Models   []string        `json:"models"`
+	Batch    int             `json:"batch"`
+	Tenants  int             `json:"tenants"`
+	Requests int             `json:"requests_per_tenant"`
+	Fleets   []FailoverFleet `json:"fleets"`
+}
+
+// The four arms every fleet runs. Cold and warm share the same scheduled
+// GPU death; they differ only in what the evacuated tenants can salvage.
+const (
+	armColdRespawn  = "gpu-death/cold"
+	armWarmFailover = "gpu-death/warm"
+	armLinkFlap     = "gpu-death/link-flap"
+	armDegraded     = "ecc-degraded"
+)
+
+// failoverScenario describes one arm's fault plan and salvage levers.
+type failoverScenario struct {
+	name    string
+	peering bool // cross-GPU cache peering on the fleet
+	images  bool // cache-image attach + manifest replay on evacuation
+	plan    func(cfg *FailoverConfig) faults.Plan
+	flap    bool // install the injector as the host's link-fault source
+}
+
+func failoverScenarios() []failoverScenario {
+	kill := func(cfg *FailoverConfig) faults.Plan {
+		return faults.Plan{GPUKillAt: cfg.KillAt, GPUKillIdx: failoverVictim}
+	}
+	return []failoverScenario{
+		{name: armColdRespawn, peering: false, images: false, plan: kill},
+		{name: armWarmFailover, peering: true, images: true, plan: kill},
+		{name: armLinkFlap, peering: true, images: true, flap: true,
+			plan: func(cfg *FailoverConfig) faults.Plan {
+				p := kill(cfg)
+				p.LinkFlapFrom = cfg.KillAt
+				p.LinkFlapUntil = cfg.KillAt + cfg.FlapFor
+				p.LinkFlapGPU = failoverSpare
+				return p
+			}},
+		{name: armDegraded, peering: true, images: true,
+			plan: func(cfg *FailoverConfig) faults.Plan {
+				// The window covers the victim's tenant bring-up loads: with
+				// nothing resident anywhere yet those are local (peering has
+				// nothing to offer), so the injected ECC faults land on the
+				// registry counters the monitor scrapes. Rejoin does not wait
+				// for the window — once the tenants evacuate, the idle GPU
+				// polls clean and serves out its probation.
+				return faults.Plan{Seed: 11, DegradeGPU: failoverVictim,
+					DegradeFactor: 3, DegradeTransient: 0.9,
+					DegradeUntil: cfg.Degrade}
+			}},
+	}
+}
+
+// Fleet roles: the victim dies in the death arms and degrades (then
+// recovers) in the ECC arm; the twin carries same-ISA residency the warm
+// arms peer-fetch from; the spare starts empty and absorbs evacuees; the
+// cross GPU is the cross-vendor device that keeps the fleet heterogeneous.
+const (
+	failoverVictim = 0 // primary ISA, NUMA node 0
+	failoverTwin   = 1 // primary ISA, NUMA node 0
+	failoverSpare  = 2 // primary ISA, NUMA node 1
+	failoverCross  = 3 // secondary ISA, NUMA node 1
+)
+
+// Failover runs the failure-domain sweep: for each primary profile, a
+// four-GPU fleet (three primary + one cross-vendor secondary) serves steady
+// per-tenant request streams while the health monitor watches. The cold and
+// warm arms kill the victim GPU mid-stream and differ only in salvage —
+// warm evacuees peer-refetch kernels still resident on the surviving twin
+// and replay an attached cache image, cold evacuees demand-load everything
+// from the store. The link-flap arm additionally fails the spare's links
+// during the evacuation so peer transfers fall back to local loads, and the
+// degraded arm walks the full ladder: ECC-style degradation on the twin,
+// quarantine, evacuation, probation, rejoin. The experiment itself asserts
+// zero failed requests everywhere and that warm evacuation TTFI is strictly
+// below cold respawn on every fleet.
+func Failover(cfg FailoverConfig) (*experiments.Table, *FailoverBench, error) {
+	cfg.Fill()
+	bench := &FailoverBench{Models: cfg.Models, Batch: cfg.Batch,
+		Tenants: cfg.Tenants(), Requests: cfg.Requests}
+	table := &experiments.Table{
+		ID: "failover",
+		Title: fmt.Sprintf("GPU failure domains: evacuation + warm failover on 4-GPU fleets (%s, %d tenants x %d requests)",
+			join(cfg.Models), cfg.Tenants(), cfg.Requests),
+		Headers: []string{"fleet", "arm", "served", "evac", "failed", "mean_evac_ms", "peer_fetches", "peer_fails", "health"},
+	}
+
+	imgDir, err := os.MkdirTemp("", "pask-failover-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(imgDir)
+
+	for fi, primary := range cfg.Profiles {
+		secondary := secondaryFor(primary)
+		fleet := FailoverFleet{Primary: primary.Name, Secondary: secondary.Name}
+
+		setups := map[string]map[string]*experiments.ModelSetup{}
+		for _, prof := range []device.Profile{primary, secondary} {
+			ss, err := experiments.PrepareModelsShared(cfg.Models, cfg.Batch, prof)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serving: failover prepare %s: %w", prof.Name, err)
+			}
+			setups[prof.Arch] = ss
+		}
+		objects, err := distinctObjectsByArch(setups, cfg.Models)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// One image store per fleet, holding a pre-built image of every
+		// primary-ISA model — what PR 4's fleet distribution would have
+		// staged on the host before the failure.
+		images, err := buildFailoverImages(imgDir, fi, setups[primary.Arch], cfg.Models)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		for _, sc := range failoverScenarios() {
+			var rec *trace.Recorder
+			if fi == 0 && sc.name == armWarmFailover {
+				rec = cfg.Rec
+			}
+			arm, err := runFailoverArm(&cfg, primary, secondary, setups, objects, images, sc, rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serving: failover %s/%s: %w", primary.Name, sc.name, err)
+			}
+			fleet.Arms = append(fleet.Arms, *arm)
+			states := ""
+			for i, g := range arm.GPUs {
+				if i > 0 {
+					states += "/"
+				}
+				states += g.FinalState
+			}
+			table.Rows = append(table.Rows, []string{
+				primary.Name + "+" + secondary.Name, sc.name,
+				fmt.Sprint(arm.Served), fmt.Sprint(arm.Evacuated), fmt.Sprint(arm.Failed),
+				fmt.Sprintf("%.2f", arm.MeanEvacMs),
+				fmt.Sprint(arm.PeerFetches), fmt.Sprint(arm.PeerFetchFails), states,
+			})
+		}
+
+		if err := checkFailoverFleet(&fleet); err != nil {
+			return nil, nil, err
+		}
+		cold, warm := fleet.Arm(armColdRespawn), fleet.Arm(armWarmFailover)
+		table.Notes = append(table.Notes, fmt.Sprintf(
+			"%s fleet: warm failover %.2fms vs cold respawn %.2fms mean evacuation TTFI (%.1f%% lower), zero failed requests in all arms",
+			primary.Name, warm.MeanEvacMs, cold.MeanEvacMs, 100*(1-warm.MeanEvacMs/cold.MeanEvacMs)))
+		bench.Fleets = append(bench.Fleets, fleet)
+	}
+	return table, bench, nil
+}
+
+// checkFailoverFleet enforces the experiment's own acceptance bar on one
+// fleet: no arm lost a request, warm evacuation strictly beats cold
+// respawn, the flap arm actually exercised the peer fallback, and the
+// degraded arm evacuated the twin and then let it rejoin.
+func checkFailoverFleet(fleet *FailoverFleet) error {
+	for i := range fleet.Arms {
+		arm := &fleet.Arms[i]
+		if arm.Failed != 0 {
+			return fmt.Errorf("serving: failover %s/%s lost %d requests, want 0",
+				fleet.Primary, arm.Name, arm.Failed)
+		}
+		if arm.Evacuated == 0 || arm.Evacuations == 0 {
+			return fmt.Errorf("serving: failover %s/%s evacuated nothing (evacuated=%d evacuations=%d)",
+				fleet.Primary, arm.Name, arm.Evacuated, arm.Evacuations)
+		}
+	}
+	cold, warm := fleet.Arm(armColdRespawn), fleet.Arm(armWarmFailover)
+	if warm.MeanEvacMs >= cold.MeanEvacMs {
+		return fmt.Errorf("serving: failover %s warm evacuation %.2fms not below cold respawn %.2fms",
+			fleet.Primary, warm.MeanEvacMs, cold.MeanEvacMs)
+	}
+	if flap := fleet.Arm(armLinkFlap); flap.PeerFetchFails == 0 {
+		return fmt.Errorf("serving: failover %s link-flap arm saw no peer-fetch fallbacks", fleet.Primary)
+	}
+	if deg := fleet.Arm(armDegraded); deg.GPUs[failoverVictim].FinalState != GPUHealthy.String() {
+		return fmt.Errorf("serving: failover %s degraded GPU ended %q, want rejoin to %q",
+			fleet.Primary, deg.GPUs[failoverVictim].FinalState, GPUHealthy)
+	}
+	return nil
+}
+
+// buildFailoverImages pre-builds one cache image per primary-ISA model into
+// a fresh store under dir (unique per fleet).
+func buildFailoverImages(dir string, fleet int, setups map[string]*experiments.ModelSetup, models []string) (*cacheimg.Store, error) {
+	sub, err := os.MkdirTemp(dir, fmt.Sprintf("fleet%d-*", fleet))
+	if err != nil {
+		return nil, err
+	}
+	store, err := cacheimg.Open(sub)
+	if err != nil {
+		return nil, err
+	}
+	for _, abbr := range models {
+		img, _, err := setups[abbr].BuildCacheImage()
+		if err != nil {
+			return nil, fmt.Errorf("serving: failover image %s: %w", abbr, err)
+		}
+		if _, err := store.Publish(img); err != nil {
+			return nil, fmt.Errorf("serving: failover publish %s: %w", abbr, err)
+		}
+	}
+	return store, nil
+}
+
+// failoverTenant is one tenant's live serving state; relocation swaps its
+// GPU, setup (per target ISA) and attached process.
+type failoverTenant struct {
+	idx   int
+	name  string
+	abbr  string
+	gpu   int
+	ms    *experiments.ModelSetup
+	pr    *experiments.Process
+	evacs int
+
+	// mustMove is the monitor's drain order: set by OnEvacuate when the
+	// tenant's GPU enters quarantined or dead, honored at the next request
+	// boundary even if the device has rejoined by then — an operator drains
+	// a quarantined GPU, it does not gamble on the brownout passing.
+	mustMove bool
+}
+
+// runFailoverArm serves one deterministic tenant schedule on a fresh fleet
+// under one fault scenario and aggregates serving stats, registry activity
+// and final health states.
+func runFailoverArm(cfg *FailoverConfig, primary, secondary device.Profile,
+	setups map[string]map[string]*experiments.ModelSetup,
+	objects map[string]map[string][]string,
+	images *cacheimg.Store, sc failoverScenario, rec *trace.Recorder) (*FailoverArm, error) {
+
+	env := sim.NewEnv()
+	topo := device.NewHost(env)
+	topo.AddGPU(primary, 0)   // failoverVictim
+	topo.AddGPU(primary, 0)   // failoverTwin
+	topo.AddGPU(primary, 1)   // failoverSpare
+	topo.AddGPU(secondary, 1) // failoverCross
+
+	mh := NewMultiGPUHost(env, topo, func(arch string) *codeobj.Store {
+		return setups[arch][cfg.Models[0]].Store
+	}, cfg.Slots, sc.peering)
+	if rec != nil {
+		for i := range mh.Nodes {
+			mh.Nodes[i].Root().SetObserver(gpuObserver{rec: rec, idx: i})
+		}
+	}
+
+	inj := faults.New(sc.plan(cfg))
+	for i := range mh.Nodes {
+		i := i
+		mh.Nodes[i].Root().SetLoadFaults(inj.GPUView(i))
+		inj.ArmGPUDeath(env, i, func() { mh.Nodes[i].Root().MarkDeviceLost() })
+	}
+	if sc.flap {
+		mh.SetLinkFaults(inj)
+	}
+	var tenants []*failoverTenant
+	// A 5ms poll matches the error cadence of degraded loads on the slowest
+	// profile (each failed attempt costs a multi-ms fixed driver overhead),
+	// so persistent degradation reliably yields consecutive bad ticks.
+	hm := NewHealthMonitor(mh, HealthConfig{Interval: 5 * time.Millisecond}, rec)
+	hm.OnEvacuate = func(gpu int, state GPUHealthState) {
+		for _, ft := range tenants {
+			if ft.gpu == gpu {
+				ft.mustMove = true
+			}
+		}
+	}
+	hm.Start(env)
+
+	stats := &Stats{}
+	arm := &FailoverArm{Name: sc.name, Peering: sc.peering, Images: sc.images}
+
+	// relocate drains a tenant off its sick GPU, re-places it through the
+	// load-balanced policy (the empty spare wins deterministically), warm-arms
+	// the new process from the fleet's cache images when the scenario allows,
+	// and serves the pending request there. The whole move — detach through
+	// first inference on the new device — is the evacuation TTFI.
+	relocate := func(p *sim.Proc, ft *failoverTenant) error {
+		t0 := p.Now()
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if attempt > 0 {
+				stats.Retries++
+				p.Sleep(expBackoff(200*time.Microsecond, 2*time.Millisecond, attempt, int64(ft.idx), ft.abbr))
+			}
+			ft.pr.RT.Detach()
+			mh.Release(ft.gpu)
+			g := mh.Pick(PlaceBalanced, objects[ft.abbr])
+			mh.Acquire(g)
+			ft.gpu = g
+			ft.evacs++
+			ft.ms = setups[topo.GPU(g).Profile.Arch][ft.abbr]
+			ft.pr = ft.ms.AttachIn(mh.Nodes[g].Ten, fmt.Sprintf("%s~e%d", ft.name, ft.evacs))
+			if sc.images && images != nil {
+				if att, aerr := images.Attach(ft.ms.Spec.Abbr, topo.GPU(g).Profile, ft.ms.Store.Fingerprint()); aerr == nil {
+					// Replay overlaps bring-up; demand loads coalesce with it.
+					warmup.Start(env, ft.pr.RT, att.Image.Manifest, rec)
+					arm.ImageAttaches++
+				}
+			}
+			ft.pr.Runner.RT.InitContext(p)
+			if err = ft.pr.Runner.Lib.LoadResidents(p); err != nil {
+				continue
+			}
+			if err = ft.pr.Runner.RunBaseline(p, ft.ms.Model); err != nil {
+				continue
+			}
+			lat := p.Now() - t0
+			stats.recordEvacuated(lat)
+			if rec != nil {
+				rec.Count("evac_ttfi_ms", p.Now(), float64(lat)/1e6)
+			}
+			return nil
+		}
+		return err
+	}
+
+	// serveOnce runs one request (with bring-up on the first), retrying
+	// transient faults the registry could not absorb. Device loss is not
+	// retried here — the caller relocates instead.
+	serveOnce := func(p *sim.Proc, ft *failoverTenant, bringup bool) error {
+		t0 := p.Now()
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if attempt > 0 {
+				stats.Retries++
+				p.Sleep(expBackoff(200*time.Microsecond, 2*time.Millisecond, attempt, int64(ft.idx), ft.abbr))
+			}
+			if bringup {
+				ft.pr.Runner.RT.InitContext(p)
+				if err = ft.pr.Runner.Lib.LoadResidents(p); err != nil {
+					if backend.IsDeviceLost(err) {
+						return err
+					}
+					continue
+				}
+			}
+			if err = ft.pr.Runner.RunBaseline(p, ft.ms.Model); err != nil {
+				if backend.IsDeviceLost(err) {
+					return err
+				}
+				continue
+			}
+			stats.Latencies = append(stats.Latencies, p.Now()-t0)
+			return nil
+		}
+		return err
+	}
+
+	var doneSigs []*sim.Signal
+	hosts := []int{failoverVictim, failoverTwin, failoverCross}
+	env.Spawn("failover-driver", func(p *sim.Proc) {
+		for t := 0; t < cfg.Tenants(); t++ {
+			// Tenants arrive in model-set groups: the full zoo lands on the
+			// victim, then the twin, then the cross-vendor GPU, so the twin
+			// mirrors every model the victim hosts and the spare stays empty.
+			ft := &failoverTenant{
+				idx:  t,
+				abbr: cfg.Models[t%len(cfg.Models)],
+				gpu:  hosts[(t/len(cfg.Models))%len(hosts)],
+			}
+			ft.name = fmt.Sprintf("%s/%d", ft.abbr, t)
+			ft.ms = setups[topo.GPU(ft.gpu).Profile.Arch][ft.abbr]
+			mh.Acquire(ft.gpu)
+			tenants = append(tenants, ft)
+			sig := sim.NewSignal(env)
+			doneSigs = append(doneSigs, sig)
+			env.Spawn("tenant-"+ft.name, func(p *sim.Proc) {
+				defer sig.Fire()
+				defer func() {
+					ft.pr.RT.Detach()
+					mh.Release(ft.gpu)
+				}()
+				ft.pr = ft.ms.AttachIn(mh.Nodes[ft.gpu].Ten, ft.name)
+				for r := 0; r < cfg.Requests; r++ {
+					if r > 0 {
+						p.Sleep(cfg.Gap)
+					}
+					reqIdx := ft.idx*cfg.Requests + r
+					if ft.mustMove || !mh.Usable(ft.gpu) {
+						// The monitor ordered a drain (or the driver lost the
+						// device): evacuate, and serve this request over there.
+						ft.mustMove = false
+						if err := relocate(p, ft); err != nil {
+							stats.recordFailure(reqIdx, err)
+						}
+						continue
+					}
+					if err := serveOnce(p, ft, r == 0); err != nil {
+						if backend.IsDeviceLost(err) {
+							// Death mid-request: the typed error arrives before
+							// the next health poll. Same evacuation path.
+							if rerr := relocate(p, ft); rerr != nil {
+								stats.recordFailure(reqIdx, rerr)
+							}
+							continue
+						}
+						stats.recordFailure(reqIdx, err)
+					}
+				}
+			})
+			p.Sleep(cfg.Interval)
+		}
+		for _, s := range doneSigs {
+			s.Wait(p)
+		}
+		// Dwell so a cleanly-probationed quarantined GPU can rejoin before
+		// the final health snapshot.
+		p.Sleep(cfg.Settle)
+		hm.Stop()
+		mh.CloseAll()
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+
+	total := cfg.Tenants() * cfg.Requests
+	served := len(stats.Latencies)
+	if served+stats.Failed+stats.Evacuated != total {
+		return nil, fmt.Errorf("serving: failover accounting broke: served %d + failed %d + evacuated %d != %d requests",
+			served, stats.Failed, stats.Evacuated, total)
+	}
+	arm.Served = served
+	arm.Evacuated = stats.Evacuated
+	arm.Failed = stats.Failed
+	arm.Evacuations = hm.Evacuations()
+	arm.MeanTTFIMs = float64(stats.Mean()) / 1e6
+	arm.MeanEvacMs = float64(stats.MeanEvac()) / 1e6
+	for _, ft := range tenants {
+		if ft.evacs > 0 {
+			arm.EvacTenants++
+		}
+	}
+	for i := range mh.Nodes {
+		root := mh.Nodes[i].Root()
+		st := root.Stats()
+		arm.PeerFetches += st.PeerFetches
+		arm.PeerFetchFails += st.PeerFetchFails
+		arm.ModuleLoads += st.ModuleLoads
+		arm.GPUs = append(arm.GPUs, FailoverGPU{
+			Driver: root.Driver(), Arch: topo.GPU(i).Profile.Arch, Node: topo.Node(i),
+			FinalState:  hm.State(i).String(),
+			ModuleLoads: st.ModuleLoads, PeerFetches: st.PeerFetches, PeerFetchFails: st.PeerFetchFails,
+		})
+	}
+	return arm, nil
+}

@@ -1,0 +1,255 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"pask/internal/backend"
+	"pask/internal/sim"
+	"pask/internal/trace"
+)
+
+// GPUHealthState is one GPU's position on the failure ladder the health
+// monitor walks: healthy → degraded → quarantined → dead, with probation
+// and rejoin on recovery (DESIGN.md §17).
+type GPUHealthState int
+
+const (
+	// GPUHealthy: the device serves normally and accepts placements.
+	GPUHealthy GPUHealthState = iota
+	// GPUDegraded: error or latency signals crossed the threshold this
+	// tick. The device still serves and accepts placements, but persistent
+	// degradation escalates to quarantine.
+	GPUDegraded
+	// GPUQuarantined: degradation persisted; tenants evacuate and placement
+	// skips the device. A quarantined GPU that stays clean through its
+	// probation rejoins as healthy — hardware brownouts often pass.
+	GPUQuarantined
+	// GPUDead: the device fell off the bus. Terminal.
+	GPUDead
+)
+
+// String names the state for tables, traces and the health endpoint.
+func (s GPUHealthState) String() string {
+	switch s {
+	case GPUHealthy:
+		return "healthy"
+	case GPUDegraded:
+		return "degraded"
+	case GPUQuarantined:
+		return "quarantined"
+	case GPUDead:
+		return "dead"
+	}
+	return fmt.Sprintf("GPUHealthState(%d)", int(s))
+}
+
+// Usable reports whether placement and peering may use a GPU in this state.
+func (s GPUHealthState) Usable() bool { return s == GPUHealthy || s == GPUDegraded }
+
+// HealthConfig tunes the monitor's sampling cadence and thresholds. The
+// zero value gets production-shaped defaults scaled for the experiments'
+// millisecond timelines.
+type HealthConfig struct {
+	// Interval is the poll tick (default 2ms of virtual time) — the DCGM
+	// sampling loop of a real host agent.
+	Interval time.Duration
+	// ErrThreshold is the per-tick error delta (failed loads + transient
+	// retries) that marks a GPU degraded (default 1).
+	ErrThreshold int
+	// DegradeTicks is how many consecutive bad ticks escalate degraded to
+	// quarantined (default 2).
+	DegradeTicks int
+	// CleanTicks is how many consecutive clean ticks de-escalate degraded
+	// back to healthy, and (with probation served) rejoin a quarantined
+	// GPU (default 2).
+	CleanTicks int
+	// Probation is the minimum quarantine dwell before a clean GPU may
+	// rejoin (default 10ms).
+	Probation time.Duration
+}
+
+func (c HealthConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 2 * time.Millisecond
+}
+
+func (c HealthConfig) errThreshold() int {
+	if c.ErrThreshold > 0 {
+		return c.ErrThreshold
+	}
+	return 1
+}
+
+func (c HealthConfig) degradeTicks() int {
+	if c.DegradeTicks > 0 {
+		return c.DegradeTicks
+	}
+	return 2
+}
+
+func (c HealthConfig) cleanTicks() int {
+	if c.CleanTicks > 0 {
+		return c.CleanTicks
+	}
+	return 2
+}
+
+func (c HealthConfig) probation() time.Duration {
+	if c.Probation > 0 {
+		return c.Probation
+	}
+	return 10 * time.Millisecond
+}
+
+// HealthMonitor is the per-host agent watching every GPU of a MultiGPUHost:
+// a virtual-time polling loop (the shape of a DCGM/node-exporter sidecar)
+// that reads each registry's error counters, walks the health ladder, and
+// tells the serving layer when a device's tenants must evacuate. The
+// monitor never moves a tenant itself — it flips the state that placement,
+// peering and the failover serve loop consult, and fires OnEvacuate so the
+// host can drain and re-place.
+type HealthMonitor struct {
+	mh  *MultiGPUHost
+	cfg HealthConfig
+	rec *trace.Recorder
+
+	// OnEvacuate, if set, fires once per GPU transition into quarantined or
+	// dead — the host's cue to drain and re-place that device's tenants.
+	OnEvacuate func(gpu int, state GPUHealthState)
+
+	states  []GPUHealthState
+	bad     []int // consecutive bad ticks per GPU
+	clean   []int // consecutive clean ticks per GPU
+	quarAt  []time.Duration
+	last    []backend.Stats
+	evacs   int
+	stopped bool
+}
+
+// NewHealthMonitor builds a monitor over mh and installs it as the host's
+// health source, so Pick and peering skip quarantined and dead GPUs. Call
+// Start to spawn the polling proc; rec may be nil.
+func NewHealthMonitor(mh *MultiGPUHost, cfg HealthConfig, rec *trace.Recorder) *HealthMonitor {
+	n := len(mh.Nodes)
+	hm := &HealthMonitor{
+		mh: mh, cfg: cfg, rec: rec,
+		states: make([]GPUHealthState, n),
+		bad:    make([]int, n),
+		clean:  make([]int, n),
+		quarAt: make([]time.Duration, n),
+		last:   make([]backend.Stats, n),
+	}
+	mh.SetHealth(hm)
+	return hm
+}
+
+// Start spawns the polling proc. The loop exits when Stop is called — the
+// experiment driver stops the monitor before closing the host's streams.
+func (hm *HealthMonitor) Start(env *sim.Env) {
+	env.Spawn("health-monitor", func(p *sim.Proc) {
+		for {
+			p.Sleep(hm.cfg.interval())
+			if hm.stopped {
+				return
+			}
+			for i := range hm.mh.Nodes {
+				hm.poll(p.Now(), i)
+			}
+		}
+	})
+}
+
+// Stop ends the polling loop at its next tick.
+func (hm *HealthMonitor) Stop() { hm.stopped = true }
+
+// State returns GPU i's current health state.
+func (hm *HealthMonitor) State(i int) GPUHealthState { return hm.states[i] }
+
+// States returns a snapshot of every GPU's state, indexed like mh.Nodes.
+func (hm *HealthMonitor) States() []GPUHealthState {
+	out := make([]GPUHealthState, len(hm.states))
+	copy(out, hm.states)
+	return out
+}
+
+// Usable reports whether placement and peering may use GPU i right now. A
+// device the driver already reports lost is unusable even before the next
+// poll tick notices.
+func (hm *HealthMonitor) Usable(i int) bool {
+	return hm.states[i].Usable() && !hm.mh.Nodes[i].Root().DeviceLost()
+}
+
+// Evacuations counts GPU transitions into quarantined or dead.
+func (hm *HealthMonitor) Evacuations() int { return hm.evacs }
+
+// poll advances GPU i's state machine one tick. The error signal is the
+// tick-over-tick delta of failed loads plus transient retries on the GPU's
+// shared registry — the counters a real agent scrapes from the driver.
+func (hm *HealthMonitor) poll(now time.Duration, i int) {
+	root := hm.mh.Nodes[i].Root()
+	if root.DeviceLost() {
+		if hm.states[i] != GPUDead {
+			hm.transition(now, i, GPUDead)
+		}
+		return
+	}
+	st := root.Stats()
+	errDelta := (st.FailedLoads - hm.last[i].FailedLoads) +
+		(st.TransientRetries - hm.last[i].TransientRetries)
+	hm.last[i] = st
+	bad := errDelta >= hm.cfg.errThreshold()
+
+	switch hm.states[i] {
+	case GPUHealthy:
+		if bad {
+			hm.bad[i], hm.clean[i] = 1, 0
+			hm.transition(now, i, GPUDegraded)
+		}
+	case GPUDegraded:
+		if bad {
+			hm.clean[i] = 0
+			if hm.bad[i]++; hm.bad[i] >= hm.cfg.degradeTicks() {
+				hm.transition(now, i, GPUQuarantined)
+			}
+		} else if hm.clean[i]++; hm.clean[i] >= hm.cfg.cleanTicks() {
+			hm.bad[i] = 0
+			hm.transition(now, i, GPUHealthy)
+		}
+	case GPUQuarantined:
+		if bad {
+			hm.clean[i] = 0
+			return
+		}
+		if hm.clean[i]++; hm.clean[i] >= hm.cfg.cleanTicks() &&
+			now-hm.quarAt[i] >= hm.cfg.probation() {
+			hm.bad[i] = 0
+			hm.transition(now, i, GPUHealthy)
+		}
+	case GPUDead:
+		// Terminal.
+	}
+}
+
+// transition flips GPU i to next, emits the gpu_health_state counter, and —
+// entering quarantined or dead — counts the evacuation and fires OnEvacuate.
+func (hm *HealthMonitor) transition(now time.Duration, i int, next GPUHealthState) {
+	hm.states[i] = next
+	if next == GPUQuarantined {
+		hm.quarAt[i] = now
+	}
+	if hm.rec != nil {
+		hm.rec.Count(fmt.Sprintf("gpu%d_health_state", i), now, float64(next))
+	}
+	if next == GPUQuarantined || next == GPUDead {
+		hm.evacs++
+		if hm.rec != nil {
+			hm.rec.Count("evacuations", now, float64(hm.evacs))
+		}
+		if hm.OnEvacuate != nil {
+			hm.OnEvacuate(i, next)
+		}
+	}
+}

@@ -262,10 +262,10 @@ func TestServeTraceSheddingInvariant(t *testing.T) {
 	if stats.Shed == 0 {
 		t.Fatal("a 16-request burst against MaxQueue=2 must shed")
 	}
-	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected
+	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected + stats.Evacuated
 	if got != n {
-		t.Fatalf("served+failed+shed+rejected = %d, want %d (served=%d failed=%d shed=%d rejected=%d)",
-			got, n, len(stats.Latencies), stats.Failed, stats.Shed, stats.BreakerRejected)
+		t.Fatalf("served+failed+shed+rejected+evacuated = %d, want %d (served=%d failed=%d shed=%d rejected=%d evacuated=%d)",
+			got, n, len(stats.Latencies), stats.Failed, stats.Shed, stats.BreakerRejected, stats.Evacuated)
 	}
 	for idx, ferr := range stats.FailedRequests {
 		if !errors.Is(ferr, ErrShed) {
@@ -295,9 +295,9 @@ func TestFleetOverloadInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected
+	got := len(stats.Latencies) + stats.Failed + stats.Shed + stats.BreakerRejected + stats.Evacuated
 	if got != n {
-		t.Fatalf("served+failed+shed+rejected = %d, want %d", got, n)
+		t.Fatalf("served+failed+shed+rejected+evacuated = %d, want %d", got, n)
 	}
 	if stats.Shed == 0 {
 		t.Fatal("deadline admission must shed under a 24-request burst on 2 instances")

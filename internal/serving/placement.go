@@ -52,6 +52,25 @@ type MultiGPUHost struct {
 
 	slots  int   // tenant slots per GPU
 	active []int // live tenants per GPU
+
+	// health, when set, gates placement and peering on per-GPU health:
+	// quarantined and dead devices take no new tenants and serve no peer
+	// copies. links, when set, injects link faults into peer transfers.
+	health HealthSource
+	links  LinkFaultSource
+}
+
+// HealthSource answers per-GPU usability queries — implemented by
+// HealthMonitor. Without one, only driver-reported device loss gates use.
+type HealthSource interface {
+	Usable(i int) bool
+}
+
+// LinkFaultSource rolls the fate of a peer transfer over the link between
+// GPUs i and j starting at now: a positive stall stretches the transfer,
+// down fails it after the stall. Implemented by *faults.Injector.
+type LinkFaultSource interface {
+	LinkFault(now time.Duration, i, j int) (stall time.Duration, down bool)
 }
 
 // NewMultiGPUHost builds a cold multi-GPU serving host over topo. Each GPU
@@ -82,6 +101,25 @@ func NewMultiGPUHost(env *sim.Env, topo *device.Host, storeFor func(arch string)
 	return mh
 }
 
+// SetHealth installs the host's health source (NewHealthMonitor calls it).
+func (mh *MultiGPUHost) SetHealth(h HealthSource) { mh.health = h }
+
+// SetLinkFaults installs the link-fault source peer transfers consult.
+func (mh *MultiGPUHost) SetLinkFaults(lf LinkFaultSource) { mh.links = lf }
+
+// Usable reports whether GPU i may take tenants and serve peer copies: not
+// driver-lost, and — with a health source installed — not quarantined or
+// dead on the health ladder.
+func (mh *MultiGPUHost) Usable(i int) bool {
+	if mh.Nodes[i].Root().DeviceLost() {
+		return false
+	}
+	if mh.health != nil {
+		return mh.health.Usable(i)
+	}
+	return true
+}
+
 // Active returns the number of live tenants on GPU i.
 func (mh *MultiGPUHost) Active(i int) int { return mh.active[i] }
 
@@ -98,20 +136,33 @@ func (mh *MultiGPUHost) CloseAll() { mh.Host.CloseAll() }
 // Pick chooses the GPU for an arriving tenant under the given policy.
 // objectsByArch maps each ISA to the object paths the tenant's model loads
 // when compiled for that ISA (residency-affinity scores candidates of
-// different vendors against the right object set). GPUs with a free slot
-// are preferred; when every slot is taken the policy ranks all GPUs, so
-// arrival bursts overflow instead of blocking.
+// different vendors against the right object set). Quarantined and dead
+// GPUs are never candidates while any usable GPU survives. Usable GPUs
+// with a free slot are preferred; when every usable slot is taken the
+// policy ranks all usable GPUs, so arrival bursts overflow instead of
+// blocking.
 func (mh *MultiGPUHost) Pick(policy PlacementPolicy, objectsByArch map[string][]string) int {
-	candidates := make([]int, 0, len(mh.Nodes))
+	usable := make([]int, 0, len(mh.Nodes))
 	for i := range mh.Nodes {
+		if mh.Usable(i) {
+			usable = append(usable, i)
+		}
+	}
+	if len(usable) == 0 {
+		// Every device is down: keep the historical deterministic answer
+		// rather than deadlock — the caller's load will fail typed.
+		for i := range mh.Nodes {
+			usable = append(usable, i)
+		}
+	}
+	candidates := make([]int, 0, len(usable))
+	for _, i := range usable {
 		if mh.active[i] < mh.slots {
 			candidates = append(candidates, i)
 		}
 	}
 	if len(candidates) == 0 {
-		for i := range mh.Nodes {
-			candidates = append(candidates, i)
-		}
+		candidates = usable
 	}
 	best := candidates[0]
 	switch policy {
@@ -149,12 +200,16 @@ type peerSource struct {
 }
 
 // PeerLookup returns the cheapest same-ISA peer copy of path, if any.
+// Quarantined and dead peers serve nothing (their registries may be empty
+// or lying), and a link-faulted transfer is offered with its stall and —
+// when the link is down — the error that makes the registry fall back to a
+// local demand load.
 func (ps *peerSource) PeerLookup(path string) (backend.PeerModule, bool) {
 	arch := ps.mh.Host.GPU(ps.idx).Profile.Arch
 	var best backend.PeerModule
 	found := false
 	for j := range ps.mh.Nodes {
-		if j == ps.idx || ps.mh.Host.GPU(j).Profile.Arch != arch {
+		if j == ps.idx || ps.mh.Host.GPU(j).Profile.Arch != arch || !ps.mh.Usable(j) {
 			continue
 		}
 		obj, ok := ps.mh.Nodes[j].Root().ResidentObject(path)
@@ -165,6 +220,14 @@ func (ps *peerSource) PeerLookup(path string) (backend.PeerModule, bool) {
 		if !found || cost < best.Cost {
 			best = backend.PeerModule{Object: obj, From: fmt.Sprintf("gpu%d", j), Cost: cost}
 			found = true
+			if ps.mh.links != nil {
+				if stall, down := ps.mh.links.LinkFault(ps.mh.Env.Now(), j, ps.idx); down || stall > 0 {
+					best.Stall = stall
+					if down {
+						best.Err = fmt.Errorf("serving: link gpu%d<->gpu%d down", j, ps.idx)
+					}
+				}
+			}
 		}
 	}
 	return best, found

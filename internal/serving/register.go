@@ -93,6 +93,19 @@ func init() {
 		},
 	})
 	experiments.Register(experiments.Experiment{
+		Name:        "failover",
+		Description: "GPU failure domains: health-monitored evacuation with warm failover",
+		Bench:       true,
+		Run: func(o experiments.Options) (*experiments.Result, error) {
+			cfg := FailoverConfig{Models: o.Models, Batch: firstBatch(o.Batches), Quick: o.Quick, Rec: o.Trace}
+			tbl, bench, err := Failover(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &experiments.Result{Tables: []*experiments.Table{tbl}, Bench: bench}, nil
+		},
+	})
+	experiments.Register(experiments.Experiment{
 		Name:        "hostperf",
 		Description: "host-side ns/request and allocs/request across the serving hot paths",
 		Bench:       true,

@@ -364,10 +364,20 @@ type Stats struct {
 	DegradedLayers int           // layers served by a forced substitute
 	FailedRequests map[int]error // request index -> final typed error
 
+	// Failure-domain accounting, populated when a health monitor evacuates
+	// tenants off a sick GPU. Evacuated requests are served — on a different
+	// GPU than they arrived at, after the tenant re-placed and warm-respawned
+	// — but counted apart from Latencies so failover sweeps can report the
+	// relocation cost separately. EvacLatencies are their end-to-end times
+	// (relocation included).
+	Evacuated     int
+	EvacLatencies []time.Duration
+
 	// Overload-protection accounting, populated when the policy enables
 	// admission control, breakers or brownout. Shed and BreakerRejected
 	// requests never reach an instance and are counted apart from Failed:
-	// the invariant is served + Failed + Shed + BreakerRejected == requests.
+	// the invariant is served + Failed + Shed + BreakerRejected + Evacuated
+	// == requests.
 	Shed              int // requests dropped by admission control (ErrShed)
 	BreakerRejected   int // requests refused while a breaker was open
 	SLOMisses         int // served requests whose end-to-end latency broke Policy.SLO
@@ -406,6 +416,29 @@ func (s *Stats) recordShed(idx int) {
 		s.FailedRequests = make(map[int]error)
 	}
 	s.FailedRequests[idx] = ErrShed
+}
+
+// recordEvacuated counts a request served after its tenant evacuated a sick
+// GPU mid-flight: the request succeeded, but on a different device than it
+// arrived at, and its latency includes the relocation. Counted in Evacuated
+// instead of Latencies so the accounting invariant
+// served+Failed+Shed+BreakerRejected+Evacuated == requests still partitions
+// every request exactly once.
+func (s *Stats) recordEvacuated(lat time.Duration) {
+	s.Evacuated++
+	s.EvacLatencies = append(s.EvacLatencies, lat)
+}
+
+// MeanEvac returns the average latency over EvacLatencies.
+func (s *Stats) MeanEvac() time.Duration {
+	if len(s.EvacLatencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range s.EvacLatencies {
+		sum += l
+	}
+	return sum / time.Duration(len(s.EvacLatencies))
 }
 
 // Percentile returns the q-quantile latency. q is clamped into [0,1]
